@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the contention Monte-Carlo and the network
+//! energy simulation — the throughput that bounds every Figure 6/9 sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wsn_phy::ber::EmpiricalCc2420Ber;
+use wsn_radio::{RadioModel, TxPowerLevel};
+use wsn_sim::network::{NetworkConfig, NetworkSimulator, TxPowerPolicy};
+use wsn_sim::{simulate_contention, ChannelSimConfig};
+use wsn_units::{DBm, Db, Seconds};
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention_sim");
+    for &load in &[0.1, 0.42, 0.8] {
+        let mut cfg = ChannelSimConfig::figure6(100, load, 7);
+        cfg.superframes = 5;
+        group.bench_function(format!("load_{load}"), |b| {
+            b.iter(|| simulate_contention(black_box(&cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut channel = ChannelSimConfig::figure6(120, 0.42, 9);
+    channel.nodes = 100;
+    channel.superframes = 5;
+    let nodes = channel.nodes;
+    let sim = NetworkSimulator::new(NetworkConfig {
+        channel,
+        radio: RadioModel::cc2420(),
+        path_losses: vec![Db::new(75.0); nodes],
+        tx_policy: TxPowerPolicy::Fixed(TxPowerLevel::Neg5),
+        coordinator_tx: DBm::new(0.0),
+        wakeup_margin: Seconds::from_millis(1.0),
+    });
+    let ber = EmpiricalCc2420Ber::paper();
+    c.bench_function("network_sim_100_nodes_5_superframes", |b| {
+        b.iter(|| sim.run(black_box(&ber)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_contention, bench_network
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the discrete-event core: queue throughput and
+//! the RNG.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wsn_phy::noise::UniformSource;
+use wsn_sim::events::EventQueue;
+use wsn_sim::Xoshiro256StarStar;
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(rng.next_u64() % 100_000, (i % 3) as u8, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("event_queue_interleaved", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut acc = 0u64;
+            for wave in 0..100u64 {
+                for i in 0..100u64 {
+                    q.push(wave * 1000 + i, 0, i);
+                }
+                for _ in 0..100 {
+                    if let Some((_, v)) = q.pop() {
+                        acc = acc.wrapping_add(v);
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("xoshiro_next_u64", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    c.bench_function("xoshiro_next_f64", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_f64()))
+    });
+    c.bench_function("xoshiro_split", |b| {
+        let rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(rng.split(i))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_queue, bench_rng
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for frame serialization, parsing and the FCS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wsn_mac::beacon::BeaconPayload;
+use wsn_mac::SuperframeConfig;
+use wsn_phy::frame::{crc16_itu_t, Address, MacFrame};
+
+fn bench_crc(c: &mut Criterion) {
+    let body: Vec<u8> = (0..125).collect();
+    c.bench_function("crc16_125_bytes", |b| {
+        b.iter(|| crc16_itu_t(black_box(&body)))
+    });
+}
+
+fn bench_frames(c: &mut Criterion) {
+    let frame = MacFrame::data(
+        42,
+        0x1234,
+        Address::Short(0x0000),
+        Address::Short(0x0042),
+        vec![0xAB; 100],
+        true,
+    );
+    c.bench_function("data_frame_serialize_100B", |b| {
+        b.iter(|| black_box(&frame).serialize().unwrap())
+    });
+
+    let wire = frame.serialize().unwrap();
+    c.bench_function("data_frame_parse_100B", |b| {
+        b.iter(|| MacFrame::parse(black_box(&wire)).unwrap())
+    });
+}
+
+fn bench_beacon(c: &mut Criterion) {
+    let payload = BeaconPayload::for_config(SuperframeConfig::fully_active(6).unwrap());
+    c.bench_function("beacon_payload_serialize", |b| {
+        b.iter(|| black_box(&payload).serialize())
+    });
+    let wire = payload.serialize();
+    c.bench_function("beacon_payload_parse", |b| {
+        b.iter(|| BeaconPayload::parse(black_box(&wire)).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_crc, bench_frames, bench_beacon
+);
+criterion_main!(benches);

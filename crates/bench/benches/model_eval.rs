@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the analytical model: single evaluations, the
+//! link-adaptation inner loop, and a full case-study run with cached
+//! contention statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wsn_core::activation::{ActivationModel, ModelInputs};
+use wsn_core::case_study::CaseStudy;
+use wsn_core::contention::{ContentionModel, IdealContention};
+use wsn_core::link_adaptation::LinkAdaptation;
+use wsn_mac::BeaconOrder;
+use wsn_phy::ber::EmpiricalCc2420Ber;
+use wsn_phy::frame::PacketLayout;
+use wsn_radio::{RadioModel, TxPowerLevel};
+use wsn_units::Db;
+
+fn bench_model_eval(c: &mut Criterion) {
+    let model = ActivationModel::paper_defaults(RadioModel::cc2420());
+    let ber = EmpiricalCc2420Ber::paper();
+    let packet = PacketLayout::with_payload(120).unwrap();
+    let inputs = ModelInputs {
+        packet,
+        beacon_order: BeaconOrder::new(6).unwrap(),
+        tx_level: TxPowerLevel::Neg5,
+        path_loss: Db::new(80.0),
+        contention: IdealContention.stats(0.42, packet),
+    };
+    c.bench_function("activation_model_evaluate", |b| {
+        b.iter(|| model.evaluate(black_box(&inputs), &ber))
+    });
+}
+
+fn bench_link_adaptation(c: &mut Criterion) {
+    let study = LinkAdaptation::new(
+        ActivationModel::paper_defaults(RadioModel::cc2420()),
+        PacketLayout::with_payload(120).unwrap(),
+        BeaconOrder::new(6).unwrap(),
+    );
+    let ber = EmpiricalCc2420Ber::paper();
+    c.bench_function("link_adaptation_best_level", |b| {
+        b.iter(|| study.best_level(black_box(Db::new(82.0)), 0.42, &ber, &IdealContention))
+    });
+}
+
+fn bench_case_study(c: &mut Criterion) {
+    let study = CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420()))
+        .with_grid_points(41);
+    let ber = EmpiricalCc2420Ber::paper();
+    c.bench_function("case_study_run_ideal_contention", |b| {
+        b.iter(|| study.run(black_box(&ber), &IdealContention))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_model_eval, bench_link_adaptation, bench_case_study
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the PHY: chip spreading/despreading and the
+//! chip-level AWGN Monte-Carlo that regenerates Figure 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wsn_phy::baseband::{simulate_ber, BasebandConfig};
+use wsn_phy::ber::{BerModel, EmpiricalCc2420Ber, HardDecisionDsssBer, StandardOqpskBer};
+use wsn_phy::noise::SplitMix64;
+use wsn_phy::spreading::{despread, spread_bytes, ChipSequence};
+use wsn_units::{DBm, Db};
+
+fn bench_spreading(c: &mut Criterion) {
+    let frame: Vec<u8> = (0..127).collect();
+    c.bench_function("spread_127_bytes", |b| {
+        b.iter(|| spread_bytes(black_box(&frame)))
+    });
+
+    let chips = spread_bytes(&frame);
+    c.bench_function("despread_127_bytes", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &chip in &chips {
+                acc += despread(black_box(chip)).value() as u32;
+            }
+            acc
+        })
+    });
+
+    c.bench_function("despread_single_corrupted", |b| {
+        let corrupted = ChipSequence::from_raw(
+            ChipSequence::for_symbol(wsn_phy::spreading::Symbol::new(9).unwrap()).raw()
+                ^ 0x0101_0011,
+        );
+        b.iter(|| despread(black_box(corrupted)))
+    });
+}
+
+fn bench_ber_models(c: &mut Criterion) {
+    let p = DBm::new(-90.0);
+    let empirical = EmpiricalCc2420Ber::paper();
+    let analytic = HardDecisionDsssBer::new(Db::new(21.0));
+    let standard = StandardOqpskBer::new(Db::new(21.0));
+    c.bench_function("ber_empirical", |b| {
+        b.iter(|| empirical.bit_error_probability(black_box(p)))
+    });
+    c.bench_function("ber_union_bound", |b| {
+        b.iter(|| analytic.bit_error_probability(black_box(p)))
+    });
+    c.bench_function("ber_standard_formula", |b| {
+        b.iter(|| standard.bit_error_probability(black_box(p)))
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let cfg = BasebandConfig::new(Db::new(21.0));
+    c.bench_function("baseband_mc_40k_bits", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| simulate_ber(cfg, black_box(DBm::new(-91.0)), 40_000, u64::MAX, &mut rng))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spreading, bench_ber_models, bench_monte_carlo
+);
+criterion_main!(benches);

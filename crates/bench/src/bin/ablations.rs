@@ -1,0 +1,110 @@
+//! Experiment ABLA — ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **CSMA parameter presets**: the standard's macMaxCSMABackoffs = 4
+//!    versus the paper's literal "abort after two BE increments" reading,
+//!    versus battery-life-extension mode (which the paper rejects for
+//!    dense networks — we quantify the collision blow-up);
+//! 2. **Arrival pattern**: staggered packet readiness versus all nodes
+//!    contending right after the beacon (the literal prose);
+//! 3. **Contention source**: Monte-Carlo versus the closed-form
+//!    [`AnalyticContention`] extension versus the ideal channel;
+//! 4. **GTS capacity**: why guaranteed time slots cannot serve the dense
+//!    scenario.
+//!
+//! Usage: `cargo run --release -p wsn-bench --bin ablations [superframes]`
+
+use wsn_core::activation::ActivationModel;
+use wsn_core::case_study::CaseStudy;
+use wsn_core::contention::{
+    AnalyticContention, ContentionModel, IdealContention, MonteCarloContention,
+};
+use wsn_mac::csma::CsmaParams;
+use wsn_mac::gts::max_gts_devices;
+use wsn_phy::ber::EmpiricalCc2420Ber;
+use wsn_radio::RadioModel;
+use wsn_sim::{simulate_contention, ChannelSimConfig};
+
+fn main() {
+    let superframes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+
+    let study = CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420()));
+    let load = study.load();
+    let ber = EmpiricalCc2420Ber::paper();
+
+    println!("# Ablation 1 — CSMA parameter presets at the case-study load (λ={load:.2})");
+    println!("preset,T_cont_ms,N_CCA,Pr_col,Pr_cf");
+    for (name, params) in [
+        ("standard_2003 (5 rounds)", CsmaParams::standard_2003()),
+        ("paper literal (3 rounds)", CsmaParams::paper()),
+        (
+            "battery-life-extension",
+            CsmaParams::battery_life_extension(),
+        ),
+    ] {
+        let mut cfg = ChannelSimConfig::figure6(120, load, 0xAB1A);
+        cfg.csma = params;
+        cfg.superframes = superframes;
+        let s = simulate_contention(&cfg);
+        println!(
+            "{name},{:.2},{:.2},{:.4},{:.4}",
+            s.mean_contention.millis(),
+            s.mean_ccas,
+            s.pr_collision.value(),
+            s.pr_access_failure.value()
+        );
+    }
+
+    println!("\n# Ablation 2 — arrival pattern at the case-study load");
+    println!("arrivals,T_cont_ms,N_CCA,Pr_col,Pr_cf");
+    for (name, synced) in [("staggered (used)", false), ("beacon-synchronized", true)] {
+        let mut cfg = ChannelSimConfig::figure6(120, load, 0xAB1B);
+        cfg.synchronized_arrivals = synced;
+        cfg.superframes = superframes;
+        let s = simulate_contention(&cfg);
+        println!(
+            "{name},{:.2},{:.2},{:.4},{:.4}",
+            s.mean_contention.millis(),
+            s.mean_ccas,
+            s.pr_collision.value(),
+            s.pr_access_failure.value()
+        );
+    }
+
+    println!("\n# Ablation 3 — contention source for the full case study");
+    println!("source,power_uW,fail_pct,delay_s");
+    let mc = MonteCarloContention::figure6().with_superframes(superframes);
+    let analytic = AnalyticContention::new();
+    let sources: [(&str, &dyn ContentionModel); 3] = [
+        ("monte-carlo", &mc),
+        ("analytic fixed-point", &analytic),
+        ("ideal channel", &IdealContention),
+    ];
+    for (name, source) in sources {
+        let report = study.run(&ber, &source);
+        println!(
+            "{name},{:.1},{:.1},{:.2}",
+            report.average_power.microwatts(),
+            report.mean_failure.value() * 100.0,
+            report.mean_delay.secs()
+        );
+    }
+
+    println!("\n# Ablation 4 — GTS capacity versus the dense scenario");
+    let nodes = study.nodes_per_channel();
+    println!(
+        "guaranteed time slots per superframe : {} devices",
+        max_gts_devices()
+    );
+    println!("nodes sharing each channel           : {nodes}");
+    println!(
+        "coverage if GTS were used            : {:.1} % of nodes",
+        max_gts_devices() as f64 / nodes as f64 * 100.0
+    );
+    println!(
+        "⇒ the contention access period is unavoidable in this regime, as \
+         the paper argues in §2."
+    );
+}

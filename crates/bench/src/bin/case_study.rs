@@ -1,0 +1,84 @@
+//! Experiment CASE — the paper's §5 dense-network case study.
+//!
+//! 1600 nodes / 16 channels (100 per channel), 1 byte per 8 ms per node
+//! buffered into 120-byte packets, BO = 6 (T_ib = 983.04 ms), path losses
+//! uniform in 55–95 dB, per-node energy-optimal transmit power.
+//!
+//! Paper reference values: average power 211 µW, delivery delay 1.45 s,
+//! transmission failure probability 16 %, load 42 %.
+//!
+//! Usage: `cargo run --release -p wsn-bench --bin case_study [superframes]`
+
+use wsn_core::activation::ActivationModel;
+use wsn_core::case_study::CaseStudy;
+use wsn_core::contention::{ContentionModel, IdealContention, MonteCarloContention};
+use wsn_phy::ber::EmpiricalCc2420Ber;
+use wsn_radio::{PhaseTag, RadioModel, StateKind};
+
+fn main() {
+    let superframes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    let study = CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420()));
+    let ber = EmpiricalCc2420Ber::paper();
+    let mc = MonteCarloContention::figure6().with_superframes(superframes);
+
+    println!("# Case study (paper §5)");
+    println!(
+        "channel load λ            : {:.3}  (paper: 0.42)",
+        study.load()
+    );
+    let stats = mc.stats(study.load(), study.packet());
+    println!("contention stats at λ     : {stats}");
+
+    for (name, report) in [
+        ("monte-carlo contention", study.run(&ber, &mc)),
+        (
+            "ideal contention (ablation)",
+            study.run(&ber, &IdealContention),
+        ),
+    ] {
+        println!("\n## {name}");
+        println!(
+            "average power             : {:.1} µW   (paper: 211 µW)",
+            report.average_power.microwatts()
+        );
+        println!(
+            "mean delivery delay       : {:.2} s    (paper: 1.45 s)",
+            report.mean_delay.secs()
+        );
+        println!(
+            "transmission failure      : {:.1} %    (paper: 16 %)",
+            report.mean_failure.value() * 100.0
+        );
+        println!("energy breakdown (Figure 9a):");
+        for phase in [
+            PhaseTag::Beacon,
+            PhaseTag::Contention,
+            PhaseTag::Transmit,
+            PhaseTag::AckWait,
+        ] {
+            println!(
+                "  {:<11}: {:5.1} %",
+                phase.to_string(),
+                report.phase_fraction(phase) * 100.0
+            );
+        }
+        println!("time breakdown (Figure 9b):");
+        for state in StateKind::ALL {
+            println!(
+                "  {:<11}: {:7.3} %",
+                state.to_string(),
+                report.state_fraction(state) * 100.0
+            );
+        }
+        println!("tx-level shares:");
+        for (level, share) in report.level_shares {
+            if share > 0.0 {
+                println!("  {:<11}: {:5.1} %", level.to_string(), share * 100.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Experiment FIG6 — reproduces paper Figure 6: behaviour of the slotted
+//! CSMA/CA algorithm versus network load for packet payloads of 10, 20, 50
+//! and 100 bytes (100 nodes per channel).
+//!
+//! Prints one CSV block per metric: mean contention duration, mean number
+//! of CCAs, collision probability and channel-access-failure probability.
+//!
+//! Usage: `cargo run --release -p wsn-bench --bin fig6 [superframes]`
+
+use wsn_sim::{simulate_contention, ChannelSimConfig};
+
+fn main() {
+    let superframes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    let payloads = [10usize, 20, 50, 100];
+    let loads: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
+
+    let mut rows = Vec::new();
+    for &payload in &payloads {
+        for &load in &loads {
+            let mut cfg = ChannelSimConfig::figure6(payload, load, 0xF166 + payload as u64);
+            cfg.superframes = superframes;
+            let stats = simulate_contention(&cfg);
+            rows.push((payload, load, stats));
+        }
+    }
+
+    println!("# Figure 6 — slotted CSMA/CA behaviour, 100 nodes/channel");
+    println!(
+        "# ({} superframes per point, standard CSMA parameters)",
+        superframes
+    );
+    for (title, f) in [
+        (
+            "mean contention duration T_cont [ms]",
+            Box::new(|s: &wsn_sim::ContentionStats| s.mean_contention.millis())
+                as Box<dyn Fn(&wsn_sim::ContentionStats) -> f64>,
+        ),
+        (
+            "mean CCAs per procedure N_CCA",
+            Box::new(|s: &wsn_sim::ContentionStats| s.mean_ccas),
+        ),
+        (
+            "collision probability Pr_col",
+            Box::new(|s: &wsn_sim::ContentionStats| s.pr_collision.value()),
+        ),
+        (
+            "channel access failure probability Pr_cf",
+            Box::new(|s: &wsn_sim::ContentionStats| s.pr_access_failure.value()),
+        ),
+    ] {
+        println!("\n## {title}");
+        print!("load");
+        for &p in &payloads {
+            print!(",{p}B");
+        }
+        println!();
+        for &load in &loads {
+            print!("{load:.2}");
+            for &p in &payloads {
+                let s = &rows
+                    .iter()
+                    .find(|(pp, ll, _)| *pp == p && (*ll - load).abs() < 1e-9)
+                    .expect("row exists")
+                    .2;
+                print!(",{:.4}", f(s));
+            }
+            println!();
+        }
+    }
+}

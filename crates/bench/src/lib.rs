@@ -1,0 +1,1 @@
+//! Experiment harness crate; see the `fig*` binaries.

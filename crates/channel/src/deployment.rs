@@ -1,0 +1,198 @@
+//! Node deployments: geometric placements of sensor nodes around a base
+//! station.
+//!
+//! The case study describes "1600 nodes uniformly distributed in a circular
+//! area around a base-station". [`Deployment::uniform_disc`] realizes that
+//! geometry; combined with a distance-based
+//! [`PathLossModel`] it yields a per-node
+//! path-loss population, and [`Deployment::channel_partition`] splits the
+//! population over the 16 channels as the paper does (100 nodes/channel).
+
+use wsn_units::Meters;
+
+use wsn_phy::noise::UniformSource;
+
+use crate::pathloss::PathLossModel;
+use wsn_units::Db;
+
+/// A point in the deployment plane, in meters, with the base station at the
+/// origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Position {
+    /// East coordinate.
+    pub x: f64,
+    /// North coordinate.
+    pub y: f64,
+}
+
+impl Position {
+    /// Distance from the base station at the origin.
+    pub fn range(&self) -> Meters {
+        Meters::new((self.x * self.x + self.y * self.y).sqrt())
+    }
+}
+
+/// A set of node positions around a central base station.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Deployment {
+    positions: Vec<Position>,
+    radius: Meters,
+}
+
+impl Deployment {
+    /// Places `n` nodes uniformly (by area) in a disc of radius `radius`.
+    ///
+    /// Uses inverse-CDF sampling (`r = R·√u`) so density is uniform per
+    /// unit area, as in the paper's scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive.
+    pub fn uniform_disc<U: UniformSource>(n: usize, radius: Meters, rng: &mut U) -> Self {
+        assert!(radius.meters() > 0.0, "deployment radius must be positive");
+        let positions = (0..n)
+            .map(|_| {
+                let r = radius.meters() * rng.next_f64().sqrt();
+                let theta = core::f64::consts::TAU * rng.next_f64();
+                Position {
+                    x: r * theta.cos(),
+                    y: r * theta.sin(),
+                }
+            })
+            .collect();
+        Deployment { positions, radius }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the deployment has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The disc radius.
+    pub fn radius(&self) -> Meters {
+        self.radius
+    }
+
+    /// Node positions.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// Distances of every node from the base station.
+    pub fn ranges(&self) -> Vec<Meters> {
+        self.positions.iter().map(Position::range).collect()
+    }
+
+    /// Per-node path losses under a distance-based model.
+    pub fn path_losses<M: PathLossModel>(&self, model: &M) -> Vec<Db> {
+        self.positions
+            .iter()
+            .map(|p| model.path_loss(p.range()))
+            .collect()
+    }
+
+    /// Splits node indices round-robin over `channels` channels — the
+    /// paper's 1600-node / 16-channel partition yields 100 nodes per
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn channel_partition(&self, channels: usize) -> Vec<Vec<usize>> {
+        assert!(channels > 0, "at least one channel required");
+        let mut parts = vec![Vec::new(); channels];
+        for i in 0..self.positions.len() {
+            parts[i % channels].push(i);
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathloss::LogDistance;
+    use wsn_phy::noise::SplitMix64;
+
+    #[test]
+    fn all_nodes_inside_disc() {
+        let mut rng = SplitMix64::new(1);
+        let d = Deployment::uniform_disc(500, Meters::new(50.0), &mut rng);
+        assert_eq!(d.len(), 500);
+        assert!(!d.is_empty());
+        for p in d.positions() {
+            assert!(p.range().meters() <= 50.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn density_is_uniform_by_area() {
+        // In a uniform-area disc, the inner half-radius circle holds 1/4 of
+        // the nodes.
+        let mut rng = SplitMix64::new(2);
+        let d = Deployment::uniform_disc(20_000, Meters::new(10.0), &mut rng);
+        let inner = d.ranges().iter().filter(|r| r.meters() <= 5.0).count() as f64;
+        let frac = inner / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "inner fraction {frac}");
+    }
+
+    #[test]
+    fn paper_partition_is_100_per_channel() {
+        let mut rng = SplitMix64::new(3);
+        let d = Deployment::uniform_disc(1600, Meters::new(30.0), &mut rng);
+        let parts = d.channel_partition(16);
+        assert_eq!(parts.len(), 16);
+        assert!(parts.iter().all(|p| p.len() == 100));
+        // Every node appears exactly once.
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 1600);
+    }
+
+    #[test]
+    fn path_losses_increase_with_range() {
+        let mut rng = SplitMix64::new(4);
+        let d = Deployment::uniform_disc(100, Meters::new(40.0), &mut rng);
+        let model = LogDistance::indoor_2450();
+        let losses = d.path_losses(&model);
+        let ranges = d.ranges();
+        // The farthest node has at least the loss of the nearest node.
+        let (near_idx, _) = ranges
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.meters().total_cmp(&b.1.meters()))
+            .unwrap();
+        let (far_idx, _) = ranges
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.meters().total_cmp(&b.1.meters()))
+            .unwrap();
+        assert!(losses[far_idx] >= losses[near_idx]);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = Deployment::uniform_disc(64, Meters::new(10.0), &mut SplitMix64::new(9));
+        let b = Deployment::uniform_disc(64, Meters::new(10.0), &mut SplitMix64::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn zero_radius_rejected() {
+        let _ = Deployment::uniform_disc(1, Meters::ZERO, &mut SplitMix64::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let d = Deployment::uniform_disc(4, Meters::new(1.0), &mut SplitMix64::new(0));
+        let _ = d.channel_partition(0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Coordinator-side energy model — an extension beyond the paper.
+//!
+//! The paper treats the network coordinator as "the base-station" and never
+//! costs it: with its receiver effectively always on, it cannot be
+//! energy-scavenging anyway. This module quantifies that assumption so a
+//! system designer can see *why* the star topology concentrates the energy
+//! problem at one mains-powered point:
+//!
+//! * the coordinator transmits every beacon and one acknowledgement per
+//!   delivered uplink packet;
+//! * it must listen during the whole contention access period (it cannot
+//!   know when a node will transmit);
+//! * per delivered packet it also receives the packet itself.
+
+use wsn_mac::BeaconOrder;
+use wsn_phy::frame::{ack_duration, beacon_duration, PacketLayout};
+use wsn_radio::{RadioModel, RadioState, TxPowerLevel};
+use wsn_units::{Power, Seconds};
+
+/// Inputs of the coordinator energy evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinatorInputs {
+    /// Beacon order of the network.
+    pub beacon_order: BeaconOrder,
+    /// Uplink packet layout.
+    pub packet: PacketLayout,
+    /// Nodes served on this channel.
+    pub nodes: usize,
+    /// Mean transmissions per node per superframe (collisions and
+    /// corrupted packets still occupy the receiver).
+    pub mean_attempts_per_node: f64,
+    /// Fraction of attempts that are acknowledged (only these cost an ACK
+    /// transmission).
+    pub acked_fraction: f64,
+    /// Transmit level used for beacons and acknowledgements.
+    pub tx_level: TxPowerLevel,
+}
+
+/// Coordinator energy summary.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinatorReport {
+    /// Average coordinator power over the beacon interval.
+    pub average_power: Power,
+    /// Receiver duty cycle (fraction of the interval with RX on).
+    pub rx_duty: f64,
+    /// Transmitter duty cycle (beacons + acknowledgements).
+    pub tx_duty: f64,
+}
+
+/// Evaluates the coordinator's power for one channel.
+///
+/// # Panics
+///
+/// Panics if `mean_attempts_per_node` is negative or `acked_fraction` is
+/// outside `[0, 1]`.
+pub fn coordinator_power(radio: &RadioModel, inputs: &CoordinatorInputs) -> CoordinatorReport {
+    assert!(
+        inputs.mean_attempts_per_node >= 0.0,
+        "attempts must be non-negative"
+    );
+    assert!(
+        (0.0..=1.0).contains(&inputs.acked_fraction),
+        "acked fraction must be in [0, 1]"
+    );
+
+    let t_ib = inputs.beacon_order.beacon_interval();
+    let attempts = inputs.nodes as f64 * inputs.mean_attempts_per_node;
+
+    // Transmit: one beacon per superframe plus one ACK per acked attempt.
+    let t_tx = beacon_duration() + ack_duration() * (attempts * inputs.acked_fraction);
+
+    // The ACK turnaround spends 192 µs switching; fold into TX
+    // conservatively via the radio's turnaround time.
+    let t_turnaround = radio.turnaround_time() * (attempts * inputs.acked_fraction) * 2.0;
+
+    // Receive: everything that is not transmitting is listening (the
+    // contention access period spans the whole active superframe here).
+    let t_rx = (t_ib - t_tx - t_turnaround).max(Seconds::ZERO);
+
+    let p_tx = radio.state_power(RadioState::Tx(inputs.tx_level));
+    let p_rx = radio.state_power(RadioState::Rx);
+    let energy = p_tx * (t_tx + t_turnaround) + p_rx * t_rx;
+
+    CoordinatorReport {
+        average_power: energy / t_ib,
+        rx_duty: t_rx / t_ib,
+        tx_duty: (t_tx + t_turnaround) / t_ib,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> CoordinatorInputs {
+        CoordinatorInputs {
+            beacon_order: BeaconOrder::new(6).unwrap(),
+            packet: PacketLayout::with_payload(120).unwrap(),
+            nodes: 100,
+            mean_attempts_per_node: 1.1,
+            acked_fraction: 0.9,
+            tx_level: TxPowerLevel::Zero,
+        }
+    }
+
+    #[test]
+    fn coordinator_is_receiver_bound() {
+        let r = coordinator_power(&RadioModel::cc2420(), &inputs());
+        // Listening dominates: the coordinator runs at essentially full
+        // receiver power — ≈ 35 mW, 170× the node's 211 µW budget.
+        assert!(r.rx_duty > 0.9, "rx duty {}", r.rx_duty);
+        let mw = r.average_power.milliwatts();
+        assert!((30.0..36.0).contains(&mw), "coordinator power {mw} mW");
+    }
+
+    #[test]
+    fn more_traffic_means_more_tx_duty() {
+        let mut heavy = inputs();
+        heavy.mean_attempts_per_node = 2.0;
+        let light = coordinator_power(&RadioModel::cc2420(), &inputs());
+        let loaded = coordinator_power(&RadioModel::cc2420(), &heavy);
+        assert!(loaded.tx_duty > light.tx_duty);
+        assert!((loaded.rx_duty + loaded.tx_duty - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_channel_still_costs_full_rx() {
+        let mut idle = inputs();
+        idle.mean_attempts_per_node = 0.0;
+        let r = coordinator_power(&RadioModel::cc2420(), &idle);
+        // Only the beacon interrupts listening.
+        assert!(r.rx_duty > 0.999);
+        assert!(
+            (r.average_power.milliwatts() - 35.28).abs() < 0.1,
+            "power {}",
+            r.average_power
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "acked fraction")]
+    fn bad_fraction_rejected() {
+        let mut bad = inputs();
+        bad.acked_fraction = 1.5;
+        let _ = coordinator_power(&RadioModel::cc2420(), &bad);
+    }
+}

@@ -1,0 +1,208 @@
+//! Downlink (indirect transmission) energy model — an extension beyond the
+//! paper, which describes the mechanism (its Figure 1b) but evaluates only
+//! the uplink.
+//!
+//! In the beacon-enabled star network the coordinator cannot push data to
+//! sleeping nodes. When a node finds its address in the beacon's
+//! pending-address list it:
+//!
+//! 1. contends (slotted CSMA/CA) to send a **data request** MAC command
+//!    (10-byte MPDU with short addressing);
+//! 2. receives the coordinator's acknowledgement;
+//! 3. keeps the receiver on until the **data frame** arrives
+//!    (`aMaxFrameResponseTime` bounds the wait);
+//! 4. transmits an acknowledgement for the data frame.
+//!
+//! The additional energy per downlink delivery rides on the same radio
+//! characterization and contention statistics as the uplink model, so the
+//! two compose into a full bidirectional budget.
+
+use wsn_phy::consts::bytes;
+use wsn_phy::frame::PacketLayout;
+use wsn_radio::{PhaseTag, RadioModel, RadioState, TxPowerLevel};
+use wsn_sim::ContentionStats;
+use wsn_units::{Energy, Seconds};
+
+/// MPDU bytes of the data-request MAC command with short addressing:
+/// FC 2 + seq 1 + dest PAN 2 + dest 2 + src 2 (intra-PAN) + command id 1 +
+/// FCS 2, plus the 6-byte SHR/PHR.
+pub const DATA_REQUEST_AIR_BYTES: usize = 6 + 10;
+
+/// Maximum wait for the requested frame (`aMaxFrameResponseTime`,
+/// 1220 symbols).
+pub fn max_frame_response_time() -> Seconds {
+    wsn_phy::consts::symbols(1220)
+}
+
+/// Energy cost of one indirect (downlink) delivery for a node.
+#[derive(Debug, Clone, Copy)]
+pub struct DownlinkCost {
+    /// Energy spent contending and transmitting the data request.
+    pub request: Energy,
+    /// Energy spent receiving the requested data frame (including the
+    /// post-request wait).
+    pub reception: Energy,
+    /// Energy spent acknowledging the data frame.
+    pub acknowledge: Energy,
+}
+
+impl DownlinkCost {
+    /// Total extra energy per downlink delivery.
+    pub fn total(&self) -> Energy {
+        self.request + self.reception + self.acknowledge
+    }
+}
+
+/// Evaluates the downlink transaction cost.
+///
+/// `payload` is the downlink frame's payload; `contention` the statistics
+/// at the operating load (the data request contends like any uplink
+/// packet); `tx_level` the node's transmit level; `response_wait` how long
+/// the receiver stays on before the data frame starts (defaults to half
+/// the standard's maximum if `None` — the coordinator answers promptly).
+pub fn downlink_cost(
+    radio: &RadioModel,
+    payload: PacketLayout,
+    contention: &ContentionStats,
+    tx_level: TxPowerLevel,
+    response_wait: Option<Seconds>,
+) -> DownlinkCost {
+    let p_idle = radio.state_power(RadioState::Idle);
+    let p_rx = radio.state_power(RadioState::Rx);
+    let p_tx = radio.state_power(RadioState::Tx(tx_level));
+    let t_ia = radio.turn_on_time();
+
+    // Request: contention idle time + CCA turn-ons + command airtime + ACK.
+    let e_contention = p_idle * contention.mean_contention
+        + Energy::from_joules(
+            radio
+                .transition(RadioState::Idle, RadioState::Rx)
+                .expect("legal")
+                .energy
+                .joules()
+                * contention.mean_ccas,
+        );
+    let e_tx_request = p_tx * (bytes(DATA_REQUEST_AIR_BYTES) + t_ia);
+    let e_req_ack = p_rx * (Seconds::from_micros(192.0) + wsn_phy::frame::ack_duration());
+    let request = e_contention + e_tx_request + e_req_ack;
+
+    // Reception: wait for the frame, then take it.
+    let wait = response_wait.unwrap_or(max_frame_response_time() / 2.0);
+    let reception = p_rx * (wait + payload.duration());
+
+    // Acknowledge the data frame (turnaround + ACK airtime).
+    let acknowledge = p_tx * (Seconds::from_micros(192.0) + wsn_phy::frame::ack_duration());
+
+    DownlinkCost {
+        request,
+        reception,
+        acknowledge,
+    }
+}
+
+/// Average extra power when a fraction `downlink_rate` of superframes
+/// delivers one downlink frame to this node.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ downlink_rate ≤ 1`.
+pub fn downlink_average_power(
+    cost: &DownlinkCost,
+    downlink_rate: f64,
+    beacon_interval: Seconds,
+) -> wsn_units::Power {
+    assert!(
+        (0.0..=1.0).contains(&downlink_rate),
+        "downlink rate must be a fraction of superframes"
+    );
+    cost.total() * downlink_rate / beacon_interval
+}
+
+/// Bookkeeping tag for downlink energy in merged ledgers.
+pub const DOWNLINK_PHASE: PhaseTag = PhaseTag::Other;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_mac::BeaconOrder;
+
+    fn setup() -> (RadioModel, PacketLayout, ContentionStats) {
+        (
+            RadioModel::cc2420(),
+            PacketLayout::with_payload(60).unwrap(),
+            ContentionStats::ideal(),
+        )
+    }
+
+    #[test]
+    fn downlink_costs_are_positive_and_ordered() {
+        let (radio, payload, stats) = setup();
+        let cost = downlink_cost(&radio, payload, &stats, TxPowerLevel::Neg5, None);
+        assert!(cost.request.joules() > 0.0);
+        assert!(cost.reception.joules() > 0.0);
+        assert!(cost.acknowledge.joules() > 0.0);
+        // The response wait dominates: receiver-on for ~10 ms.
+        assert!(cost.reception > cost.request);
+        assert!(cost.request > cost.acknowledge);
+        let total = cost.total();
+        assert!(
+            (total.joules() - (cost.request + cost.reception + cost.acknowledge).joules()).abs()
+                < 1e-18
+        );
+    }
+
+    #[test]
+    fn prompt_coordinator_is_cheaper() {
+        let (radio, payload, stats) = setup();
+        let lazy = downlink_cost(&radio, payload, &stats, TxPowerLevel::Neg5, None);
+        let prompt = downlink_cost(
+            &radio,
+            payload,
+            &stats,
+            TxPowerLevel::Neg5,
+            Some(Seconds::from_micros(192.0)),
+        );
+        assert!(prompt.total() < lazy.total());
+    }
+
+    #[test]
+    fn downlink_power_scales_with_rate() {
+        let (radio, payload, stats) = setup();
+        let cost = downlink_cost(&radio, payload, &stats, TxPowerLevel::Neg5, None);
+        let t_ib = BeaconOrder::new(6).unwrap().beacon_interval();
+        let never = downlink_average_power(&cost, 0.0, t_ib);
+        let always = downlink_average_power(&cost, 1.0, t_ib);
+        let sometimes = downlink_average_power(&cost, 0.1, t_ib);
+        assert_eq!(never.watts(), 0.0);
+        assert!((sometimes.watts() - always.watts() * 0.1).abs() < 1e-15);
+        // One downlink per superframe costs hundreds of µW with the
+        // default (pessimistic) response wait — the receiver-on time
+        // dominates, which is exactly why the paper's scalable-receiver
+        // improvement matters for bidirectional traffic too.
+        let uw = always.microwatts();
+        assert!((50.0..900.0).contains(&uw), "downlink power {uw} µW");
+        // With a prompt coordinator the cost falls near the uplink budget.
+        let prompt = downlink_cost(
+            &radio,
+            payload,
+            &stats,
+            TxPowerLevel::Neg5,
+            Some(Seconds::from_micros(192.0)),
+        );
+        let prompt_uw = downlink_average_power(&prompt, 1.0, t_ib).microwatts();
+        assert!(prompt_uw < uw / 2.0, "prompt {prompt_uw} vs lazy {uw}");
+    }
+
+    #[test]
+    fn response_time_constant_matches_standard() {
+        assert!((max_frame_response_time().millis() - 19.52).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction of superframes")]
+    fn silly_rate_rejected() {
+        let (radio, payload, stats) = setup();
+        let cost = downlink_cost(&radio, payload, &stats, TxPowerLevel::Neg5, None);
+        let _ = downlink_average_power(&cost, 1.5, Seconds::from_secs(1.0));
+    }
+}

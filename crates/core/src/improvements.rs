@@ -1,0 +1,159 @@
+//! Improvement perspectives (the paper's §5 closing analysis).
+//!
+//! The energy breakdown identifies two hardware levers:
+//!
+//! 1. **Faster state transitions** — "reducing the transition time between
+//!    states by a factor two would decrease the total average power by
+//!    12 %";
+//! 2. **A scalable receiver** — "a low power mode for sensing the channel
+//!    and waiting for an acknowledgement frame has the potential of
+//!    reducing the total average power by an additional 15 %".
+//!
+//! Both are expressed as [`RadioModel`] variants and evaluated by re-running
+//! the full case study.
+
+use wsn_phy::ber::BerModel;
+use wsn_radio::{RadioModel, RadioState};
+use wsn_units::Power;
+
+use crate::case_study::CaseStudy;
+use crate::contention::ContentionModel;
+
+/// Result of one what-if evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct ImprovementReport {
+    /// Baseline population-mean power.
+    pub baseline: Power,
+    /// Variant population-mean power.
+    pub variant: Power,
+}
+
+impl ImprovementReport {
+    /// Fractional power reduction (`0.12` = −12 %).
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.variant.watts() / self.baseline.watts()
+    }
+}
+
+/// Builds the radio variant with all state-transition times (and energies)
+/// scaled by `factor` (the paper studies `0.5`).
+pub fn faster_transitions_radio(factor: f64) -> RadioModel {
+    RadioModel::builder().transition_scale(factor).build()
+}
+
+/// Builds the scalable-receiver variant: listen-only operation (CCA and
+/// ACK wait) consumes `listen_scale` of the full receive power.
+///
+/// # Panics
+///
+/// Panics unless `0 < listen_scale <= 1`.
+pub fn scalable_receiver_radio(listen_scale: f64) -> RadioModel {
+    assert!(
+        listen_scale > 0.0 && listen_scale <= 1.0,
+        "listen scale must be in (0, 1], got {listen_scale}"
+    );
+    let full = RadioModel::cc2420().state_power(RadioState::Rx);
+    RadioModel::builder()
+        .rx_listen_power(full * listen_scale)
+        .build()
+}
+
+/// Builds the combined variant (both levers applied).
+pub fn combined_radio(transition_factor: f64, listen_scale: f64) -> RadioModel {
+    let full = RadioModel::cc2420().state_power(RadioState::Rx);
+    RadioModel::builder()
+        .transition_scale(transition_factor)
+        .rx_listen_power(full * listen_scale)
+        .build()
+}
+
+/// Evaluates a radio variant against the baseline case study.
+pub fn evaluate_variant<B: BerModel, C: ContentionModel>(
+    baseline: &CaseStudy,
+    variant_radio: RadioModel,
+    ber: &B,
+    contention: &C,
+) -> ImprovementReport {
+    let base_report = baseline.run(ber, contention);
+    let variant_model = baseline.model().clone().with_radio(variant_radio);
+    let variant_report = baseline
+        .clone()
+        .with_model(variant_model)
+        .run(ber, contention);
+    ImprovementReport {
+        baseline: base_report.average_power,
+        variant: variant_report.average_power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ActivationModel;
+    use crate::contention::IdealContention;
+    use wsn_phy::ber::EmpiricalCc2420Ber;
+
+    fn study() -> CaseStudy {
+        CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420())).with_grid_points(15)
+    }
+
+    #[test]
+    fn halved_transitions_reduce_power_meaningfully() {
+        let report = evaluate_variant(
+            &study(),
+            faster_transitions_radio(0.5),
+            &EmpiricalCc2420Ber::paper(),
+            &IdealContention,
+        );
+        let r = report.reduction();
+        assert!(
+            (0.02..0.30).contains(&r),
+            "transition halving changed power by {:.1} %",
+            r * 100.0
+        );
+    }
+
+    #[test]
+    fn scalable_receiver_reduces_power_meaningfully() {
+        let report = evaluate_variant(
+            &study(),
+            scalable_receiver_radio(0.5),
+            &EmpiricalCc2420Ber::paper(),
+            &IdealContention,
+        );
+        let r = report.reduction();
+        assert!(
+            (0.01..0.30).contains(&r),
+            "scalable receiver changed power by {:.1} %",
+            r * 100.0
+        );
+    }
+
+    #[test]
+    fn combined_beats_each_individually() {
+        let ber = EmpiricalCc2420Ber::paper();
+        let s = study();
+        let a = evaluate_variant(&s, faster_transitions_radio(0.5), &ber, &IdealContention);
+        let b = evaluate_variant(&s, scalable_receiver_radio(0.5), &ber, &IdealContention);
+        let both = evaluate_variant(&s, combined_radio(0.5, 0.5), &ber, &IdealContention);
+        assert!(both.reduction() > a.reduction());
+        assert!(both.reduction() > b.reduction());
+        // Sub-additivity: the combined saving cannot exceed the sum.
+        assert!(both.reduction() <= a.reduction() + b.reduction() + 1e-9);
+    }
+
+    #[test]
+    fn deeper_scaling_saves_more() {
+        let ber = EmpiricalCc2420Ber::paper();
+        let s = study();
+        let half = evaluate_variant(&s, scalable_receiver_radio(0.5), &ber, &IdealContention);
+        let quarter = evaluate_variant(&s, scalable_receiver_radio(0.25), &ber, &IdealContention);
+        assert!(quarter.reduction() > half.reduction());
+    }
+
+    #[test]
+    #[should_panic(expected = "listen scale must be in")]
+    fn silly_listen_scale_rejected() {
+        let _ = scalable_receiver_radio(0.0);
+    }
+}

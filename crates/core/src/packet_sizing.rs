@@ -1,0 +1,203 @@
+//! Packet size optimization: energy per useful bit versus payload size
+//! (the paper's Figure 8).
+//!
+//! Small packets amortize the 13-byte PHY/MAC overhead poorly; large
+//! packets risk more retransmissions and stress the contention procedure.
+//! The paper's (initially counter-intuitive) finding is that energy per bit
+//! *decreases monotonically* up to the maximum 123-byte payload — the
+//! overhead effect dominates everywhere in the standard's allowed range.
+
+use wsn_mac::BeaconOrder;
+use wsn_phy::ber::BerModel;
+use wsn_phy::frame::PacketLayout;
+use wsn_radio::TxPowerLevel;
+use wsn_units::{Db, Energy};
+
+use crate::activation::{ActivationModel, ModelInputs};
+use crate::contention::ContentionModel;
+
+/// One point of the Figure 8 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SizingPoint {
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// Energy per useful bit at this size.
+    pub energy_per_bit: Energy,
+}
+
+/// The packet-size study at a fixed link operating point.
+#[derive(Debug, Clone)]
+pub struct PacketSizing {
+    model: ActivationModel,
+    beacon_order: BeaconOrder,
+    tx_level: TxPowerLevel,
+    path_loss: Db,
+}
+
+impl PacketSizing {
+    /// Creates the study.
+    pub fn new(
+        model: ActivationModel,
+        beacon_order: BeaconOrder,
+        tx_level: TxPowerLevel,
+        path_loss: Db,
+    ) -> Self {
+        PacketSizing {
+            model,
+            beacon_order,
+            tx_level,
+            path_loss,
+        }
+    }
+
+    /// Energy per bit at one payload size and load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_bytes` exceeds the 123-byte maximum.
+    pub fn energy_at<B: BerModel, C: ContentionModel>(
+        &self,
+        payload_bytes: usize,
+        load: f64,
+        ber: &B,
+        contention: &C,
+    ) -> Energy {
+        let packet =
+            PacketLayout::with_payload(payload_bytes).expect("payload within the standard's range");
+        let stats = contention.stats(load, packet);
+        self.model
+            .evaluate(
+                &ModelInputs {
+                    packet,
+                    beacon_order: self.beacon_order,
+                    tx_level: self.tx_level,
+                    path_loss: self.path_loss,
+                    contention: stats,
+                },
+                ber,
+            )
+            .energy_per_data_bit
+    }
+
+    /// Sweeps payload sizes at a load — one curve of Figure 8.
+    pub fn sweep<B: BerModel, C: ContentionModel>(
+        &self,
+        payloads: &[usize],
+        load: f64,
+        ber: &B,
+        contention: &C,
+    ) -> Vec<SizingPoint> {
+        payloads
+            .iter()
+            .map(|&p| SizingPoint {
+                payload_bytes: p,
+                energy_per_bit: self.energy_at(p, load, ber, contention),
+            })
+            .collect()
+    }
+
+    /// The payload size minimizing energy per bit over a sweep.
+    pub fn optimal_payload(points: &[SizingPoint]) -> usize {
+        points
+            .iter()
+            .min_by(|a, b| {
+                a.energy_per_bit
+                    .joules()
+                    .total_cmp(&b.energy_per_bit.joules())
+            })
+            .map(|p| p.payload_bytes)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::IdealContention;
+    use wsn_phy::ber::EmpiricalCc2420Ber;
+    use wsn_radio::RadioModel;
+
+    fn study(loss: f64) -> PacketSizing {
+        PacketSizing::new(
+            ActivationModel::paper_defaults(RadioModel::cc2420()),
+            BeaconOrder::new(6).unwrap(),
+            TxPowerLevel::Zero,
+            Db::new(loss),
+        )
+    }
+
+    fn sizes() -> Vec<usize> {
+        (1..=12).map(|i| i * 10).chain([123]).collect()
+    }
+
+    #[test]
+    fn energy_decreases_monotonically_on_a_good_link() {
+        // Figure 8's headline: up to 123 bytes, bigger is better.
+        let points = study(70.0).sweep(
+            &sizes(),
+            0.42,
+            &EmpiricalCc2420Ber::paper(),
+            &IdealContention,
+        );
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].energy_per_bit < pair[0].energy_per_bit,
+                "energy/bit rose between {} and {} bytes",
+                pair[0].payload_bytes,
+                pair[1].payload_bytes
+            );
+        }
+        assert_eq!(PacketSizing::optimal_payload(&points), 123);
+    }
+
+    #[test]
+    fn small_packets_pay_heavy_overhead() {
+        let s = study(70.0);
+        let ber = EmpiricalCc2420Ber::paper();
+        let tiny = s.energy_at(10, 0.42, &ber, &IdealContention);
+        let big = s.energy_at(120, 0.42, &ber, &IdealContention);
+        // 10-byte payloads carry 13 bytes of overhead: worse than 2× the
+        // energy per bit of 120-byte packets.
+        assert!(
+            tiny.joules() > 2.0 * big.joules(),
+            "tiny {tiny} vs big {big}"
+        );
+    }
+
+    #[test]
+    fn noisy_link_can_break_monotonicity() {
+        // At a path loss beyond the paper's efficient range, large packets
+        // get retransmitted so often that the optimum moves inward — the
+        // tradeoff the paper says *would* appear past 123 bytes.
+        let points = study(93.0).sweep(
+            &sizes(),
+            0.42,
+            &EmpiricalCc2420Ber::paper(),
+            &IdealContention,
+        );
+        let best = PacketSizing::optimal_payload(&points);
+        assert!(
+            best < 123,
+            "on a very lossy link the optimum should shrink, got {best}"
+        );
+    }
+
+    #[test]
+    fn load_increases_energy_but_not_the_conclusion() {
+        let s = study(70.0);
+        let ber = EmpiricalCc2420Ber::paper();
+        // With ideal contention the load has no effect; what matters is
+        // that each load's curve still prefers the maximum size. (The
+        // load-dependent curves use the Monte-Carlo source in the bench.)
+        for load in [0.1, 0.42, 0.7] {
+            let points = s.sweep(&sizes(), load, &ber, &IdealContention);
+            assert_eq!(PacketSizing::optimal_payload(&points), 123);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "within the standard's range")]
+    fn oversize_payload_panics() {
+        let _ = study(70.0).energy_at(200, 0.42, &EmpiricalCc2420Ber::paper(), &IdealContention);
+    }
+}

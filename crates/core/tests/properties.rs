@@ -1,0 +1,153 @@
+//! Property-based tests for the analytical model: bounds, monotonicity and
+//! internal consistency over the whole input space.
+
+use proptest::prelude::*;
+
+use wsn_core::activation::{attempt_distribution, ActivationModel, ModelInputs};
+use wsn_core::contention::{ContentionModel, IdealContention};
+use wsn_mac::BeaconOrder;
+use wsn_phy::ber::EmpiricalCc2420Ber;
+use wsn_phy::frame::PacketLayout;
+use wsn_radio::{RadioModel, RadioState, TxPowerLevel};
+use wsn_sim::ContentionStats;
+use wsn_units::{Db, Probability, Seconds};
+
+fn arb_stats() -> impl Strategy<Value = ContentionStats> {
+    (0.0..20.0f64, 2.0..8.0f64, 0.0..0.6f64, 0.0..0.4f64).prop_map(|(cont_ms, ccas, col, cf)| {
+        ContentionStats {
+            mean_contention: Seconds::from_millis(cont_ms),
+            mean_ccas: ccas,
+            pr_collision: Probability::clamped(col),
+            pr_access_failure: Probability::clamped(cf),
+            procedures: 1000,
+            transmissions: 900,
+        }
+    })
+}
+
+fn arb_level() -> impl Strategy<Value = TxPowerLevel> {
+    (0usize..8).prop_map(|i| TxPowerLevel::ALL[i])
+}
+
+proptest! {
+    /// Eq. (7)/(8) expectations are bounded and monotone in the failure
+    /// probability.
+    #[test]
+    fn attempt_distribution_bounds(p in 0.0..=1.0f64, n in 1u32..8) {
+        let pr = Probability::new(p).unwrap();
+        let (e, ef, pex) = attempt_distribution(pr, n);
+        prop_assert!(e >= 1.0 - 1e-12);
+        prop_assert!(e <= n as f64 + 1e-12);
+        prop_assert!(ef >= -1e-12);
+        prop_assert!(ef <= e + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&pex.value()));
+        // Monotonicity in p.
+        if p < 0.99 {
+            let (e2, _, pex2) = attempt_distribution(Probability::new(p + 0.01).unwrap(), n);
+            prop_assert!(e2 >= e - 1e-12);
+            prop_assert!(pex2.value() >= pex.value() - 1e-15);
+        }
+    }
+
+    /// Model outputs are physical for any admissible input: non-negative
+    /// residencies that fit in the superframe band, probabilities in
+    /// range, power bounded by the strongest state power.
+    #[test]
+    fn model_outputs_are_physical(
+        stats in arb_stats(),
+        level in arb_level(),
+        loss in 40.0..110.0f64,
+        bo in 4u8..10,
+        payload in 5usize..=123,
+    ) {
+        let radio = RadioModel::cc2420();
+        let model = ActivationModel::paper_defaults(radio.clone());
+        let packet = PacketLayout::with_payload(payload).unwrap();
+        let out = model.evaluate(
+            &ModelInputs {
+                packet,
+                beacon_order: BeaconOrder::new(bo).unwrap(),
+                tx_level: level,
+                path_loss: Db::new(loss),
+                contention: stats,
+            },
+            &EmpiricalCc2420Ber::paper(),
+        );
+        prop_assert!(out.t_idle.secs() >= 0.0);
+        prop_assert!(out.t_tx.secs() >= 0.0);
+        prop_assert!(out.t_rx.secs() >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&out.pr_fail.value()));
+        prop_assert!((0.0..=1.0).contains(&out.pr_packet_error.value()));
+        prop_assert!(out.expected_attempts >= 0.0);
+        prop_assert!(out.expected_attempts <= 5.0 + 1e-9);
+        prop_assert!(out.average_power.watts() >= 0.0);
+        let max_power = radio.state_power(RadioState::Rx).watts()
+            .max(radio.state_power(RadioState::Tx(level)).watts());
+        // Average power cannot exceed the strongest state power times the
+        // active duty cycle — a fortiori the strongest state power.
+        prop_assert!(out.average_power.watts() <= max_power);
+        prop_assert!(out.delay.secs() >= out.t_ib.secs() * 0.999);
+        // Phase fractions form a distribution.
+        let total: f64 = wsn_radio::PhaseTag::ALL
+            .iter()
+            .map(|&p| out.phase_fraction(p))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// At a fixed level, more path loss never improves reliability.
+    #[test]
+    fn failure_monotone_in_path_loss(
+        level in arb_level(),
+        base in 50.0..90.0f64,
+        delta in 0.0..15.0f64,
+    ) {
+        let model = ActivationModel::paper_defaults(RadioModel::cc2420());
+        let packet = PacketLayout::with_payload(120).unwrap();
+        let stats = IdealContention.stats(0.42, packet);
+        let eval = |loss: f64| {
+            model.evaluate(
+                &ModelInputs {
+                    packet,
+                    beacon_order: BeaconOrder::new(6).unwrap(),
+                    tx_level: level,
+                    path_loss: Db::new(loss),
+                    contention: stats,
+                },
+                &EmpiricalCc2420Ber::paper(),
+            )
+        };
+        let near = eval(base);
+        let far = eval(base + delta);
+        prop_assert!(far.pr_fail.value() >= near.pr_fail.value() - 1e-12);
+        prop_assert!(
+            far.energy_per_data_bit.joules() >= near.energy_per_data_bit.joules() * (1.0 - 1e-9)
+        );
+    }
+
+    /// Higher collision probability never reduces power or reliability
+    /// requirements.
+    #[test]
+    fn power_monotone_in_collisions(col_a in 0.0..0.5f64, extra in 0.0..0.4f64) {
+        let model = ActivationModel::paper_defaults(RadioModel::cc2420());
+        let packet = PacketLayout::with_payload(120).unwrap();
+        let mk = |col: f64| {
+            let mut s = ContentionStats::ideal();
+            s.pr_collision = Probability::clamped(col);
+            model.evaluate(
+                &ModelInputs {
+                    packet,
+                    beacon_order: BeaconOrder::new(6).unwrap(),
+                    tx_level: TxPowerLevel::Neg5,
+                    path_loss: Db::new(70.0),
+                    contention: s,
+                },
+                &EmpiricalCc2420Ber::paper(),
+            )
+        };
+        let lo = mk(col_a);
+        let hi = mk(col_a + extra);
+        prop_assert!(hi.average_power.watts() >= lo.average_power.watts() - 1e-15);
+        prop_assert!(hi.pr_fail.value() >= lo.pr_fail.value() - 1e-12);
+    }
+}

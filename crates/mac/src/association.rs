@@ -1,0 +1,318 @@
+//! Association: how a node joins the star network and obtains the short
+//! address the paper's 4-byte addressing assumes.
+//!
+//! The paper starts from an associated network; this module supplies the
+//! joining machinery so simulations can model cold start. It implements
+//! the MAC command payloads (association request/response) and a
+//! coordinator-side short-address allocator.
+
+use core::fmt;
+
+/// MAC command identifiers (802.15.4-2003 Table 67, subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandId {
+    /// Association request (0x01).
+    AssociationRequest,
+    /// Association response (0x02).
+    AssociationResponse,
+    /// Data request (0x04) — used by indirect transmission polls.
+    DataRequest,
+}
+
+impl CommandId {
+    /// Wire value.
+    pub fn byte(self) -> u8 {
+        match self {
+            CommandId::AssociationRequest => 0x01,
+            CommandId::AssociationResponse => 0x02,
+            CommandId::DataRequest => 0x04,
+        }
+    }
+
+    /// Decodes a wire value.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0x01 => Some(CommandId::AssociationRequest),
+            0x02 => Some(CommandId::AssociationResponse),
+            0x04 => Some(CommandId::DataRequest),
+            _ => None,
+        }
+    }
+}
+
+/// Capability information carried by an association request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CapabilityInfo {
+    /// Device is a full-function device.
+    pub ffd: bool,
+    /// Mains powered (a microsensor node is not).
+    pub mains_powered: bool,
+    /// Receiver on when idle (a microsensor node's is not).
+    pub rx_on_when_idle: bool,
+    /// Requests a short address allocation.
+    pub allocate_address: bool,
+}
+
+impl CapabilityInfo {
+    /// The paper's node profile: reduced-function, battery powered,
+    /// receiver off when idle, short address wanted.
+    pub fn microsensor() -> Self {
+        CapabilityInfo {
+            ffd: false,
+            mains_powered: false,
+            rx_on_when_idle: false,
+            allocate_address: true,
+        }
+    }
+
+    /// Wire encoding.
+    pub fn byte(self) -> u8 {
+        (self.ffd as u8) << 1
+            | (self.mains_powered as u8) << 2
+            | (self.rx_on_when_idle as u8) << 3
+            | (self.allocate_address as u8) << 7
+    }
+
+    /// Decodes the wire encoding.
+    pub fn from_byte(b: u8) -> Self {
+        CapabilityInfo {
+            ffd: b & (1 << 1) != 0,
+            mains_powered: b & (1 << 2) != 0,
+            rx_on_when_idle: b & (1 << 3) != 0,
+            allocate_address: b & (1 << 7) != 0,
+        }
+    }
+}
+
+/// Association response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssociationStatus {
+    /// Joined; the paired short address is valid.
+    Successful,
+    /// Coordinator has no address space left.
+    AtCapacity,
+    /// Access denied by policy.
+    Denied,
+}
+
+impl AssociationStatus {
+    /// Wire value.
+    pub fn byte(self) -> u8 {
+        match self {
+            AssociationStatus::Successful => 0x00,
+            AssociationStatus::AtCapacity => 0x01,
+            AssociationStatus::Denied => 0x02,
+        }
+    }
+
+    /// Decodes a wire value.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0x00 => Some(AssociationStatus::Successful),
+            0x01 => Some(AssociationStatus::AtCapacity),
+            0x02 => Some(AssociationStatus::Denied),
+            _ => None,
+        }
+    }
+}
+
+/// Error from the coordinator's address allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssociationError {
+    /// Address pool exhausted.
+    Exhausted,
+    /// The device (by extended address) is already associated.
+    AlreadyAssociated(u64),
+}
+
+impl fmt::Display for AssociationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssociationError::Exhausted => write!(f, "short address pool exhausted"),
+            AssociationError::AlreadyAssociated(ext) => {
+                write!(f, "device 0x{ext:016X} already associated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssociationError {}
+
+/// Coordinator-side short address allocator.
+///
+/// Addresses are handed out sequentially from 0x0001 (0x0000 is the
+/// coordinator itself; 0xFFFE/0xFFFF are reserved by the standard).
+///
+/// # Examples
+///
+/// ```
+/// use wsn_mac::association::AddressAllocator;
+///
+/// let mut alloc = AddressAllocator::new(1600);
+/// let addr = alloc.associate(0xAABB_CCDD_0000_0001)?;
+/// assert_eq!(addr, 0x0001);
+/// assert_eq!(alloc.associated(), 1);
+/// # Ok::<(), wsn_mac::association::AssociationError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressAllocator {
+    capacity: usize,
+    by_extended: Vec<(u64, u16)>,
+    next: u16,
+}
+
+impl AddressAllocator {
+    /// Creates an allocator for at most `capacity` devices.
+    pub fn new(capacity: usize) -> Self {
+        AddressAllocator {
+            capacity: capacity.min(0xFFFD),
+            by_extended: Vec::new(),
+            next: 0x0001,
+        }
+    }
+
+    /// Number of associated devices.
+    pub fn associated(&self) -> usize {
+        self.by_extended.len()
+    }
+
+    /// Associates a device, returning its short address.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool is exhausted or the device already joined.
+    pub fn associate(&mut self, extended: u64) -> Result<u16, AssociationError> {
+        if self.by_extended.iter().any(|(e, _)| *e == extended) {
+            return Err(AssociationError::AlreadyAssociated(extended));
+        }
+        if self.by_extended.len() >= self.capacity {
+            return Err(AssociationError::Exhausted);
+        }
+        let addr = self.next;
+        self.next += 1;
+        self.by_extended.push((extended, addr));
+        Ok(addr)
+    }
+
+    /// Looks up a device's short address.
+    pub fn short_address(&self, extended: u64) -> Option<u16> {
+        self.by_extended
+            .iter()
+            .find(|(e, _)| *e == extended)
+            .map(|(_, s)| *s)
+    }
+
+    /// Disassociates a device; returns `true` if it was associated.
+    pub fn disassociate(&mut self, extended: u64) -> bool {
+        let before = self.by_extended.len();
+        self.by_extended.retain(|(e, _)| *e != extended);
+        self.by_extended.len() != before
+    }
+}
+
+/// Serializes an association request command payload.
+pub fn association_request(capability: CapabilityInfo) -> Vec<u8> {
+    vec![CommandId::AssociationRequest.byte(), capability.byte()]
+}
+
+/// Serializes an association response command payload.
+pub fn association_response(short: u16, status: AssociationStatus) -> Vec<u8> {
+    let mut out = vec![CommandId::AssociationResponse.byte()];
+    out.extend_from_slice(&short.to_le_bytes());
+    out.push(status.byte());
+    out
+}
+
+/// Parses an association response payload.
+pub fn parse_association_response(payload: &[u8]) -> Option<(u16, AssociationStatus)> {
+    if payload.len() != 4 || payload[0] != CommandId::AssociationResponse.byte() {
+        return None;
+    }
+    let short = u16::from_le_bytes([payload[1], payload[2]]);
+    let status = AssociationStatus::from_byte(payload[3])?;
+    Some((short, status))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_ids_roundtrip() {
+        for id in [
+            CommandId::AssociationRequest,
+            CommandId::AssociationResponse,
+            CommandId::DataRequest,
+        ] {
+            assert_eq!(CommandId::from_byte(id.byte()), Some(id));
+        }
+        assert_eq!(CommandId::from_byte(0x99), None);
+    }
+
+    #[test]
+    fn capability_roundtrip() {
+        let c = CapabilityInfo::microsensor();
+        let back = CapabilityInfo::from_byte(c.byte());
+        assert_eq!(back, c);
+        assert!(!back.mains_powered);
+        assert!(back.allocate_address);
+    }
+
+    #[test]
+    fn allocator_hands_out_sequential_addresses() {
+        let mut a = AddressAllocator::new(1600);
+        for i in 0..100u64 {
+            let addr = a.associate(0x1000 + i).unwrap();
+            assert_eq!(addr, 0x0001 + i as u16);
+        }
+        assert_eq!(a.associated(), 100);
+        assert_eq!(a.short_address(0x1005), Some(0x0006));
+        assert_eq!(a.short_address(0x9999), None);
+    }
+
+    #[test]
+    fn allocator_rejects_duplicates_and_overflow() {
+        let mut a = AddressAllocator::new(2);
+        a.associate(1).unwrap();
+        assert_eq!(a.associate(1), Err(AssociationError::AlreadyAssociated(1)));
+        a.associate(2).unwrap();
+        assert_eq!(a.associate(3), Err(AssociationError::Exhausted));
+        assert!(a.disassociate(1));
+        assert!(!a.disassociate(1));
+        // Freed capacity can be reused (with a fresh address).
+        assert!(a.associate(3).is_ok());
+    }
+
+    #[test]
+    fn paper_scale_association() {
+        // The paper's 1600 nodes all fit in the short address space.
+        let mut a = AddressAllocator::new(1600);
+        for i in 0..1600u64 {
+            a.associate(i).unwrap();
+        }
+        assert_eq!(a.associated(), 1600);
+        assert_eq!(a.associate(9999), Err(AssociationError::Exhausted));
+    }
+
+    #[test]
+    fn response_payload_roundtrip() {
+        let wire = association_response(0x0042, AssociationStatus::Successful);
+        assert_eq!(
+            parse_association_response(&wire),
+            Some((0x0042, AssociationStatus::Successful))
+        );
+        assert_eq!(parse_association_response(&wire[..3]), None);
+        let denied = association_response(0xFFFF, AssociationStatus::Denied);
+        assert_eq!(
+            parse_association_response(&denied).unwrap().1,
+            AssociationStatus::Denied
+        );
+    }
+
+    #[test]
+    fn request_payload_shape() {
+        let wire = association_request(CapabilityInfo::microsensor());
+        assert_eq!(wire.len(), 2);
+        assert_eq!(wire[0], 0x01);
+    }
+}

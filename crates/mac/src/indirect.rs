@@ -1,0 +1,162 @@
+//! Indirect transmission: the coordinator-side downlink queue.
+//!
+//! In the beacon-enabled star network the coordinator never pushes data to
+//! a sleeping node. It parks downlink frames in a queue, advertises the
+//! owners' addresses in the beacon's pending-address list, and waits for
+//! each node to poll (Figure 1b of the paper). Frames that are not
+//! collected within `macTransactionPersistenceTime` expire.
+
+use std::collections::VecDeque;
+
+use wsn_units::Seconds;
+
+/// Default transaction persistence: `0x01F4` unit superframe periods
+/// (500 × 15.36 ms ≈ 7.68 s).
+pub fn default_persistence() -> Seconds {
+    Seconds::from_millis(0x01F4 as f64 * 15.36)
+}
+
+/// A queued downlink frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pending {
+    destination: u16,
+    payload: Vec<u8>,
+    enqueued_at_us: u64,
+}
+
+/// The coordinator's indirect-transmission queue.
+///
+/// Time is supplied by the caller in microseconds since an arbitrary epoch,
+/// matching the discrete-event simulator's clock.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_mac::indirect::IndirectQueue;
+///
+/// let mut q = IndirectQueue::new();
+/// q.enqueue(0x0042, vec![1, 2, 3], 0);
+/// assert_eq!(q.pending_addresses(0), vec![0x0042]);
+/// let frame = q.extract(0x0042, 10).unwrap();
+/// assert_eq!(frame, vec![1, 2, 3]);
+/// assert!(q.pending_addresses(20).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IndirectQueue {
+    frames: VecDeque<Pending>,
+    persistence_us: Option<u64>,
+}
+
+impl IndirectQueue {
+    /// Creates a queue with the standard persistence time.
+    pub fn new() -> Self {
+        IndirectQueue {
+            frames: VecDeque::new(),
+            persistence_us: Some(default_persistence().micros() as u64),
+        }
+    }
+
+    /// Creates a queue whose entries never expire (for tests and
+    /// closed-form models).
+    pub fn without_expiry() -> Self {
+        IndirectQueue {
+            frames: VecDeque::new(),
+            persistence_us: None,
+        }
+    }
+
+    /// Parks a frame for `destination`.
+    pub fn enqueue(&mut self, destination: u16, payload: Vec<u8>, now_us: u64) {
+        self.frames.push_back(Pending {
+            destination,
+            payload,
+            enqueued_at_us: now_us,
+        });
+    }
+
+    /// Addresses (deduplicated, FIFO order) that should appear in the next
+    /// beacon's pending list — at most 7 fit in the pending-address field.
+    pub fn pending_addresses(&mut self, now_us: u64) -> Vec<u16> {
+        self.expire(now_us);
+        let mut seen = Vec::new();
+        for f in &self.frames {
+            if !seen.contains(&f.destination) {
+                seen.push(f.destination);
+                if seen.len() == 7 {
+                    break;
+                }
+            }
+        }
+        seen
+    }
+
+    /// Hands the oldest frame for `address` to a polling node.
+    pub fn extract(&mut self, address: u16, now_us: u64) -> Option<Vec<u8>> {
+        self.expire(now_us);
+        let idx = self.frames.iter().position(|f| f.destination == address)?;
+        self.frames.remove(idx).map(|f| f.payload)
+    }
+
+    /// Number of parked frames (after expiry at `now_us`).
+    pub fn len(&mut self, now_us: u64) -> usize {
+        self.expire(now_us);
+        self.frames.len()
+    }
+
+    /// `true` if nothing is parked.
+    pub fn is_empty(&mut self, now_us: u64) -> bool {
+        self.len(now_us) == 0
+    }
+
+    fn expire(&mut self, now_us: u64) {
+        if let Some(persist) = self.persistence_us {
+            self.frames
+                .retain(|f| now_us.saturating_sub(f.enqueued_at_us) <= persist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_address() {
+        let mut q = IndirectQueue::without_expiry();
+        q.enqueue(1, vec![1], 0);
+        q.enqueue(1, vec![2], 1);
+        q.enqueue(2, vec![3], 2);
+        assert_eq!(q.extract(1, 3), Some(vec![1]));
+        assert_eq!(q.extract(1, 3), Some(vec![2]));
+        assert_eq!(q.extract(1, 3), None);
+        assert_eq!(q.extract(2, 3), Some(vec![3]));
+    }
+
+    #[test]
+    fn pending_list_dedupes_and_caps_at_seven() {
+        let mut q = IndirectQueue::without_expiry();
+        for addr in 0..10u16 {
+            q.enqueue(addr, vec![addr as u8], 0);
+            q.enqueue(addr, vec![addr as u8], 0); // duplicate
+        }
+        let pending = q.pending_addresses(0);
+        assert_eq!(pending.len(), 7);
+        assert_eq!(pending, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn expiry_drops_stale_frames() {
+        let mut q = IndirectQueue::new();
+        let persist = default_persistence().micros() as u64;
+        q.enqueue(1, vec![9], 0);
+        assert_eq!(q.len(persist), 1, "still alive at the deadline");
+        assert_eq!(q.len(persist + 1), 0, "expired just after");
+        assert!(q.is_empty(persist + 1));
+        assert_eq!(q.extract(1, persist + 1), None);
+    }
+
+    #[test]
+    fn default_persistence_matches_standard() {
+        assert!((default_persistence().secs() - 7.68).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! MAC timing constants, denominated in PHY symbols (16 µs each in the
+//! 2 450 MHz band).
+
+use wsn_units::Seconds;
+
+use wsn_phy::consts::symbols;
+
+/// Unit backoff period: 20 symbols = 320 µs. All CSMA/CA activity aligns to
+/// multiples of this period (the paper's `T_slot = 20 × T_S`).
+pub const UNIT_BACKOFF_PERIOD_SYMBOLS: u32 = 20;
+
+/// CCA detection time: 8 symbols = 128 µs of receiver-on channel sensing.
+pub const CCA_DETECTION_SYMBOLS: u32 = 8;
+
+/// RX↔TX turnaround: 12 symbols = 192 µs (`aTurnaroundTime`).
+pub const TURNAROUND_SYMBOLS: u32 = 12;
+
+/// Minimum delay before the acknowledgement starts: 12 symbols = 192 µs —
+/// the paper's `t_ack⁻`.
+pub const ACK_WAIT_MIN_SYMBOLS: u32 = 12;
+
+/// Maximum time the transmitter waits for an acknowledgement: 54 symbols =
+/// 864 µs — the paper's `t_ack⁺` (`macAckWaitDuration`).
+pub const ACK_WAIT_MAX_SYMBOLS: u32 = 54;
+
+/// Short interframe spacing: 12 symbols, used after frames of at most
+/// [`MAX_SIFS_FRAME_BYTES`] bytes.
+pub const SIFS_SYMBOLS: u32 = 12;
+
+/// Long interframe spacing: 40 symbols, used after larger frames.
+pub const LIFS_SYMBOLS: u32 = 40;
+
+/// MPDU size boundary between SIFS and LIFS (`aMaxSIFSFrameSize`).
+pub const MAX_SIFS_FRAME_BYTES: usize = 18;
+
+/// Base slot duration: 60 symbols (`aBaseSlotDuration`).
+pub const BASE_SLOT_SYMBOLS: u32 = 60;
+
+/// Number of slots in every superframe (`aNumSuperframeSlots`).
+pub const NUM_SUPERFRAME_SLOTS: u32 = 16;
+
+/// Base superframe duration: 960 symbols = 15.36 ms
+/// (`aBaseSuperframeDuration`, the paper's `T_ib,min`).
+pub const BASE_SUPERFRAME_SYMBOLS: u32 = BASE_SLOT_SYMBOLS * NUM_SUPERFRAME_SLOTS;
+
+/// Unit backoff period as a time span (320 µs).
+pub fn unit_backoff_period() -> Seconds {
+    symbols(UNIT_BACKOFF_PERIOD_SYMBOLS)
+}
+
+/// CCA detection time as a time span (128 µs).
+pub fn cca_detection_time() -> Seconds {
+    symbols(CCA_DETECTION_SYMBOLS)
+}
+
+/// `t_ack⁻` as a time span (192 µs).
+pub fn ack_wait_min() -> Seconds {
+    symbols(ACK_WAIT_MIN_SYMBOLS)
+}
+
+/// `t_ack⁺` as a time span (864 µs).
+pub fn ack_wait_max() -> Seconds {
+    symbols(ACK_WAIT_MAX_SYMBOLS)
+}
+
+/// RX↔TX turnaround as a time span (192 µs).
+pub fn turnaround_time() -> Seconds {
+    symbols(TURNAROUND_SYMBOLS)
+}
+
+/// Interframe spacing after an MPDU of `mpdu_bytes`: SIFS (192 µs) for
+/// short frames, LIFS (640 µs) otherwise.
+pub fn ifs_after(mpdu_bytes: usize) -> Seconds {
+    if mpdu_bytes <= MAX_SIFS_FRAME_BYTES {
+        symbols(SIFS_SYMBOLS)
+    } else {
+        symbols(LIFS_SYMBOLS)
+    }
+}
+
+/// Base superframe duration as a time span (15.36 ms).
+pub fn base_superframe_duration() -> Seconds {
+    symbols(BASE_SUPERFRAME_SYMBOLS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_values() {
+        assert!((unit_backoff_period().micros() - 320.0).abs() < 1e-9);
+        assert!((ack_wait_min().micros() - 192.0).abs() < 1e-9);
+        assert!((ack_wait_max().micros() - 864.0).abs() < 1e-9);
+        assert!((base_superframe_duration().millis() - 15.36).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cca_and_turnaround() {
+        assert!((cca_detection_time().micros() - 128.0).abs() < 1e-9);
+        assert!((turnaround_time().micros() - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ifs_boundary() {
+        assert!((ifs_after(18).micros() - 192.0).abs() < 1e-9);
+        assert!((ifs_after(19).micros() - 640.0).abs() < 1e-9);
+        assert!((ifs_after(133).micros() - 640.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superframe_arithmetic() {
+        assert_eq!(BASE_SUPERFRAME_SYMBOLS, 960);
+        assert_eq!(NUM_SUPERFRAME_SLOTS * BASE_SLOT_SYMBOLS, 960);
+    }
+}

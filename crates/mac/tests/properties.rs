@@ -1,0 +1,166 @@
+//! Property-based tests for the MAC: CSMA/CA invariants under arbitrary
+//! channel behaviour, superframe arithmetic, beacon wire format and GTS
+//! registry consistency.
+
+use proptest::prelude::*;
+
+use wsn_mac::beacon::{BeaconPayload, GtsDescriptor};
+use wsn_mac::csma::{CsmaAction, CsmaParams, SlottedCsmaCa};
+use wsn_mac::gts::GtsRegistry;
+use wsn_mac::{BeaconOrder, SuperframeConfig};
+use wsn_phy::noise::SplitMix64;
+
+fn arb_params() -> impl Strategy<Value = CsmaParams> {
+    prop_oneof![
+        Just(CsmaParams::standard_2003()),
+        Just(CsmaParams::paper()),
+        Just(CsmaParams::battery_life_extension()),
+    ]
+}
+
+proptest! {
+    /// Under any CCA outcome sequence, the machine terminates within the
+    /// configured bounds and never violates its invariants.
+    #[test]
+    fn csma_invariants_hold(
+        params in arb_params(),
+        seed in any::<u64>(),
+        outcomes in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut machine = SlottedCsmaCa::start(params, &mut rng);
+        let max_rounds = params.max_backoffs as u32 + 1;
+        let mut finished = false;
+
+        // The initial backoff must respect the minimum exponent window.
+        if let CsmaAction::BackoffThenCca { periods } = machine.current_action() {
+            prop_assert!(periods < 1 << params.min_be);
+        } else {
+            prop_assert!(false, "initial action must be a backoff");
+        }
+
+        for busy in outcomes {
+            if finished {
+                break;
+            }
+            let action = machine.on_cca(busy, &mut rng);
+            prop_assert!(machine.backoff_exponent() >= params.min_be);
+            prop_assert!(machine.backoff_exponent() <= params.max_be);
+            prop_assert!(machine.busy_rounds() as u32 <= max_rounds);
+            prop_assert!(machine.ccas_performed() <= max_rounds * params.cw as u32);
+            match action {
+                CsmaAction::BackoffThenCca { periods } => {
+                    prop_assert!(periods < 1 << machine.backoff_exponent());
+                }
+                CsmaAction::Transmit | CsmaAction::Failure => finished = true,
+                CsmaAction::CcaAgain => {}
+            }
+        }
+    }
+
+    /// An always-clear channel always transmits after exactly CW CCAs.
+    #[test]
+    fn clear_channel_always_transmits(params in arb_params(), seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let mut machine = SlottedCsmaCa::start(params, &mut rng);
+        let mut last = machine.current_action();
+        for _ in 0..params.cw {
+            last = machine.on_cca(false, &mut rng);
+        }
+        prop_assert_eq!(last, CsmaAction::Transmit);
+        prop_assert_eq!(machine.ccas_performed(), params.cw as u32);
+    }
+
+    /// An always-busy channel always fails after max_backoffs+1 rounds.
+    #[test]
+    fn busy_channel_always_fails(params in arb_params(), seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let mut machine = SlottedCsmaCa::start(params, &mut rng);
+        let mut rounds = 0u32;
+        loop {
+            match machine.on_cca(true, &mut rng) {
+                CsmaAction::Failure => break,
+                CsmaAction::BackoffThenCca { .. } => rounds += 1,
+                other => prop_assert!(false, "unexpected action {other:?}"),
+            }
+        }
+        prop_assert_eq!(rounds, params.max_backoffs as u32);
+    }
+
+    /// Beacon interval doubles exactly per order and is always a multiple
+    /// of 15.36 ms.
+    #[test]
+    fn beacon_interval_arithmetic(bo in 0u8..=14) {
+        let t = BeaconOrder::new(bo).unwrap().beacon_interval();
+        let base = 15.36e-3;
+        let expected = base * (1u64 << bo) as f64;
+        prop_assert!((t.secs() - expected).abs() < 1e-12);
+    }
+
+    /// Valid superframe configurations roundtrip through the beacon wire
+    /// format with arbitrary GTS and pending lists.
+    #[test]
+    fn beacon_payload_roundtrip(
+        bo in 0u8..=14,
+        so_delta in 0u8..=14,
+        gts_count in 0usize..=7,
+        pending in proptest::collection::vec(any::<u16>(), 0..=7),
+    ) {
+        let so = bo.saturating_sub(so_delta);
+        let config = SuperframeConfig::new(bo, so, 0).unwrap();
+        let mut payload = BeaconPayload::for_config(config);
+        payload.gts = (0..gts_count)
+            .map(|i| GtsDescriptor {
+                short_address: i as u16 + 1,
+                starting_slot: (15 - i) as u8,
+                length: 1,
+            })
+            .collect();
+        payload.pending_short = pending;
+        let wire = payload.serialize();
+        prop_assert_eq!(BeaconPayload::parse(&wire).unwrap(), payload);
+    }
+
+    /// The GTS registry never double-books slots and never exceeds seven
+    /// descriptors, for any allocation/deallocation interleaving.
+    #[test]
+    fn gts_registry_consistent(
+        ops in proptest::collection::vec((any::<u8>(), 1u8..4, any::<bool>()), 1..40)
+    ) {
+        let mut registry = GtsRegistry::new(8);
+        for (device, len, dealloc) in ops {
+            let device = device as u16 % 12;
+            if dealloc {
+                registry.deallocate(device);
+            } else {
+                let _ = registry.allocate(device, len);
+            }
+            // Invariants after every operation:
+            let allocs = registry.allocations();
+            prop_assert!(allocs.len() <= 7);
+            // No overlapping slot ranges.
+            for (i, a) in allocs.iter().enumerate() {
+                prop_assert!(a.starting_slot >= 8, "CAP minimum violated");
+                prop_assert!(a.starting_slot as u32 + a.length as u32 <= 16);
+                for b in allocs.iter().skip(i + 1) {
+                    let a_range = a.starting_slot..a.starting_slot + a.length;
+                    let b_range = b.starting_slot..b.starting_slot + b.length;
+                    prop_assert!(
+                        a_range.end <= b_range.start || b_range.end <= a_range.start,
+                        "overlap between {a:?} and {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// CAP duration plus GTS slots always reconstructs the superframe.
+    #[test]
+    fn cap_plus_cfp_is_superframe(bo in 0u8..=14, gts in 0u8..=7) {
+        let config = SuperframeConfig::new(bo, bo, gts).unwrap();
+        let cap = config.cap_duration().secs();
+        let cfp = config.slot_duration().secs() * gts as f64;
+        let sd = config.superframe_duration().secs();
+        prop_assert!((cap + cfp - sd).abs() < 1e-12);
+    }
+}

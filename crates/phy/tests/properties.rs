@@ -1,0 +1,147 @@
+//! Property-based tests for the PHY: spreading, frames, CRC, BER models
+//! and regression.
+
+use proptest::prelude::*;
+
+use wsn_phy::ber::{BerModel, EmpiricalCc2420Ber, HardDecisionDsssBer, StandardOqpskBer};
+use wsn_phy::frame::{crc16_itu_t, Address, MacFrame, PacketLayout};
+use wsn_phy::regression::ExponentialFit;
+use wsn_phy::spreading::{
+    bytes_to_symbols, despread, spread_bytes, symbols_to_bytes, ChipSequence, Symbol,
+};
+use wsn_units::{DBm, Db};
+
+proptest! {
+    /// Spreading then despreading any byte stream is the identity.
+    #[test]
+    fn spread_despread_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..127)) {
+        let chips = spread_bytes(&bytes);
+        let symbols: Vec<Symbol> = chips.into_iter().map(despread).collect();
+        prop_assert_eq!(symbols_to_bytes(&symbols), bytes);
+    }
+
+    /// Nibble order survives bytes→symbols→bytes.
+    #[test]
+    fn nibble_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(symbols_to_bytes(&bytes_to_symbols(&bytes)), bytes);
+    }
+
+    /// Any error pattern of ≤5 chips is corrected for every symbol.
+    #[test]
+    fn five_chip_errors_corrected(
+        sym in 0u8..16,
+        positions in proptest::collection::btree_set(0u32..32, 0..=5)
+    ) {
+        let symbol = Symbol::new(sym).unwrap();
+        let mut raw = ChipSequence::for_symbol(symbol).raw();
+        for p in positions {
+            raw ^= 1 << p;
+        }
+        prop_assert_eq!(despread(ChipSequence::from_raw(raw)), symbol);
+    }
+
+    /// CRC-16 detects every single- and double-bit error.
+    #[test]
+    fn crc_detects_small_errors(
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_a in any::<u16>(),
+        flip_b in any::<u16>(),
+    ) {
+        let base = crc16_itu_t(&data);
+        let bits = data.len() * 8;
+        let a = (flip_a as usize) % bits;
+        let b = (flip_b as usize) % bits;
+        let mut corrupted = data.clone();
+        corrupted[a / 8] ^= 1 << (a % 8);
+        if b != a {
+            corrupted[b / 8] ^= 1 << (b % 8);
+        }
+        prop_assert_ne!(crc16_itu_t(&corrupted), base);
+    }
+
+    /// MAC data frames roundtrip for arbitrary payloads and addresses.
+    #[test]
+    fn frame_roundtrip(
+        seq in any::<u8>(),
+        pan in any::<u16>(),
+        dest in any::<u16>(),
+        src in any::<u16>(),
+        ack in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let frame = MacFrame::data(
+            seq,
+            pan,
+            Address::Short(dest),
+            Address::Short(src),
+            payload,
+            ack,
+        );
+        let wire = frame.serialize().unwrap();
+        prop_assert_eq!(MacFrame::parse(&wire).unwrap(), frame);
+    }
+
+    /// Packet layout arithmetic is consistent for every legal payload.
+    #[test]
+    fn packet_layout_arithmetic(payload in 0usize..=123) {
+        let p = PacketLayout::with_payload(payload).unwrap();
+        prop_assert_eq!(p.total_bytes(), payload + 13);
+        prop_assert_eq!(p.payload_bits(), payload * 8);
+        prop_assert_eq!(p.error_exposed_bits() as usize, (payload + 9) * 8);
+        let micros = p.duration().micros();
+        prop_assert!((micros - (payload as f64 + 13.0) * 32.0).abs() < 1e-9);
+    }
+
+    /// All BER models are monotone non-increasing in received power and
+    /// bounded by [0, 1/2].
+    #[test]
+    fn ber_models_monotone(p0 in -110.0..-60.0f64, delta in 0.0..10.0f64) {
+        let weaker = DBm::new(p0);
+        let stronger = DBm::new(p0 + delta);
+        let models: [&dyn BerModel; 3] = [
+            &EmpiricalCc2420Ber::paper(),
+            &HardDecisionDsssBer::new(Db::new(21.0)),
+            &StandardOqpskBer::new(Db::new(21.0)),
+        ];
+        for m in models {
+            let low = m.bit_error_probability(weaker).value();
+            let high = m.bit_error_probability(stronger).value();
+            prop_assert!(high <= low + 1e-12);
+            prop_assert!((0.0..=0.5).contains(&low));
+        }
+    }
+
+    /// Packet error ≥ bit error and grows with payload size.
+    #[test]
+    fn packet_error_dominates_bit_error(
+        p_rx in -95.0..-80.0f64,
+        small in 1usize..60,
+        extra in 1usize..60,
+    ) {
+        let m = EmpiricalCc2420Ber::paper();
+        let power = DBm::new(p_rx);
+        let small_layout = PacketLayout::with_payload(small).unwrap();
+        let large_layout = PacketLayout::with_payload(small + extra).unwrap();
+        let bit = m.bit_error_probability(power).value();
+        let pe_small = m.packet_error_probability(power, small_layout).value();
+        let pe_large = m.packet_error_probability(power, large_layout).value();
+        prop_assert!(pe_small + 1e-15 >= bit);
+        prop_assert!(pe_large >= pe_small);
+    }
+
+    /// Exponential regression recovers exact parameters from exact data.
+    #[test]
+    fn regression_recovers_parameters(
+        log_c in -40.0..-5.0f64,
+        slope in 0.05..2.0f64,
+    ) {
+        let c = 10f64.powf(log_c);
+        let points: Vec<(f64, f64)> = (-94..=-85)
+            .map(|x| (x as f64, c * (-slope * x as f64).exp()))
+            .collect();
+        let fit = ExponentialFit::fit(&points).unwrap();
+        prop_assert!((fit.slope() + slope).abs() < 1e-6);
+        prop_assert!((fit.coefficient().log10() - log_c).abs() < 1e-6);
+        prop_assert!(fit.r_squared() > 0.999_99);
+    }
+}

@@ -1,0 +1,224 @@
+//! A stateful transceiver: model + current state + ledger, with legality
+//! checking on every requested transition.
+
+use core::fmt;
+
+use wsn_units::Seconds;
+
+use crate::ledger::{EnergyLedger, PhaseTag};
+use crate::model::RadioModel;
+use crate::state::RadioState;
+
+/// Error returned when a state switch is not physically possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionError {
+    /// State the radio was in.
+    pub from: RadioState,
+    /// State that was requested.
+    pub to: RadioState,
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "radio cannot switch from {} to {} directly",
+            self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// A transceiver instance: couples a [`RadioModel`] with the current state
+/// and an [`EnergyLedger`].
+///
+/// Used by the discrete-event simulator; the analytical model works with the
+/// bare [`RadioModel`] instead.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_radio::{PhaseTag, RadioState, RadioStateMachine, RadioModel};
+/// use wsn_units::Seconds;
+///
+/// let mut radio = RadioStateMachine::new(RadioModel::cc2420());
+/// // Wake up 1 ms before the beacon …
+/// let settle = radio.switch(RadioState::Idle, PhaseTag::Beacon)?;
+/// assert!((settle.micros() - 970.0).abs() < 1e-9);
+/// // … turn the receiver on and listen for the beacon.
+/// radio.switch(RadioState::Rx, PhaseTag::Beacon)?;
+/// radio.stay(Seconds::from_micros(608.0), PhaseTag::Beacon);
+/// assert!(radio.ledger().total_energy().microjoules() > 20.0);
+/// # Ok::<(), wsn_radio::TransitionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RadioStateMachine {
+    model: RadioModel,
+    state: RadioState,
+    ledger: EnergyLedger,
+}
+
+impl RadioStateMachine {
+    /// Creates a machine in the shutdown state with an empty ledger.
+    pub fn new(model: RadioModel) -> Self {
+        RadioStateMachine {
+            model,
+            state: RadioState::Shutdown,
+            ledger: EnergyLedger::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RadioState {
+        self.state
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &RadioModel {
+        &self.model
+    }
+
+    /// The accumulated ledger.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Consumes the machine, returning its ledger.
+    pub fn into_ledger(self) -> EnergyLedger {
+        self.ledger
+    }
+
+    /// Remains in the current state for `duration`, billed to `phase`.
+    pub fn stay(&mut self, duration: Seconds, phase: PhaseTag) {
+        self.ledger.accrue(&self.model, self.state, phase, duration);
+    }
+
+    /// Remains in RX at *listen* power (CCA / ACK wait) for `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radio is not in the RX state.
+    pub fn listen(&mut self, duration: Seconds, phase: PhaseTag) {
+        assert_eq!(
+            self.state,
+            RadioState::Rx,
+            "listen() requires the receiver to be on"
+        );
+        self.ledger.accrue_listen(&self.model, phase, duration);
+    }
+
+    /// Switches to `target`, billing the transition to `phase`; returns the
+    /// settle time the caller must advance its clock by.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] if the hardware cannot make this switch
+    /// (e.g. shutdown → RX without passing through idle).
+    pub fn switch(
+        &mut self,
+        target: RadioState,
+        phase: PhaseTag,
+    ) -> Result<Seconds, TransitionError> {
+        match self
+            .ledger
+            .accrue_transition(&self.model, self.state, target, phase)
+        {
+            Some(t) => {
+                self.state = target;
+                Ok(t.time)
+            }
+            None => Err(TransitionError {
+                from: self.state,
+                to: target,
+            }),
+        }
+    }
+
+    /// Switches via idle if a direct transition is illegal; returns total
+    /// settle time. This is the "safe path" a driver would take.
+    pub fn switch_via_idle(
+        &mut self,
+        target: RadioState,
+        phase: PhaseTag,
+    ) -> Result<Seconds, TransitionError> {
+        match self.switch(target, phase) {
+            Ok(t) => Ok(t),
+            Err(_) => {
+                let t1 = self.switch(RadioState::Idle, phase)?;
+                let t2 = self.switch(target, phase)?;
+                Ok(t1 + t2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{StateKind, TxPowerLevel};
+
+    #[test]
+    fn starts_shutdown() {
+        let m = RadioStateMachine::new(RadioModel::cc2420());
+        assert_eq!(m.state(), RadioState::Shutdown);
+    }
+
+    #[test]
+    fn legal_path_accumulates_energy() {
+        let mut m = RadioStateMachine::new(RadioModel::cc2420());
+        m.switch(RadioState::Idle, PhaseTag::Beacon).unwrap();
+        m.switch(RadioState::Rx, PhaseTag::Beacon).unwrap();
+        m.stay(Seconds::from_micros(608.0), PhaseTag::Beacon);
+        m.switch(RadioState::Idle, PhaseTag::Contention).unwrap();
+        m.switch(RadioState::Tx(TxPowerLevel::Zero), PhaseTag::Transmit)
+            .unwrap();
+        m.stay(Seconds::from_millis(4.256), PhaseTag::Transmit);
+        m.switch(RadioState::Idle, PhaseTag::AckWait).unwrap();
+        m.switch(RadioState::Shutdown, PhaseTag::Sleep).unwrap();
+        assert_eq!(m.state(), RadioState::Shutdown);
+
+        let l = m.ledger();
+        // TX energy dominates: 4.256 ms × 30.672 mW ≈ 130.5 µJ.
+        assert!((l.energy_in(StateKind::Tx).microjoules() - 136.6).abs() < 1.0);
+        assert!(l.energy_in_phase(PhaseTag::Transmit) > l.energy_in_phase(PhaseTag::Beacon));
+    }
+
+    #[test]
+    fn illegal_switch_errors_and_preserves_state() {
+        let mut m = RadioStateMachine::new(RadioModel::cc2420());
+        let err = m.switch(RadioState::Rx, PhaseTag::Other).unwrap_err();
+        assert_eq!(err.from, RadioState::Shutdown);
+        assert_eq!(err.to, RadioState::Rx);
+        assert_eq!(m.state(), RadioState::Shutdown);
+        assert_eq!(
+            err.to_string(),
+            "radio cannot switch from shutdown to rx directly"
+        );
+    }
+
+    #[test]
+    fn switch_via_idle_takes_two_hops() {
+        let mut m = RadioStateMachine::new(RadioModel::cc2420());
+        let t = m.switch_via_idle(RadioState::Rx, PhaseTag::Beacon).unwrap();
+        // 970 µs wake-up + 194 µs turn-on.
+        assert!((t.micros() - 1164.0).abs() < 1e-9);
+        assert_eq!(m.state(), RadioState::Rx);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the receiver")]
+    fn listen_outside_rx_panics() {
+        let mut m = RadioStateMachine::new(RadioModel::cc2420());
+        m.listen(Seconds::from_micros(128.0), PhaseTag::Contention);
+    }
+
+    #[test]
+    fn into_ledger_returns_accumulated() {
+        let mut m = RadioStateMachine::new(RadioModel::cc2420());
+        m.switch(RadioState::Idle, PhaseTag::Other).unwrap();
+        m.stay(Seconds::from_millis(1.0), PhaseTag::Other);
+        let l = m.into_ledger();
+        assert!(l.total_energy().nanojoules() > 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the radio model and the energy ledger.
+
+use proptest::prelude::*;
+
+use wsn_radio::ledger::{EnergyLedger, PhaseTag};
+use wsn_radio::state::StateKind;
+use wsn_radio::{RadioModel, RadioState, TxPowerLevel};
+use wsn_units::Seconds;
+
+fn arb_state() -> impl Strategy<Value = RadioState> {
+    prop_oneof![
+        Just(RadioState::Shutdown),
+        Just(RadioState::Idle),
+        Just(RadioState::Rx),
+        (0usize..8).prop_map(|i| RadioState::Tx(TxPowerLevel::ALL[i])),
+    ]
+}
+
+fn arb_phase() -> impl Strategy<Value = PhaseTag> {
+    (0usize..7).prop_map(|i| PhaseTag::ALL[i])
+}
+
+proptest! {
+    /// The ledger's two views (by state, by phase) agree on totals after
+    /// any sequence of accruals.
+    #[test]
+    fn ledger_views_always_balance(
+        ops in proptest::collection::vec((arb_state(), arb_phase(), 0.0..10.0f64), 1..60)
+    ) {
+        let radio = RadioModel::cc2420();
+        let mut ledger = EnergyLedger::new();
+        for (state, phase, ms) in ops {
+            ledger.accrue(&radio, state, phase, Seconds::from_millis(ms));
+        }
+        let by_state: f64 = StateKind::ALL.iter().map(|&k| ledger.energy_in(k).joules()).sum();
+        let by_phase: f64 = PhaseTag::ALL.iter().map(|&p| ledger.energy_in_phase(p).joules()).sum();
+        let total = ledger.total_energy().joules();
+        prop_assert!((by_state - total).abs() <= total * 1e-12 + 1e-18);
+        prop_assert!((by_phase - total).abs() <= total * 1e-12 + 1e-18);
+
+        let t_state: f64 = StateKind::ALL.iter().map(|&k| ledger.time_in(k).secs()).sum();
+        prop_assert!((t_state - ledger.total_time().secs()).abs() < 1e-12 + t_state * 1e-12);
+    }
+
+    /// Merging ledgers equals accruing on a single ledger.
+    #[test]
+    fn merge_is_addition(
+        ops_a in proptest::collection::vec((arb_state(), arb_phase(), 0.0..5.0f64), 1..20),
+        ops_b in proptest::collection::vec((arb_state(), arb_phase(), 0.0..5.0f64), 1..20),
+    ) {
+        let radio = RadioModel::cc2420();
+        let mut la = EnergyLedger::new();
+        let mut lb = EnergyLedger::new();
+        let mut combined = EnergyLedger::new();
+        for (s, p, ms) in &ops_a {
+            la.accrue(&radio, *s, *p, Seconds::from_millis(*ms));
+            combined.accrue(&radio, *s, *p, Seconds::from_millis(*ms));
+        }
+        for (s, p, ms) in &ops_b {
+            lb.accrue(&radio, *s, *p, Seconds::from_millis(*ms));
+            combined.accrue(&radio, *s, *p, Seconds::from_millis(*ms));
+        }
+        la.merge(&lb);
+        prop_assert!((la.total_energy().joules() - combined.total_energy().joules()).abs()
+            < 1e-12 + combined.total_energy().joules() * 1e-9);
+    }
+
+    /// Transition scaling is linear in time and energy for every legal
+    /// transition.
+    #[test]
+    fn transition_scaling_is_linear(factor in 0.05..4.0f64) {
+        let base = RadioModel::cc2420();
+        let scaled = RadioModel::builder().transition_scale(factor).build();
+        for (from, to) in [
+            (RadioState::Shutdown, RadioState::Idle),
+            (RadioState::Idle, RadioState::Rx),
+            (RadioState::Idle, RadioState::Tx(TxPowerLevel::Zero)),
+            (RadioState::Rx, RadioState::Tx(TxPowerLevel::Neg5)),
+        ] {
+            let b = base.transition(from, to).unwrap();
+            let s = scaled.transition(from, to).unwrap();
+            prop_assert!((s.time.secs() - b.time.secs() * factor).abs() < 1e-15);
+            prop_assert!((s.energy.joules() - b.energy.joules() * factor).abs() < 1e-15);
+        }
+    }
+
+    /// Legality of transitions is independent of model parameters.
+    #[test]
+    fn transition_legality_is_structural(factor in 0.1..2.0f64) {
+        let base = RadioModel::cc2420();
+        let variant = RadioModel::builder().transition_scale(factor).build();
+        let states = [
+            RadioState::Shutdown,
+            RadioState::Idle,
+            RadioState::Rx,
+            RadioState::Tx(TxPowerLevel::Neg7),
+        ];
+        for &from in &states {
+            for &to in &states {
+                prop_assert_eq!(
+                    base.transition(from, to).is_some(),
+                    variant.transition(from, to).is_some()
+                );
+            }
+        }
+    }
+
+    /// Average power over a window never exceeds the strongest state power
+    /// involved.
+    #[test]
+    fn average_power_is_bounded(
+        ops in proptest::collection::vec((arb_state(), 0.001..10.0f64), 1..30)
+    ) {
+        let radio = RadioModel::cc2420();
+        let mut ledger = EnergyLedger::new();
+        let mut max_power = 0.0f64;
+        let mut total_ms = 0.0;
+        for (state, ms) in ops {
+            ledger.accrue(&radio, state, PhaseTag::Other, Seconds::from_millis(ms));
+            max_power = max_power.max(radio.state_power(state).watts());
+            total_ms += ms;
+        }
+        let avg = ledger.average_power(Seconds::from_millis(total_ms));
+        prop_assert!(avg.watts() <= max_power * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,649 @@
+//! Slot-grid Monte-Carlo simulation of the slotted CSMA/CA contention
+//! procedure on a single 802.15.4 channel.
+//!
+//! This is the reproduction of the paper's (unreleased) contention
+//! simulator: `N` nodes share one channel; each node offers one packet per
+//! superframe; channel accesses follow slotted CSMA/CA on the 320 µs unit
+//! backoff grid; collisions occur when two transmissions start in the same
+//! backoff slot; acknowledged transmissions additionally occupy the channel
+//! for the ACK turnaround. The output is the per-procedure statistics the
+//! analytical model consumes ([`ContentionStats`], the paper's Figure 6).
+//!
+//! ## Modeling choices (documented divergences)
+//!
+//! * **Arrival pattern.** Nodes become ready at a fixed per-node offset
+//!   uniformly distributed over the superframe (their 120-byte buffers fill
+//!   at staggered phases), not synchronized at the beacon. Synchronizing
+//!   all 100 nodes at the beacon would produce failure rates far above the
+//!   paper's reported 16 % — the uniform reading is the only one consistent
+//!   with the published case-study numbers. A `synchronized_arrivals`
+//!   switch exposes the literal reading for ablation.
+//! * **Sensing rule.** A CCA at backoff boundary `t` reports busy iff some
+//!   transmission is on the air at `t`. Transmissions starting exactly at
+//!   `t` are *not* detectable (the energy rises while the CCA samples), so
+//!   two nodes whose contention windows expire in the same slot collide —
+//!   the standard slotted-CSMA collision mechanism.
+//! * **Quantization.** Decisions live on the 320 µs grid; the channel-busy
+//!   horizon is tracked in microseconds so packet airtimes stay exact.
+
+use wsn_mac::csma::{CsmaAction, CsmaParams, SlottedCsmaCa};
+use wsn_mac::RetryPolicy;
+use wsn_phy::frame::{ack_duration, beacon_duration, PacketLayout};
+use wsn_phy::noise::UniformSource;
+use wsn_units::{Probability, Seconds};
+
+use crate::events::EventQueue;
+use crate::rng::Xoshiro256StarStar;
+use crate::stats::{Accumulator, ContentionStats, Counter};
+
+/// Microseconds per unit backoff period.
+const SLOT_US: u64 = 320;
+
+/// Configuration of a single-channel contention simulation.
+#[derive(Debug, Clone)]
+pub struct ChannelSimConfig {
+    /// Number of nodes sharing the channel (the paper uses 100).
+    pub nodes: usize,
+    /// Uplink packet layout (payload + the paper's 13-byte overhead).
+    pub packet: PacketLayout,
+    /// Network load λ: aggregate packet airtime over the inter-beacon
+    /// period. Determines the superframe length as
+    /// `T_ib = N·T_packet / λ`.
+    pub load: f64,
+    /// CSMA/CA parameters.
+    pub csma: CsmaParams,
+    /// Retransmission budget (`N_max`).
+    pub retries: RetryPolicy,
+    /// Number of superframes to simulate (the first is warm-up and not
+    /// recorded).
+    pub superframes: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// `true` to start every node's contention right after the beacon (the
+    /// paper's literal prose); `false` for staggered per-node offsets.
+    pub synchronized_arrivals: bool,
+}
+
+impl ChannelSimConfig {
+    /// The paper's Figure 6 configuration for a given payload and load:
+    /// 100 nodes, standard CSMA parameters, `N_max = 5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not in `(0, 1)`.
+    pub fn figure6(payload_bytes: usize, load: f64, seed: u64) -> Self {
+        assert!(
+            load > 0.0 && load < 1.0,
+            "load must be in (0,1), got {load}"
+        );
+        ChannelSimConfig {
+            nodes: 100,
+            packet: PacketLayout::with_payload(payload_bytes)
+                .expect("payload within the paper's 123-byte maximum"),
+            load,
+            csma: CsmaParams::standard_2003(),
+            retries: RetryPolicy::paper(),
+            superframes: 60,
+            seed,
+            synchronized_arrivals: false,
+        }
+    }
+
+    /// Inter-beacon period implied by the load definition.
+    pub fn beacon_interval(&self) -> Seconds {
+        Seconds::from_secs(self.nodes as f64 * self.packet.duration().secs() / self.load)
+    }
+
+    /// Superframe length in backoff slots.
+    fn superframe_slots(&self) -> u64 {
+        (self.beacon_interval().micros() / SLOT_US as f64)
+            .round()
+            .max(8.0) as u64
+    }
+}
+
+/// Outcome of one contention procedure (one transmission attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// Transmitted without collision and acknowledged.
+    Delivered,
+    /// Transmitted without collision but corrupted by channel noise (no
+    /// acknowledgement) — only produced when a corruption hook is supplied.
+    Corrupted,
+    /// Collided with another transmission.
+    Collided,
+    /// CSMA/CA reported channel access failure.
+    AccessFailure,
+}
+
+/// One contention procedure's measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// Node index.
+    pub node: u32,
+    /// Contention duration in backoff slots (start → transmission start or
+    /// failure report).
+    pub contention_slots: u64,
+    /// CCAs performed.
+    pub ccas: u32,
+    /// Outcome.
+    pub outcome: AttemptOutcome,
+}
+
+/// One application-level transaction (one packet in one superframe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransactionRecord {
+    /// Node index.
+    pub node: u32,
+    /// Transmission attempts used (1..=N_max), 0 if access failed before
+    /// any transmission.
+    pub attempts: u32,
+    /// `true` if the packet was delivered this superframe.
+    pub delivered: bool,
+    /// `true` if the transaction ended in a channel access failure.
+    pub access_failure: bool,
+    /// Superframes this packet had already waited before this transaction
+    /// (0 = first try; delay ≈ (waited+1)·T_ib).
+    pub superframes_waited: u32,
+}
+
+/// Full simulation trace.
+#[derive(Debug, Clone)]
+pub struct SimTrace {
+    /// Per-procedure records (excluding warm-up).
+    pub attempts: Vec<AttemptRecord>,
+    /// Per-transaction records (excluding warm-up).
+    pub transactions: Vec<TransactionRecord>,
+    /// Arrivals skipped because the node was still busy with the previous
+    /// transaction.
+    pub overruns: u64,
+    /// Superframe length in backoff slots.
+    pub superframe_slots: u64,
+}
+
+impl SimTrace {
+    /// Reduces the trace to the model's contention statistics.
+    pub fn contention_stats(&self) -> ContentionStats {
+        let mut cont = Accumulator::new();
+        let mut ccas = Accumulator::new();
+        let mut col = Counter::new();
+        let mut cf = Counter::new();
+        for a in &self.attempts {
+            cont.push(a.contention_slots as f64 * SLOT_US as f64);
+            ccas.push(a.ccas as f64);
+            cf.observe(a.outcome == AttemptOutcome::AccessFailure);
+            if a.outcome != AttemptOutcome::AccessFailure {
+                col.observe(a.outcome == AttemptOutcome::Collided);
+            }
+        }
+        ContentionStats {
+            mean_contention: Seconds::from_micros(cont.mean()),
+            mean_ccas: ccas.mean(),
+            pr_collision: col.ratio(),
+            pr_access_failure: cf.ratio(),
+            procedures: cont.count(),
+            transmissions: col.trials(),
+        }
+    }
+
+    /// Fraction of transactions that failed (channel access failure or
+    /// retries exhausted) — the simulated counterpart of the model's
+    /// `Pr_fail`.
+    pub fn transaction_failure_ratio(&self) -> Probability {
+        let mut c = Counter::new();
+        for t in &self.transactions {
+            c.observe(!t.delivered);
+        }
+        c.ratio()
+    }
+
+    /// Mean attempts per transaction (delivered or not).
+    pub fn mean_attempts(&self) -> f64 {
+        let mut acc = Accumulator::new();
+        for t in &self.transactions {
+            acc.push(t.attempts as f64);
+        }
+        acc.mean()
+    }
+
+    /// Mean delivery delay in superframes (`1.0` = delivered in the first
+    /// superframe), over delivered packets.
+    pub fn mean_delivery_superframes(&self) -> f64 {
+        let mut acc = Accumulator::new();
+        for t in &self.transactions {
+            if t.delivered {
+                acc.push(t.superframes_waited as f64 + 1.0);
+            }
+        }
+        acc.mean()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Beacon transmission starts (occupies the channel).
+    Beacon,
+    /// A node's packet becomes ready.
+    Arrival { node: u32 },
+    /// A node performs a CCA.
+    Cca { node: u32 },
+    /// A node's transmission ends (`end_us` is the exact airtime end).
+    TxEnd { node: u32, end_us: u64 },
+}
+
+const PRIO_CHANNEL: u8 = 0; // Beacon, TxEnd: update channel state first
+const PRIO_CCA: u8 = 1;
+const PRIO_ARRIVAL: u8 = 2;
+
+#[derive(Debug)]
+struct NodeState {
+    rng: Xoshiro256StarStar,
+    csma: Option<SlottedCsmaCa>,
+    attempt: u32,
+    cont_start_slot: u64,
+    superframes_waited: u32,
+    carry_packet: bool,
+    active: bool,
+    recording: bool,
+    /// Attempt measured at transmission start, committed to the trace when
+    /// its outcome is known at TxEnd (so attempts cut off by the horizon
+    /// are never recorded with a fabricated outcome).
+    pending_attempt: Option<AttemptRecord>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    node: u32,
+    start_slot: u64,
+    collided: bool,
+}
+
+/// Runs the channel simulation with a per-attempt corruption oracle.
+///
+/// `corrupt(node)` is consulted for every collision-free transmission; when
+/// it returns `true` the packet is treated as FCS-corrupted (no
+/// acknowledgement, retry). [`simulate_contention`] passes a constant
+/// `false` — the pure-MAC setting of Figure 6.
+pub fn run_channel_sim<F>(config: &ChannelSimConfig, mut corrupt: F) -> SimTrace
+where
+    F: FnMut(u32) -> bool,
+{
+    assert!(config.nodes > 0, "at least one node required");
+    assert!(
+        config.load > 0.0 && config.load < 1.0,
+        "load must be in (0,1), got {}",
+        config.load
+    );
+    assert!(config.superframes >= 2, "need at least two superframes");
+
+    let sf_slots = config.superframe_slots();
+    let packet_us = config.packet.duration().micros().round() as u64;
+    let beacon_us = beacon_duration().micros().round() as u64;
+    // Acknowledged transmissions hold the channel for t_ack⁻ + T_ack.
+    let ack_hold_us = 192 + ack_duration().micros().round() as u64;
+    // A transmitter concludes "no acknowledgement" after t_ack⁺.
+    let ack_timeout_us = 864;
+
+    let root = Xoshiro256StarStar::seed_from_u64(config.seed);
+    let mut nodes: Vec<NodeState> = (0..config.nodes)
+        .map(|i| NodeState {
+            rng: root.split(i as u64),
+            csma: None,
+            attempt: 0,
+            cont_start_slot: 0,
+            superframes_waited: 0,
+            carry_packet: false,
+            active: false,
+            recording: false,
+            pending_attempt: None,
+        })
+        .collect();
+    let mut offsets_rng = root.split(u64::MAX);
+
+    // Fixed per-node arrival offsets (slots after the beacon).
+    let beacon_slots = beacon_us.div_ceil(SLOT_US);
+    let offsets: Vec<u64> = (0..config.nodes)
+        .map(|_| {
+            if config.synchronized_arrivals {
+                beacon_slots
+            } else {
+                let span = sf_slots.saturating_sub(beacon_slots).max(1);
+                beacon_slots + (offsets_rng.next_f64() * span as f64) as u64
+            }
+        })
+        .collect();
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    for sf in 0..config.superframes as u64 {
+        queue.push(sf * sf_slots, PRIO_CHANNEL, Ev::Beacon);
+        for (i, &off) in offsets.iter().enumerate() {
+            queue.push(
+                sf * sf_slots + off,
+                PRIO_ARRIVAL,
+                Ev::Arrival { node: i as u32 },
+            );
+        }
+    }
+
+    let mut busy_until_us: u64 = 0;
+    // Transmissions that have been *decided* but whose start slot lies in
+    // the future; folded into `busy_until_us` once the clock reaches them
+    // so that same-slot CCA decisions never see a transmission that has
+    // not started yet.
+    let mut pending_air: std::collections::VecDeque<(u64, u64)> = std::collections::VecDeque::new();
+    let mut inflight: Vec<Inflight> = Vec::new();
+    let mut trace = SimTrace {
+        attempts: Vec::new(),
+        transactions: Vec::new(),
+        overruns: 0,
+        superframe_slots: sf_slots,
+    };
+    let horizon_slot = config.superframes as u64 * sf_slots;
+
+    while let Some((slot, ev)) = queue.pop() {
+        if slot >= horizon_slot {
+            break;
+        }
+        while let Some(&(start_slot, end_us)) = pending_air.front() {
+            if start_slot <= slot {
+                busy_until_us = busy_until_us.max(end_us);
+                pending_air.pop_front();
+            } else {
+                break;
+            }
+        }
+        let slot_us = slot * SLOT_US;
+        match ev {
+            Ev::Beacon => {
+                busy_until_us = busy_until_us.max(slot_us + beacon_us);
+            }
+            Ev::Arrival { node } => {
+                let in_warmup = slot < sf_slots;
+                let n = &mut nodes[node as usize];
+                if n.active {
+                    if !in_warmup {
+                        trace.overruns += 1;
+                    }
+                    continue;
+                }
+                if n.carry_packet {
+                    n.superframes_waited += 1;
+                } else {
+                    n.superframes_waited = 0;
+                }
+                n.active = true;
+                n.recording = !in_warmup;
+                n.attempt = 1;
+                n.cont_start_slot = slot;
+                let machine = SlottedCsmaCa::start(config.csma, &mut n.rng);
+                let CsmaAction::BackoffThenCca { periods } = machine.current_action() else {
+                    unreachable!("CSMA always begins with a backoff");
+                };
+                n.csma = Some(machine);
+                queue.push(slot + periods as u64, PRIO_CCA, Ev::Cca { node });
+            }
+            Ev::Cca { node } => {
+                let n = &mut nodes[node as usize];
+                let busy = slot_us < busy_until_us;
+                let machine = n.csma.as_mut().expect("CCA without active CSMA");
+                match machine.on_cca(busy, &mut n.rng) {
+                    CsmaAction::CcaAgain => {
+                        queue.push(slot + 1, PRIO_CCA, Ev::Cca { node });
+                    }
+                    CsmaAction::BackoffThenCca { periods } => {
+                        queue.push(slot + 1 + periods as u64, PRIO_CCA, Ev::Cca { node });
+                    }
+                    CsmaAction::Transmit => {
+                        let machine = n.csma.take().expect("machine present");
+                        let start_slot = slot + 1;
+                        let end_us = start_slot * SLOT_US + packet_us;
+                        if n.recording {
+                            n.pending_attempt = Some(AttemptRecord {
+                                node,
+                                contention_slots: start_slot - n.cont_start_slot,
+                                ccas: machine.ccas_performed(),
+                                outcome: AttemptOutcome::Delivered, // finalized at TxEnd
+                            });
+                        }
+                        // Same-slot starters collide with each other.
+                        let mut collided = false;
+                        for other in inflight.iter_mut() {
+                            if other.start_slot == start_slot {
+                                other.collided = true;
+                                collided = true;
+                            }
+                        }
+                        inflight.push(Inflight {
+                            node,
+                            start_slot,
+                            collided,
+                        });
+                        pending_air.push_back((start_slot, end_us));
+                        queue.push(
+                            end_us.div_ceil(SLOT_US),
+                            PRIO_CHANNEL,
+                            Ev::TxEnd { node, end_us },
+                        );
+                    }
+                    CsmaAction::Failure => {
+                        let machine = n.csma.take().expect("machine present");
+                        if n.recording {
+                            trace.attempts.push(AttemptRecord {
+                                node,
+                                contention_slots: slot - n.cont_start_slot,
+                                ccas: machine.ccas_performed(),
+                                outcome: AttemptOutcome::AccessFailure,
+                            });
+                            trace.transactions.push(TransactionRecord {
+                                node,
+                                attempts: n.attempt - 1,
+                                delivered: false,
+                                access_failure: true,
+                                superframes_waited: n.superframes_waited,
+                            });
+                        }
+                        n.active = false;
+                        n.carry_packet = true;
+                    }
+                }
+            }
+            Ev::TxEnd { node, end_us } => {
+                // The transmission itself kept the channel busy.
+                busy_until_us = busy_until_us.max(end_us);
+                let idx = inflight
+                    .iter()
+                    .position(|f| f.node == node)
+                    .expect("TxEnd without inflight entry");
+                let fl = inflight.remove(idx);
+
+                let outcome = if fl.collided {
+                    AttemptOutcome::Collided
+                } else if corrupt(node) {
+                    AttemptOutcome::Corrupted
+                } else {
+                    AttemptOutcome::Delivered
+                };
+
+                let n = &mut nodes[node as usize];
+                if let Some(mut pending) = n.pending_attempt.take() {
+                    pending.outcome = outcome;
+                    trace.attempts.push(pending);
+                }
+
+                if outcome == AttemptOutcome::Delivered {
+                    // The acknowledgement occupies the channel too.
+                    busy_until_us = busy_until_us.max(end_us + ack_hold_us);
+                    if n.recording {
+                        trace.transactions.push(TransactionRecord {
+                            node,
+                            attempts: n.attempt,
+                            delivered: true,
+                            access_failure: false,
+                            superframes_waited: n.superframes_waited,
+                        });
+                    }
+                    n.active = false;
+                    n.carry_packet = false;
+                } else if n.attempt < config.retries.n_max() {
+                    // Wait out t_ack⁺, then contend again.
+                    n.attempt += 1;
+                    let retry_slot = (end_us + ack_timeout_us).div_ceil(SLOT_US);
+                    n.cont_start_slot = retry_slot;
+                    let machine = SlottedCsmaCa::start(config.csma, &mut n.rng);
+                    let CsmaAction::BackoffThenCca { periods } = machine.current_action() else {
+                        unreachable!("CSMA always begins with a backoff");
+                    };
+                    n.csma = Some(machine);
+                    queue.push(retry_slot + periods as u64, PRIO_CCA, Ev::Cca { node });
+                } else {
+                    if n.recording {
+                        trace.transactions.push(TransactionRecord {
+                            node,
+                            attempts: n.attempt,
+                            delivered: false,
+                            access_failure: false,
+                            superframes_waited: n.superframes_waited,
+                        });
+                    }
+                    n.active = false;
+                    n.carry_packet = true;
+                }
+            }
+        }
+    }
+
+    trace
+}
+
+/// Runs the pure-MAC contention characterization (no channel noise) and
+/// reduces it to [`ContentionStats`] — one point of the paper's Figure 6.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::{simulate_contention, ChannelSimConfig};
+///
+/// let mut cfg = ChannelSimConfig::figure6(50, 0.3, 42);
+/// cfg.superframes = 10; // keep the doctest quick
+/// let stats = simulate_contention(&cfg);
+/// assert!(stats.mean_ccas >= 2.0);
+/// assert!(stats.pr_access_failure.value() < 0.5);
+/// ```
+pub fn simulate_contention(config: &ChannelSimConfig) -> ContentionStats {
+    run_channel_sim(config, |_| false).contention_stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(payload: usize, load: f64, seed: u64) -> ChannelSimConfig {
+        let mut c = ChannelSimConfig::figure6(payload, load, seed);
+        c.superframes = 12;
+        c
+    }
+
+    #[test]
+    fn single_node_never_collides_or_fails() {
+        let mut cfg = quick(50, 0.05, 1);
+        cfg.nodes = 1;
+        let stats = simulate_contention(&cfg);
+        assert_eq!(stats.pr_collision, Probability::ZERO);
+        assert_eq!(stats.pr_access_failure, Probability::ZERO);
+        assert_eq!(stats.mean_ccas, 2.0);
+        // Contention = initial backoff (0..=7 slots) + 2 CCA slots; mean
+        // near (3.5 + 2) × 320 µs with generous tolerance.
+        let mean_us = stats.mean_contention.micros();
+        assert!(
+            (800.0..2600.0).contains(&mean_us),
+            "mean contention {mean_us} µs"
+        );
+    }
+
+    #[test]
+    fn stats_degrade_with_load() {
+        let lo = simulate_contention(&quick(100, 0.1, 7));
+        let hi = simulate_contention(&quick(100, 0.8, 7));
+        assert!(
+            hi.pr_access_failure.value() >= lo.pr_access_failure.value(),
+            "Pr_cf should not improve with load: {lo} vs {hi}"
+        );
+        assert!(
+            hi.mean_contention > lo.mean_contention,
+            "contention time should grow with load"
+        );
+        assert!(hi.mean_ccas > lo.mean_ccas);
+        assert!(hi.pr_collision.value() >= lo.pr_collision.value());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_channel_sim(&quick(50, 0.4, 99), |_| false);
+        let b = run_channel_sim(&quick(50, 0.4, 99), |_| false);
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.transactions, b.transactions);
+        let c = run_channel_sim(&quick(50, 0.4, 100), |_| false);
+        assert_ne!(a.attempts, c.attempts, "different seeds should differ");
+    }
+
+    #[test]
+    fn corruption_forces_retries() {
+        let cfg = quick(50, 0.2, 5);
+        let clean = run_channel_sim(&cfg, |_| false);
+        let noisy = run_channel_sim(&cfg, |_| true); // every packet corrupted
+        assert!(noisy.mean_attempts() > clean.mean_attempts());
+        // All transactions fail when every packet is corrupted.
+        assert!((noisy.transaction_failure_ratio().value() - 1.0).abs() < 1e-12);
+        assert!(clean.transaction_failure_ratio().value() < 0.2);
+    }
+
+    #[test]
+    fn transactions_account_for_all_nodes() {
+        let cfg = quick(50, 0.3, 11);
+        let trace = run_channel_sim(&cfg, |_| false);
+        // 100 nodes × (superframes − warmup − tail losses): at least half
+        // the nominal count must be recorded.
+        let nominal = cfg.nodes as u64 * (cfg.superframes as u64 - 1);
+        assert!(
+            trace.transactions.len() as u64 > nominal / 2,
+            "only {} of {} transactions recorded",
+            trace.transactions.len(),
+            nominal
+        );
+    }
+
+    #[test]
+    fn synchronized_arrivals_are_much_worse() {
+        let mut staggered = quick(100, 0.42, 3);
+        staggered.nodes = 100;
+        let mut synced = staggered.clone();
+        synced.synchronized_arrivals = true;
+        let s1 = simulate_contention(&staggered);
+        let s2 = simulate_contention(&synced);
+        assert!(
+            s2.pr_access_failure.value() > 2.0 * s1.pr_access_failure.value(),
+            "beacon-synchronized contention should collapse: {s1} vs {s2}"
+        );
+    }
+
+    #[test]
+    fn delivery_delay_at_low_load_is_one_superframe() {
+        let cfg = quick(20, 0.05, 13);
+        let trace = run_channel_sim(&cfg, |_| false);
+        let mean = trace.mean_delivery_superframes();
+        assert!(
+            (mean - 1.0).abs() < 0.05,
+            "mean delivery superframes {mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in (0,1)")]
+    fn absurd_load_rejected() {
+        let _ = ChannelSimConfig::figure6(50, 1.5, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, priority, insertion sequence)`: ties at the
+//! same instant resolve first by an explicit priority class (e.g. process
+//! transmission endings before new channel assessments), then by insertion
+//! order — never by allocation addresses or hash order, so runs are
+//! bit-reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry (internal ordering wrapper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: u64,
+    priority: u8,
+    seq: u64,
+}
+
+/// Deterministic event queue over an arbitrary event payload `E`.
+///
+/// Time is an opaque `u64` (the simulators use backoff slots or
+/// nanoseconds).
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::events::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(20, 0, "late");
+/// q.push(10, 1, "early-low-priority");
+/// q.push(10, 0, "early-high-priority");
+/// assert_eq!(q.pop(), Some((10, "early-high-priority")));
+/// assert_eq!(q.pop(), Some((10, "early-low-priority")));
+/// assert_eq!(q.pop(), Some((20, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    payloads: Vec<Option<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time` with a priority class (lower runs
+    /// first among same-time events).
+    pub fn push(&mut self, time: u64, priority: u8, event: E) {
+        let key = Key {
+            time,
+            priority,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        let slot = self.payloads.len();
+        self.payloads.push(Some(event));
+        self.heap.push(Reverse((key, slot)));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        let event = self.payloads[slot]
+            .take()
+            .expect("payload already taken — queue invariant broken");
+        // Reclaim tail storage opportunistically.
+        while matches!(self.payloads.last(), Some(None)) {
+            self.payloads.pop();
+        }
+        Some((key.time, event))
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((key, _))| key.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(30, 0, 'c');
+        q.push(10, 0, 'a');
+        q.push(20, 0, 'b');
+        assert_eq!(q.pop(), Some((10, 'a')));
+        assert_eq!(q.pop(), Some((20, 'b')));
+        assert_eq!(q.pop(), Some((30, 'c')));
+    }
+
+    #[test]
+    fn same_time_fifo_within_priority() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(5, 0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn priority_classes_break_ties() {
+        let mut q = EventQueue::new();
+        q.push(5, 2, "last");
+        q.push(5, 0, "first");
+        q.push(5, 1, "middle");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "middle");
+        assert_eq!(q.pop().unwrap().1, "last");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(7, 0, ());
+        q.push(3, 0, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(3));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(7));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(1, 0, 1);
+        q.push(5, 0, 5);
+        assert_eq!(q.pop(), Some((1, 1)));
+        q.push(3, 0, 3);
+        q.push(2, 0, 2);
+        assert_eq!(q.pop(), Some((2, 2)));
+        assert_eq!(q.pop(), Some((3, 3)));
+        assert_eq!(q.pop(), Some((5, 5)));
+    }
+
+    #[test]
+    fn storage_is_reclaimed() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            for i in 0..50 {
+                q.push(round * 100 + i, 0, i);
+            }
+            for _ in 0..50 {
+                q.pop();
+            }
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.payloads.len() < 200,
+            "payload storage grew unboundedly: {}",
+            q.payloads.len()
+        );
+    }
+}

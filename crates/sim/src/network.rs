@@ -1,0 +1,439 @@
+//! Full-network energy simulation: the contention engine combined with the
+//! paper's radio activation policy and per-node energy ledgers.
+//!
+//! For every node and superframe the simulated lifecycle is the one in the
+//! paper's Figure 5:
+//!
+//! 1. wake the chip ~1 ms before the beacon (shutdown → idle), turn the
+//!    receiver on (`T_ia`) and receive the beacon;
+//! 2. return to shutdown until the node's packet is ready, then wake again
+//!    and run slotted CSMA/CA — idle between CCAs, receiver on for each
+//!    194 µs turn-on plus the 128 µs assessment;
+//! 3. transmit the packet at the node's power level;
+//! 4. turn around to RX and listen for the acknowledgement (ACK duration
+//!    when acknowledged, the full `t_ack⁺ − t_ack⁻` window otherwise);
+//! 5. observe the interframe spacing and shut down.
+//!
+//! Energy is derived from the contention trace (backoff wall-time, CCA
+//! counts, attempts, outcomes) — every state residency is known exactly, so
+//! the ledger is bit-deterministic given the seed.
+
+use wsn_channel::received_power;
+use wsn_phy::ber::BerModel;
+use wsn_phy::frame::{ack_duration, beacon_duration};
+use wsn_radio::ledger::{EnergyLedger, PhaseTag};
+use wsn_radio::{RadioModel, RadioState, TxPowerLevel};
+use wsn_units::{DBm, Db, Power, Probability, Seconds};
+
+use crate::contention::{run_channel_sim, AttemptOutcome, ChannelSimConfig, SimTrace};
+use crate::rng::Xoshiro256StarStar;
+
+/// Per-node transmit power assignment.
+#[derive(Debug, Clone)]
+pub enum TxPowerPolicy {
+    /// Every node transmits at the same level.
+    Fixed(TxPowerLevel),
+    /// Channel inversion: each node picks the cheapest level whose received
+    /// power at the coordinator is at least `target_rx`; nodes that cannot
+    /// reach it use 0 dBm.
+    ChannelInversion {
+        /// Desired received power at the coordinator.
+        target_rx: DBm,
+    },
+    /// Explicit per-node levels (e.g. computed by the analytical link
+    /// adaptation).
+    PerNode(Vec<TxPowerLevel>),
+}
+
+impl TxPowerPolicy {
+    /// Resolves the policy into per-node levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `PerNode` assignment has the wrong length.
+    pub fn resolve(&self, path_losses: &[Db]) -> Vec<TxPowerLevel> {
+        match self {
+            TxPowerPolicy::Fixed(level) => vec![*level; path_losses.len()],
+            TxPowerPolicy::ChannelInversion { target_rx } => path_losses
+                .iter()
+                .map(|a| {
+                    let required = DBm::new(target_rx.dbm() + a.db());
+                    TxPowerLevel::cheapest_reaching(required).unwrap_or(TxPowerLevel::strongest())
+                })
+                .collect(),
+            TxPowerPolicy::PerNode(levels) => {
+                assert_eq!(
+                    levels.len(),
+                    path_losses.len(),
+                    "per-node level count must match node count"
+                );
+                levels.clone()
+            }
+        }
+    }
+}
+
+/// Configuration of the network energy simulation.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Channel/contention parameters (node count, packet, load, CSMA…).
+    pub channel: ChannelSimConfig,
+    /// Radio energy model.
+    pub radio: RadioModel,
+    /// Per-node path losses to the coordinator (length = node count).
+    pub path_losses: Vec<Db>,
+    /// Transmit power assignment.
+    pub tx_policy: TxPowerPolicy,
+    /// Coordinator transmit power (beacon and acknowledgements).
+    pub coordinator_tx: DBm,
+    /// How early the chip wakes before the beacon (the paper uses 1 ms to
+    /// cover the ~970 µs shutdown→idle transition).
+    pub wakeup_margin: Seconds,
+}
+
+impl NetworkConfig {
+    /// Validates structural consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path-loss vector length differs from the node count.
+    fn validate(&self) {
+        assert_eq!(
+            self.path_losses.len(),
+            self.channel.nodes,
+            "one path loss per node required"
+        );
+    }
+}
+
+/// Aggregated results of a network simulation.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Mean average power per node over the recorded window.
+    pub mean_node_power: Power,
+    /// Per-node average powers.
+    pub node_powers: Vec<Power>,
+    /// Population energy ledger (all nodes merged) — Figure 9 material.
+    pub ledger: EnergyLedger,
+    /// Fraction of transactions that failed (`Pr_fail`).
+    pub failure_ratio: Probability,
+    /// Mean delivery delay.
+    pub mean_delay: Seconds,
+    /// Mean transmission attempts per transaction.
+    pub mean_attempts: f64,
+    /// Energy per delivered payload bit.
+    pub energy_per_bit_nj: f64,
+    /// The raw contention trace (for further analysis).
+    pub trace: SimTrace,
+}
+
+/// The network energy simulator.
+#[derive(Debug, Clone)]
+pub struct NetworkSimulator {
+    config: NetworkConfig,
+}
+
+impl NetworkSimulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally inconsistent.
+    pub fn new(config: NetworkConfig) -> Self {
+        config.validate();
+        NetworkSimulator { config }
+    }
+
+    /// Runs the simulation against a BER model.
+    pub fn run<B: BerModel>(&self, ber: &B) -> NetworkReport {
+        let cfg = &self.config;
+        let levels = cfg.tx_policy.resolve(&cfg.path_losses);
+
+        // Pre-compute per-node packet and ACK corruption probabilities.
+        let packet = cfg.channel.packet;
+        let ack_exposed_bits = 8.0 * (11.0 - 4.0);
+        let per_node_corrupt: Vec<f64> = cfg
+            .path_losses
+            .iter()
+            .zip(&levels)
+            .map(|(a, lvl)| {
+                let p_rx = received_power(lvl.output_power(), *a);
+                let pr_packet = ber.packet_error_probability(p_rx, packet).value();
+                let p_rx_ack = received_power(cfg.coordinator_tx, *a);
+                let pr_bit_ack = ber.bit_error_probability(p_rx_ack).value();
+                let pr_ack = 1.0 - (1.0 - pr_bit_ack).powf(ack_exposed_bits);
+                // Either direction failing costs the acknowledgement.
+                1.0 - (1.0 - pr_packet) * (1.0 - pr_ack)
+            })
+            .collect();
+
+        let mut noise_rng =
+            Xoshiro256StarStar::seed_from_u64(cfg.channel.seed ^ 0x5EED_CAFE_F00D_u64);
+        let trace = run_channel_sim(&cfg.channel, |node| {
+            noise_rng.bernoulli(per_node_corrupt[node as usize])
+        });
+
+        self.account_energy(&trace, &levels)
+    }
+
+    /// Derives ledgers and the report from a contention trace.
+    fn account_energy(&self, trace: &SimTrace, levels: &[TxPowerLevel]) -> NetworkReport {
+        let cfg = &self.config;
+        let radio = &cfg.radio;
+        let n_nodes = cfg.channel.nodes;
+        let recorded_superframes = cfg.channel.superframes as f64 - 1.0;
+        let t_ib = cfg.channel.beacon_interval();
+        let window = t_ib * recorded_superframes;
+
+        let slot = Seconds::from_micros(320.0);
+        let t_beacon = beacon_duration();
+        let t_ack = ack_duration();
+        let cca_sense = Seconds::from_micros(128.0);
+        let noack_listen = Seconds::from_micros(864.0 - 192.0);
+        let ifs = Seconds::from_micros(640.0);
+        let turn_on = radio.turn_on_time();
+
+        let mut ledgers: Vec<EnergyLedger> = vec![EnergyLedger::new(); n_nodes];
+
+        // Fixed per-superframe beacon overhead for every node.
+        for ledger in &mut ledgers {
+            for _ in 0..recorded_superframes as usize {
+                // Preemptive wake-up: the shutdown→idle transition (billed
+                // idle) plus any margin spent in idle.
+                ledger.accrue_transition(
+                    radio,
+                    RadioState::Shutdown,
+                    RadioState::Idle,
+                    PhaseTag::Beacon,
+                );
+                let margin = (cfg.wakeup_margin - radio.wakeup_time()).max(Seconds::ZERO);
+                ledger.accrue(radio, RadioState::Idle, PhaseTag::Beacon, margin);
+                ledger.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Beacon);
+                ledger.accrue(radio, RadioState::Rx, PhaseTag::Beacon, t_beacon);
+            }
+        }
+
+        // Attempt-driven activity.
+        for a in &trace.attempts {
+            let node = a.node as usize;
+            let ledger = &mut ledgers[node];
+            let level = levels[node];
+
+            // Contention wall time: idle except for the CCA turn-ons.
+            let wall = slot * a.contention_slots as f64;
+            let cca_active = (turn_on + cca_sense) * a.ccas as f64;
+            let idle_time = (wall - cca_active).max(Seconds::ZERO);
+            ledger.accrue(radio, RadioState::Idle, PhaseTag::Contention, idle_time);
+            for _ in 0..a.ccas {
+                ledger.accrue_transition(
+                    radio,
+                    RadioState::Idle,
+                    RadioState::Rx,
+                    PhaseTag::Contention,
+                );
+                ledger.accrue_listen(radio, PhaseTag::Contention, cca_sense);
+            }
+
+            if a.outcome == AttemptOutcome::AccessFailure {
+                continue;
+            }
+
+            // Transmission.
+            ledger.accrue_transition(
+                radio,
+                RadioState::Idle,
+                RadioState::Tx(level),
+                PhaseTag::Transmit,
+            );
+            ledger.accrue(
+                radio,
+                RadioState::Tx(level),
+                PhaseTag::Transmit,
+                cfg.channel.packet.duration(),
+            );
+
+            // Acknowledgement window.
+            ledger.accrue_transition(
+                radio,
+                RadioState::Tx(level),
+                RadioState::Rx,
+                PhaseTag::AckWait,
+            );
+            match a.outcome {
+                AttemptOutcome::Delivered => {
+                    ledger.accrue_listen(radio, PhaseTag::AckWait, t_ack);
+                }
+                AttemptOutcome::Corrupted | AttemptOutcome::Collided => {
+                    ledger.accrue_listen(radio, PhaseTag::AckWait, noack_listen);
+                }
+                AttemptOutcome::AccessFailure => unreachable!("handled above"),
+            }
+            ledger.accrue(radio, RadioState::Idle, PhaseTag::Ifs, ifs);
+        }
+
+        // Second wake-up for each transaction (the node slept between the
+        // beacon and its packet-ready offset).
+        for t in &trace.transactions {
+            ledgers[t.node as usize].accrue_transition(
+                radio,
+                RadioState::Shutdown,
+                RadioState::Idle,
+                PhaseTag::Contention,
+            );
+        }
+
+        // Sleep is the remainder of the window.
+        let mut node_powers = Vec::with_capacity(n_nodes);
+        let mut population = EnergyLedger::new();
+        for ledger in &mut ledgers {
+            let active = ledger.total_time();
+            let sleep = (window - active).max(Seconds::ZERO);
+            ledger.accrue(radio, RadioState::Shutdown, PhaseTag::Sleep, sleep);
+            node_powers.push(ledger.average_power(window));
+            population.merge(ledger);
+        }
+
+        let mean_node_power = Power::from_watts(
+            node_powers.iter().map(|p| p.watts()).sum::<f64>() / n_nodes.max(1) as f64,
+        );
+
+        let delivered_bits: f64 = trace.transactions.iter().filter(|t| t.delivered).count() as f64
+            * cfg.channel.packet.payload_bits() as f64;
+        let energy_per_bit_nj = if delivered_bits > 0.0 {
+            population.total_energy().nanojoules() / delivered_bits
+        } else {
+            f64::INFINITY
+        };
+
+        NetworkReport {
+            mean_node_power,
+            node_powers,
+            ledger: population,
+            failure_ratio: trace.transaction_failure_ratio(),
+            mean_delay: t_ib * trace.mean_delivery_superframes(),
+            mean_attempts: trace.mean_attempts(),
+            energy_per_bit_nj,
+            trace: trace.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_phy::ber::EmpiricalCc2420Ber;
+    use wsn_radio::state::StateKind;
+
+    fn small_config(load: f64, loss_db: f64, seed: u64) -> NetworkConfig {
+        let mut channel = ChannelSimConfig::figure6(120, load, seed);
+        channel.nodes = 20;
+        channel.superframes = 8;
+        NetworkConfig {
+            path_losses: vec![Db::new(loss_db); channel.nodes],
+            channel,
+            radio: RadioModel::cc2420(),
+            tx_policy: TxPowerPolicy::ChannelInversion {
+                target_rx: DBm::new(-88.0),
+            },
+            coordinator_tx: DBm::new(0.0),
+            wakeup_margin: Seconds::from_millis(1.0),
+        }
+    }
+
+    #[test]
+    fn average_power_is_hundreds_of_microwatts() {
+        let report =
+            NetworkSimulator::new(small_config(0.4, 70.0, 1)).run(&EmpiricalCc2420Ber::paper());
+        let uw = report.mean_node_power.microwatts();
+        assert!(
+            (50.0..1000.0).contains(&uw),
+            "mean node power {uw} µW outside plausible band"
+        );
+    }
+
+    #[test]
+    fn sleep_dominates_time_but_not_energy() {
+        let report =
+            NetworkSimulator::new(small_config(0.4, 70.0, 2)).run(&EmpiricalCc2420Ber::paper());
+        let fractions = report.ledger.state_time_fractions();
+        let shutdown_frac = fractions
+            .iter()
+            .find(|(k, _)| *k == StateKind::Shutdown)
+            .unwrap()
+            .1;
+        assert!(
+            shutdown_frac > 0.90,
+            "nodes should sleep ≥90 % of the time, got {shutdown_frac}"
+        );
+        let sleep_energy = report.ledger.energy_in_phase(PhaseTag::Sleep);
+        assert!(sleep_energy < report.ledger.total_energy() * 0.05);
+    }
+
+    #[test]
+    fn good_links_deliver_reliably() {
+        let report =
+            NetworkSimulator::new(small_config(0.2, 60.0, 3)).run(&EmpiricalCc2420Ber::paper());
+        assert!(
+            report.failure_ratio.value() < 0.1,
+            "failure ratio {} too high for a 60 dB path",
+            report.failure_ratio
+        );
+        assert!(report.mean_delay >= Seconds::ZERO);
+        assert!(report.mean_attempts >= 1.0);
+    }
+
+    #[test]
+    fn bad_links_fail_often_and_spend_more() {
+        let good =
+            NetworkSimulator::new(small_config(0.3, 60.0, 4)).run(&EmpiricalCc2420Ber::paper());
+        // 94 dB path: even 0 dBm arrives at −94 dBm where BER is high.
+        let bad =
+            NetworkSimulator::new(small_config(0.3, 94.0, 4)).run(&EmpiricalCc2420Ber::paper());
+        assert!(bad.failure_ratio.value() > good.failure_ratio.value());
+        assert!(bad.mean_attempts > good.mean_attempts);
+        assert!(bad.energy_per_bit_nj > good.energy_per_bit_nj);
+    }
+
+    #[test]
+    fn channel_inversion_picks_cheapest_sufficient_level() {
+        let losses = [Db::new(55.0), Db::new(75.0), Db::new(95.0)];
+        let levels = TxPowerPolicy::ChannelInversion {
+            target_rx: DBm::new(-88.0),
+        }
+        .resolve(&losses);
+        assert_eq!(levels[0], TxPowerLevel::Neg25); // −25 − 55 = −80 ≥ −88
+        assert_eq!(levels[1], TxPowerLevel::Neg10); // −10 − 75 = −85 ≥ −88
+        assert_eq!(levels[2], TxPowerLevel::Zero); // unreachable → strongest
+    }
+
+    #[test]
+    fn ledger_views_agree() {
+        let report =
+            NetworkSimulator::new(small_config(0.4, 75.0, 5)).run(&EmpiricalCc2420Ber::paper());
+        let by_state: f64 = StateKind::ALL
+            .iter()
+            .map(|&k| report.ledger.energy_in(k).joules())
+            .sum();
+        let by_phase: f64 = PhaseTag::ALL
+            .iter()
+            .map(|&p| report.ledger.energy_in_phase(p).joules())
+            .sum();
+        assert!((by_state - by_phase).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let a = NetworkSimulator::new(small_config(0.4, 70.0, 9)).run(&EmpiricalCc2420Ber::paper());
+        let b = NetworkSimulator::new(small_config(0.4, 70.0, 9)).run(&EmpiricalCc2420Ber::paper());
+        assert_eq!(a.mean_node_power, b.mean_node_power);
+        assert_eq!(a.failure_ratio, b.failure_ratio);
+    }
+
+    #[test]
+    #[should_panic(expected = "one path loss per node")]
+    fn mismatched_losses_rejected() {
+        let mut cfg = small_config(0.4, 70.0, 1);
+        cfg.path_losses.pop();
+        let _ = NetworkSimulator::new(cfg);
+    }
+}

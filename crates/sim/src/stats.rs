@@ -1,0 +1,219 @@
+//! Statistics accumulators and the contention-statistics exchange type.
+
+use core::fmt;
+
+use wsn_units::{Probability, Seconds};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// assert!((acc.mean() - 5.0).abs() < 1e-12);
+/// assert!((acc.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn population_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n as f64 - 1.0) / self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Ratio counter for event probabilities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    hits: u64,
+    trials: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Registers a trial, counting it as a hit when `hit` is true.
+    pub fn observe(&mut self, hit: bool) {
+        self.trials += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Number of hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Hit ratio (0 when no trials were observed).
+    pub fn ratio(&self) -> Probability {
+        if self.trials == 0 {
+            Probability::ZERO
+        } else {
+            Probability::clamped(self.hits as f64 / self.trials as f64)
+        }
+    }
+}
+
+/// The four contention quantities the analytical model consumes (paper
+/// Figure 6), plus sample counts for error estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ContentionStats {
+    /// Mean contention duration `T̄_cont` (contention start → transmission
+    /// start, or → failure report).
+    pub mean_contention: Seconds,
+    /// Mean number of clear channel assessments per procedure `N̄_CCA`.
+    pub mean_ccas: f64,
+    /// Residual collision probability per transmission `Pr_col`.
+    pub pr_collision: Probability,
+    /// Channel access failure probability per procedure `Pr_cf`.
+    pub pr_access_failure: Probability,
+    /// Number of contention procedures observed.
+    pub procedures: u64,
+    /// Number of transmissions observed.
+    pub transmissions: u64,
+}
+
+impl ContentionStats {
+    /// An idealized, collision-free environment: the minimum the procedure
+    /// can cost (mean initial backoff of 3.5 slots for BE = 3, two CCAs,
+    /// nothing ever busy). Useful as an ablation baseline.
+    pub fn ideal() -> Self {
+        ContentionStats {
+            // Mean backoff (2^3−1)/2 = 3.5 periods + 2 CCA slots.
+            mean_contention: Seconds::from_micros(3.5 * 320.0 + 2.0 * 320.0),
+            mean_ccas: 2.0,
+            pr_collision: Probability::ZERO,
+            pr_access_failure: Probability::ZERO,
+            procedures: 0,
+            transmissions: 0,
+        }
+    }
+}
+
+impl fmt::Display for ContentionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T_cont={} N_CCA={:.2} Pr_col={:.4} Pr_cf={:.4} (n={})",
+            self.mean_contention,
+            self.mean_ccas,
+            self.pr_collision.value(),
+            self.pr_access_failure.value(),
+            self.procedures
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_welford_reference() {
+        let mut acc = Accumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.population_variance(), 0.0);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 5);
+        assert!((acc.mean() - 3.0).abs() < 1e-12);
+        assert!((acc.population_variance() - 2.0).abs() < 1e-12);
+        assert!(acc.standard_error() > 0.0);
+    }
+
+    #[test]
+    fn accumulator_is_shift_stable() {
+        // Welford should not lose precision with a large offset.
+        let mut acc = Accumulator::new();
+        for x in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            acc.push(x);
+        }
+        assert!((acc.mean() - (1e9 + 10.0)).abs() < 1e-3);
+        assert!((acc.population_variance() - 22.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn counter_ratio() {
+        let mut c = Counter::new();
+        assert_eq!(c.ratio(), Probability::ZERO);
+        for i in 0..10 {
+            c.observe(i % 4 == 0);
+        }
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.trials(), 10);
+        assert!((c.ratio().value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_stats_are_contention_free() {
+        let s = ContentionStats::ideal();
+        assert_eq!(s.pr_collision, Probability::ZERO);
+        assert_eq!(s.pr_access_failure, Probability::ZERO);
+        assert_eq!(s.mean_ccas, 2.0);
+        assert!((s.mean_contention.micros() - 1760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_display() {
+        let s = ContentionStats::ideal();
+        let txt = s.to_string();
+        assert!(txt.contains("N_CCA=2.00"), "{txt}");
+    }
+}

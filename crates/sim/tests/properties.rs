@@ -1,0 +1,119 @@
+//! Property-based tests for the simulator: event ordering, RNG ranges, and
+//! structural invariants of contention traces.
+
+use proptest::prelude::*;
+
+use wsn_sim::contention::{run_channel_sim, AttemptOutcome};
+use wsn_sim::events::EventQueue;
+use wsn_sim::{ChannelSimConfig, Xoshiro256StarStar};
+
+proptest! {
+    /// Pops come out sorted by (time, priority) with FIFO tie-breaking.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        events in proptest::collection::vec((0u64..1000, 0u8..3), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &(t, prio)) in events.iter().enumerate() {
+            q.push(t, prio, i);
+        }
+        let mut last: Option<(u64, u8, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            let prio = events[idx].1;
+            if let Some((lt, lp, lidx)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(prio >= lp, "priority order violated");
+                    if prio == lp {
+                        prop_assert!(idx > lidx, "FIFO violated within class");
+                    }
+                }
+            }
+            last = Some((t, prio, idx));
+        }
+    }
+
+    /// `range_u32(n)` is always `< n`.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), n in 1u32..10_000) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.range_u32(n) < n);
+        }
+    }
+
+    /// Split streams are pure functions of (state, stream id).
+    #[test]
+    fn rng_split_is_pure(seed in any::<u64>(), stream in any::<u64>()) {
+        let root = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut a = root.split(stream);
+        let mut b = root.split(stream);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Contention traces satisfy structural invariants for arbitrary
+    /// loads, payloads and seeds: probabilities in range, attempts within
+    /// the retry budget, CCAs within the CSMA bound.
+    #[test]
+    fn contention_trace_invariants(
+        payload in 5usize..=123,
+        load_pct in 5u32..=90,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ChannelSimConfig::figure6(payload, load_pct as f64 / 100.0, seed);
+        cfg.nodes = 20;
+        cfg.superframes = 4;
+        let trace = run_channel_sim(&cfg, |_| false);
+
+        let max_rounds = cfg.csma.max_backoffs as u32 + 1;
+        for a in &trace.attempts {
+            prop_assert!(a.ccas >= 1);
+            prop_assert!(a.ccas <= max_rounds * cfg.csma.cw as u32);
+            if a.outcome == AttemptOutcome::AccessFailure {
+                // A failed procedure performed at least one CCA per round.
+                prop_assert!(a.ccas >= max_rounds);
+            }
+        }
+        for t in &trace.transactions {
+            prop_assert!(t.attempts <= cfg.retries.n_max());
+            if t.delivered {
+                prop_assert!(t.attempts >= 1);
+                prop_assert!(!t.access_failure);
+            }
+        }
+
+        let stats = trace.contention_stats();
+        prop_assert!(stats.pr_collision.value() <= 1.0);
+        prop_assert!(stats.pr_access_failure.value() <= 1.0);
+        if stats.procedures > 0 {
+            prop_assert!(stats.mean_ccas >= 1.0);
+            prop_assert!(stats.mean_contention.secs() >= 0.0);
+        }
+    }
+
+    /// With no corruption, every transmitted-and-uncollided attempt is
+    /// delivered — outcome accounting is conserved.
+    #[test]
+    fn outcome_conservation(seed in any::<u64>()) {
+        let mut cfg = ChannelSimConfig::figure6(50, 0.3, seed);
+        cfg.nodes = 15;
+        cfg.superframes = 4;
+        let trace = run_channel_sim(&cfg, |_| false);
+        let delivered_attempts = trace
+            .attempts
+            .iter()
+            .filter(|a| a.outcome == AttemptOutcome::Delivered)
+            .count();
+        let delivered_transactions =
+            trace.transactions.iter().filter(|t| t.delivered).count();
+        // Every delivered transaction ends with exactly one delivered
+        // attempt, and no corrupted attempts can exist without an oracle.
+        prop_assert_eq!(delivered_attempts, delivered_transactions);
+        prop_assert!(trace
+            .attempts
+            .iter()
+            .all(|a| a.outcome != AttemptOutcome::Corrupted));
+    }
+}

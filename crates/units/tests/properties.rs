@@ -1,0 +1,108 @@
+//! Property-based tests for the quantity types: conversions roundtrip and
+//! dimensional arithmetic is consistent wherever it is defined.
+
+use proptest::prelude::*;
+
+use wsn_units::{Current, DBm, Db, Energy, Power, Probability, Seconds, Voltage};
+
+proptest! {
+    /// dBm → watts → dBm is the identity over the radio-relevant range.
+    #[test]
+    fn dbm_power_roundtrip(dbm in -120.0..30.0f64) {
+        let back = DBm::new(dbm).to_power().to_dbm();
+        prop_assert!((back.dbm() - dbm).abs() < 1e-9);
+    }
+
+    /// Positive powers roundtrip through dBm.
+    #[test]
+    fn power_dbm_roundtrip(uw in 1e-6..1e9f64) {
+        let p = Power::from_microwatts(uw);
+        let back = p.to_dbm().to_power();
+        prop_assert!((back.microwatts() - uw).abs() < uw * 1e-9);
+    }
+
+    /// Applying then removing a gain is the identity.
+    #[test]
+    fn db_gain_inverts(dbm in -120.0..20.0f64, gain in -60.0..60.0f64) {
+        let level = DBm::new(dbm);
+        let g = Db::new(gain);
+        let back = (level + g) - g;
+        prop_assert!((back.dbm() - dbm).abs() < 1e-12);
+    }
+
+    /// `DBm − DBm` then re-applied recovers the original difference.
+    #[test]
+    fn dbm_difference_consistent(a in -120.0..20.0f64, b in -120.0..20.0f64) {
+        let d = DBm::new(a) - DBm::new(b);
+        prop_assert!(((DBm::new(b) + d).dbm() - a).abs() < 1e-12);
+    }
+
+    /// Linear/log conversion of ratios roundtrips.
+    #[test]
+    fn db_linear_roundtrip(db in -80.0..80.0f64) {
+        let back = Db::from_linear(Db::new(db).to_linear());
+        prop_assert!((back.db() - db).abs() < 1e-9);
+    }
+
+    /// (P × t) / t recovers P; (P × t) / P recovers t.
+    #[test]
+    fn energy_factorization(mw in 1e-3..1e3f64, ms in 1e-3..1e4f64) {
+        let p = Power::from_milliwatts(mw);
+        let t = Seconds::from_millis(ms);
+        let e = p * t;
+        prop_assert!(((e / t).milliwatts() - mw).abs() < mw * 1e-12);
+        prop_assert!(((e / p).millis() - ms).abs() < ms * 1e-12);
+    }
+
+    /// I × V = P is bilinear.
+    #[test]
+    fn electrical_power_bilinear(ma in 0.0..100.0f64, v in 0.1..5.0f64, k in 0.1..10.0f64) {
+        let base = Current::from_milliamps(ma) * Voltage::from_volts(v);
+        let scaled = Current::from_milliamps(ma * k) * Voltage::from_volts(v);
+        prop_assert!((scaled.watts() - base.watts() * k).abs() < 1e-12 * (1.0 + base.watts() * k));
+    }
+
+    /// Energy accumulation is associative enough for ledger use.
+    #[test]
+    fn energy_sum_order_independent(parts in proptest::collection::vec(0.0..1e3f64, 1..20)) {
+        let forward: Energy = parts.iter().map(|&j| Energy::from_microjoules(j)).sum();
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        let backward: Energy = reversed.iter().map(|&j| Energy::from_microjoules(j)).sum();
+        prop_assert!((forward.joules() - backward.joules()).abs() < 1e-9 * (1.0 + forward.joules()));
+    }
+
+    /// Probabilities stay in range under complement and product.
+    #[test]
+    fn probability_closed_under_ops(a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+        let pa = Probability::new(a).unwrap();
+        let pb = Probability::new(b).unwrap();
+        let joint = pa * pb;
+        prop_assert!(joint.value() >= 0.0 && joint.value() <= 1.0);
+        prop_assert!(joint.value() <= pa.value() + 1e-15);
+        let c = pa.complement();
+        prop_assert!((c.complement().value() - a).abs() < 1e-15);
+    }
+
+    /// `pow` is consistent with repeated multiplication.
+    #[test]
+    fn probability_pow_consistent(p in 0.0..=1.0f64, n in 0u32..8) {
+        let pr = Probability::new(p).unwrap();
+        let mut manual = Probability::ONE;
+        for _ in 0..n {
+            manual = manual * pr;
+        }
+        prop_assert!((pr.pow(n).value() - manual.value()).abs() < 1e-12);
+    }
+
+    /// Display of quantities never panics and is non-empty.
+    #[test]
+    fn displays_are_total(x in -1e12..1e12f64) {
+        let p = Power::from_watts(x).to_string();
+        let e = Energy::from_joules(x).to_string();
+        let t = Seconds::from_secs(x).to_string();
+        prop_assert!(!p.is_empty());
+        prop_assert!(!e.is_empty());
+        prop_assert!(!t.is_empty());
+    }
+}

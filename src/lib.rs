@@ -1,0 +1,13 @@
+//! Umbrella crate re-exporting the full IEEE 802.15.4 energy-modeling stack.
+//!
+//! This crate exists so that examples and integration tests can address the
+//! whole workspace through one dependency. Each sub-crate is re-exported
+//! under its short name.
+
+pub use wsn_channel as channel;
+pub use wsn_core as model;
+pub use wsn_mac as mac;
+pub use wsn_phy as phy;
+pub use wsn_radio as radio;
+pub use wsn_sim as sim;
+pub use wsn_units as units;

@@ -1,0 +1,76 @@
+//! Integration test: compose the uplink model with the downlink and
+//! coordinator extensions into a full bidirectional energy budget.
+
+use ieee802154_energy::mac::BeaconOrder;
+use ieee802154_energy::model::activation::{ActivationModel, ModelInputs};
+use ieee802154_energy::model::contention::{ContentionModel, IdealContention};
+use ieee802154_energy::model::coordinator::{coordinator_power, CoordinatorInputs};
+use ieee802154_energy::model::downlink::{downlink_average_power, downlink_cost};
+use ieee802154_energy::phy::ber::EmpiricalCc2420Ber;
+use ieee802154_energy::phy::frame::PacketLayout;
+use ieee802154_energy::radio::{RadioModel, TxPowerLevel};
+use ieee802154_energy::units::{Db, Seconds};
+
+#[test]
+fn node_budget_with_occasional_downlink() {
+    let radio = RadioModel::cc2420();
+    let model = ActivationModel::paper_defaults(radio.clone());
+    let packet = PacketLayout::with_payload(120).unwrap();
+    let bo = BeaconOrder::new(6).unwrap();
+    let stats = IdealContention.stats(0.42, packet);
+
+    let uplink = model.evaluate(
+        &ModelInputs {
+            packet,
+            beacon_order: bo,
+            tx_level: TxPowerLevel::Neg5,
+            path_loss: Db::new(75.0),
+            contention: stats,
+        },
+        &EmpiricalCc2420Ber::paper(),
+    );
+
+    // One downlink configuration frame per 100 superframes, with a prompt
+    // coordinator.
+    let dl = downlink_cost(
+        &radio,
+        PacketLayout::with_payload(20).unwrap(),
+        &stats,
+        TxPowerLevel::Neg5,
+        Some(Seconds::from_micros(192.0)),
+    );
+    let dl_power = downlink_average_power(&dl, 0.01, bo.beacon_interval());
+
+    let total = uplink.average_power + dl_power;
+    // The occasional downlink must be a small surcharge, not a doubling.
+    assert!(
+        dl_power.watts() < uplink.average_power.watts() * 0.05,
+        "1 % downlink rate costs {} on top of {}",
+        dl_power,
+        uplink.average_power
+    );
+    assert!(total.microwatts() < 300.0);
+}
+
+#[test]
+fn coordinator_dwarfs_node_budget() {
+    let radio = RadioModel::cc2420();
+    let report = coordinator_power(
+        &radio,
+        &CoordinatorInputs {
+            beacon_order: BeaconOrder::new(6).unwrap(),
+            packet: PacketLayout::with_payload(120).unwrap(),
+            nodes: 100,
+            mean_attempts_per_node: 1.1,
+            acked_fraction: 0.88,
+            tx_level: TxPowerLevel::Zero,
+        },
+    );
+    // The star topology concentrates the cost: the coordinator burns
+    // ~35 mW while nodes run at ~200 µW — two orders of magnitude apart,
+    // which is why the paper assumes a mains-powered base station.
+    assert!(report.average_power.milliwatts() > 20.0);
+    assert!(report.rx_duty > 0.9);
+    let node_uw = 211.0;
+    assert!(report.average_power.microwatts() / node_uw > 100.0);
+}

@@ -1,0 +1,72 @@
+//! Full-stack frame test: MAC beacon payload → MAC frame → PPDU → chip
+//! spreading → AWGN-free despreading → parse — across four crates.
+
+use ieee802154_energy::mac::beacon::BeaconPayload;
+use ieee802154_energy::mac::SuperframeConfig;
+use ieee802154_energy::phy::frame::{Address, MacFrame, Ppdu};
+use ieee802154_energy::phy::spreading::{despread, spread_bytes, symbols_to_bytes};
+
+/// Encode → spread → despread → decode a beacon end-to-end.
+#[test]
+fn beacon_survives_the_chip_domain() {
+    let config = SuperframeConfig::fully_active(6).expect("valid BO");
+    let mut payload = BeaconPayload::for_config(config);
+    payload.pending_short = vec![0x0042, 0x0099];
+
+    let frame = MacFrame::beacon(17, 0x1234, Address::Short(0x0000), payload.serialize());
+    let mpdu = frame.serialize().expect("fits in a PPDU");
+    let ppdu = Ppdu::new(mpdu).expect("within 127 bytes");
+    let air_bytes = ppdu.serialize();
+
+    // PHY: every byte becomes two 32-chip sequences.
+    let chips = spread_bytes(&air_bytes);
+    assert_eq!(chips.len(), air_bytes.len() * 2);
+
+    // Receiver: hard-decision despreading recovers the byte stream.
+    let symbols: Vec<_> = chips.into_iter().map(despread).collect();
+    let received = symbols_to_bytes(&symbols);
+    assert_eq!(received, air_bytes);
+
+    // MAC parse on the receiver side.
+    let psdu = &received[6..]; // preamble 4 + SFD 1 + PHR 1
+    let parsed = MacFrame::parse(psdu).expect("valid frame");
+    assert_eq!(parsed, frame);
+    let parsed_payload = BeaconPayload::parse(&parsed.payload).expect("valid beacon");
+    assert_eq!(parsed_payload, payload);
+    assert!(parsed_payload.has_pending(0x0042));
+}
+
+/// Chip-level corruption within the correction radius is transparent; the
+/// FCS catches heavier corruption.
+#[test]
+fn corruption_is_corrected_or_detected() {
+    let frame = MacFrame::data(
+        5,
+        0xBEEF,
+        Address::Short(0x0001),
+        Address::Short(0x0002),
+        (0u8..64).collect(),
+        true,
+    );
+    let mpdu = frame.serialize().expect("fits");
+    let chips = spread_bytes(&mpdu);
+
+    // Flip 4 chips in every sequence: despreading must correct them all
+    // (minimum pairwise distance is ≥ 12).
+    let corrupted: Vec<_> = chips
+        .iter()
+        .map(|c| {
+            ieee802154_energy::phy::spreading::ChipSequence::from_raw(
+                c.raw() ^ 0b1001_0000_0010_0001,
+            )
+        })
+        .collect();
+    let symbols: Vec<_> = corrupted.into_iter().map(despread).collect();
+    let received = symbols_to_bytes(&symbols);
+    assert_eq!(received, mpdu, "4 chip errors per symbol must be corrected");
+
+    // Byte-level corruption after despreading: FCS must reject.
+    let mut broken = mpdu.clone();
+    broken[10] ^= 0xFF;
+    assert!(MacFrame::parse(&broken).is_err());
+}
