@@ -11,8 +11,9 @@
 //! 4. **GTS capacity**: why guaranteed time slots cannot serve the dense
 //!    scenario.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin ablations [superframes]`
+//! Usage: `cargo run --release -p wsn-bench --bin ablations [superframes] [--threads N]`
 
+use wsn_bench::RunArgs;
 use wsn_core::activation::ActivationModel;
 use wsn_core::case_study::CaseStudy;
 use wsn_core::contention::{
@@ -22,32 +23,46 @@ use wsn_mac::csma::CsmaParams;
 use wsn_mac::gts::max_gts_devices;
 use wsn_phy::ber::EmpiricalCc2420Ber;
 use wsn_radio::RadioModel;
-use wsn_sim::{simulate_contention, ChannelSimConfig};
+use wsn_sim::ChannelSimConfig;
 
 fn main() {
-    let superframes: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50);
+    let args = RunArgs::parse(50);
+    let superframes = args.superframes;
+    let runner = args.runner();
 
     let study = CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420()));
     let load = study.load();
     let ber = EmpiricalCc2420Ber::paper();
 
-    println!("# Ablation 1 — CSMA parameter presets at the case-study load (λ={load:.2})");
-    println!("preset,T_cont_ms,N_CCA,Pr_col,Pr_cf");
-    for (name, params) in [
+    // Ablations 1 and 2 are independent simulations: one sweep on the
+    // parallel runner covers all five configurations.
+    let presets = [
         ("standard_2003 (5 rounds)", CsmaParams::standard_2003()),
         ("paper literal (3 rounds)", CsmaParams::paper()),
         (
             "battery-life-extension",
             CsmaParams::battery_life_extension(),
         ),
-    ] {
+    ];
+    let arrivals = [("staggered (used)", false), ("beacon-synchronized", true)];
+    let mut configs = Vec::new();
+    for (_, params) in presets {
         let mut cfg = ChannelSimConfig::figure6(120, load, 0xAB1A);
         cfg.csma = params;
         cfg.superframes = superframes;
-        let s = simulate_contention(&cfg);
+        configs.push(cfg);
+    }
+    for (_, synced) in arrivals {
+        let mut cfg = ChannelSimConfig::figure6(120, load, 0xAB1B);
+        cfg.synchronized_arrivals = synced;
+        cfg.superframes = superframes;
+        configs.push(cfg);
+    }
+    let sweep = runner.sweep_contention(&configs);
+
+    println!("# Ablation 1 — CSMA parameter presets at the case-study load (λ={load:.2})");
+    println!("preset,T_cont_ms,N_CCA,Pr_col,Pr_cf");
+    for ((name, _), s) in presets.iter().zip(&sweep) {
         println!(
             "{name},{:.2},{:.2},{:.4},{:.4}",
             s.mean_contention.millis(),
@@ -59,11 +74,7 @@ fn main() {
 
     println!("\n# Ablation 2 — arrival pattern at the case-study load");
     println!("arrivals,T_cont_ms,N_CCA,Pr_col,Pr_cf");
-    for (name, synced) in [("staggered (used)", false), ("beacon-synchronized", true)] {
-        let mut cfg = ChannelSimConfig::figure6(120, load, 0xAB1B);
-        cfg.synchronized_arrivals = synced;
-        cfg.superframes = superframes;
-        let s = simulate_contention(&cfg);
+    for ((name, _), s) in arrivals.iter().zip(&sweep[presets.len()..]) {
         println!(
             "{name},{:.2},{:.2},{:.4},{:.4}",
             s.mean_contention.millis(),
@@ -76,6 +87,7 @@ fn main() {
     println!("\n# Ablation 3 — contention source for the full case study");
     println!("source,power_uW,fail_pct,delay_s");
     let mc = MonteCarloContention::figure6().with_superframes(superframes);
+    mc.prewarm(&runner, &[(study.load(), study.packet())]);
     let analytic = AnalyticContention::new();
     let sources: [(&str, &dyn ContentionModel); 3] = [
         ("monte-carlo", &mc),

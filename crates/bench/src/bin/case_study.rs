@@ -7,8 +7,9 @@
 //! Paper reference values: average power 211 µW, delivery delay 1.45 s,
 //! transmission failure probability 16 %, load 42 %.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin case_study [superframes]`
+//! Usage: `cargo run --release -p wsn-bench --bin case_study [superframes] [--threads N]`
 
+use wsn_bench::RunArgs;
 use wsn_core::activation::ActivationModel;
 use wsn_core::case_study::CaseStudy;
 use wsn_core::contention::{ContentionModel, IdealContention, MonteCarloContention};
@@ -16,14 +17,12 @@ use wsn_phy::ber::EmpiricalCc2420Ber;
 use wsn_radio::{PhaseTag, RadioModel, StateKind};
 
 fn main() {
-    let superframes: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
+    let args = RunArgs::parse(60);
 
     let study = CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420()));
     let ber = EmpiricalCc2420Ber::paper();
-    let mc = MonteCarloContention::figure6().with_superframes(superframes);
+    let mc = MonteCarloContention::figure6().with_superframes(args.superframes);
+    mc.prewarm(&args.runner(), &[(study.load(), study.packet())]);
 
     println!("# Case study (paper §5)");
     println!(

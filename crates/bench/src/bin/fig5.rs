@@ -6,22 +6,21 @@
 //! means walking one expected transaction and printing each phase with its
 //! duration, radio state and energy.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin fig5 [superframes]`
+//! Usage: `cargo run --release -p wsn-bench --bin fig5 [superframes] [--threads N]`
 
+use wsn_bench::RunArgs;
 use wsn_core::contention::{ContentionModel, MonteCarloContention};
 use wsn_phy::frame::{ack_duration, beacon_duration, PacketLayout};
 use wsn_radio::{RadioModel, RadioState, TxPowerLevel};
 use wsn_units::Seconds;
 
 fn main() {
-    let superframes: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
+    let args = RunArgs::parse(40);
 
     let radio = RadioModel::cc2420();
     let packet = PacketLayout::with_payload(120).expect("within range");
-    let mc = MonteCarloContention::figure6().with_superframes(superframes);
+    let mc = MonteCarloContention::figure6().with_superframes(args.superframes);
+    mc.prewarm(&args.runner(), &[(0.433, packet)]);
     let stats = mc.stats(0.433, packet);
     let level = TxPowerLevel::Neg5;
 

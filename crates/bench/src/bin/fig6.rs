@@ -4,52 +4,80 @@
 //!
 //! Prints one CSV block per metric: mean contention duration, mean number
 //! of CCAs, collision probability and channel-access-failure probability.
+//! The 72 parameter points are independent simulations and run on the
+//! parallel [`Runner`]; results are bit-identical to the serial sweep.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin fig6 [superframes]`
+//! With `--json`, per-point wall-clock and statistics — plus a serial
+//! reference timing and the resulting speedup — are written to
+//! `BENCH_contention.json` so the performance trajectory is machine
+//! readable across PRs.
+//!
+//! Usage: `cargo run --release -p wsn-bench --bin fig6 [superframes] [--threads N] [--json]`
 
-use wsn_sim::{simulate_contention, ChannelSimConfig};
+use std::time::Instant;
+
+use wsn_bench::{elapsed_ms, Json, RunArgs};
+use wsn_sim::{ChannelSimConfig, ContentionStats, Runner};
+
+fn configs_for(payloads: &[usize], loads: &[f64], superframes: u32) -> Vec<ChannelSimConfig> {
+    let mut configs = Vec::with_capacity(payloads.len() * loads.len());
+    for &payload in payloads {
+        for &load in loads {
+            let mut cfg = ChannelSimConfig::figure6(payload, load, 0xF166 + payload as u64);
+            cfg.superframes = superframes;
+            configs.push(cfg);
+        }
+    }
+    configs
+}
+
+/// Runs the sweep, timing each point; returns `(stats, point_wall_ms)` in
+/// config order plus the total wall-clock in milliseconds.
+fn timed_sweep(runner: &Runner, configs: &[ChannelSimConfig]) -> (Vec<(ContentionStats, f64)>, f64) {
+    let t0 = Instant::now();
+    let rows = runner.map(configs, |_, cfg| {
+        let t = Instant::now();
+        let stats = wsn_sim::simulate_contention(cfg);
+        (stats, elapsed_ms(t))
+    });
+    let total = elapsed_ms(t0);
+    (rows, total)
+}
 
 fn main() {
-    let superframes: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
+    let args = RunArgs::parse(60);
+    let runner = args.runner();
 
     let payloads = [10usize, 20, 50, 100];
     let loads: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
+    let configs = configs_for(&payloads, &loads, args.superframes);
 
-    let mut rows = Vec::new();
-    for &payload in &payloads {
-        for &load in &loads {
-            let mut cfg = ChannelSimConfig::figure6(payload, load, 0xF166 + payload as u64);
-            cfg.superframes = superframes;
-            let stats = simulate_contention(&cfg);
-            rows.push((payload, load, stats));
-        }
-    }
+    let (rows, wall_ms) = timed_sweep(&runner, &configs);
 
     println!("# Figure 6 — slotted CSMA/CA behaviour, 100 nodes/channel");
     println!(
-        "# ({} superframes per point, standard CSMA parameters)",
-        superframes
+        "# ({} superframes per point, standard CSMA parameters, {} threads, {:.0} ms)",
+        args.superframes,
+        runner.threads(),
+        wall_ms
     );
     for (title, f) in [
         (
             "mean contention duration T_cont [ms]",
-            Box::new(|s: &wsn_sim::ContentionStats| s.mean_contention.millis())
-                as Box<dyn Fn(&wsn_sim::ContentionStats) -> f64>,
+            Box::new(|s: &ContentionStats| s.mean_contention.millis())
+                as Box<dyn Fn(&ContentionStats) -> f64>,
         ),
         (
             "mean CCAs per procedure N_CCA",
-            Box::new(|s: &wsn_sim::ContentionStats| s.mean_ccas),
+            Box::new(|s: &ContentionStats| s.mean_ccas),
         ),
         (
             "collision probability Pr_col",
-            Box::new(|s: &wsn_sim::ContentionStats| s.pr_collision.value()),
+            Box::new(|s: &ContentionStats| s.pr_collision.value()),
         ),
         (
             "channel access failure probability Pr_cf",
-            Box::new(|s: &wsn_sim::ContentionStats| s.pr_access_failure.value()),
+            Box::new(|s: &ContentionStats| s.pr_access_failure.value()),
         ),
     ] {
         println!("\n## {title}");
@@ -58,17 +86,64 @@ fn main() {
             print!(",{p}B");
         }
         println!();
-        for &load in &loads {
+        for (load_idx, &load) in loads.iter().enumerate() {
             print!("{load:.2}");
-            for &p in &payloads {
-                let s = &rows
-                    .iter()
-                    .find(|(pp, ll, _)| *pp == p && (*ll - load).abs() < 1e-9)
-                    .expect("row exists")
-                    .2;
-                print!(",{:.4}", f(s));
+            for payload_idx in 0..payloads.len() {
+                // Rows are laid out payload-major by construction.
+                let (stats, _) = &rows[payload_idx * loads.len() + load_idx];
+                print!(",{:.4}", f(stats));
             }
             println!();
         }
+    }
+
+    if args.json {
+        // Serial reference pass for the recorded speedup (skipped when the
+        // sweep already ran single-threaded — it would be the same run).
+        let (serial_wall_ms, speedup) = if runner.threads() > 1 {
+            let (_, serial_ms) = timed_sweep(&Runner::serial(), &configs);
+            (Json::Num(serial_ms), Json::Num(serial_ms / wall_ms))
+        } else {
+            (Json::Null, Json::Null)
+        };
+
+        let points: Vec<Json> = configs
+            .iter()
+            .zip(&rows)
+            .map(|(cfg, (stats, point_ms))| {
+                Json::Obj(vec![
+                    ("payload_bytes", Json::Int(cfg.packet.payload_bytes() as i64)),
+                    ("load", Json::Num(cfg.load)),
+                    ("wall_ms", Json::Num(*point_ms)),
+                    ("t_cont_ms", Json::Num(stats.mean_contention.millis())),
+                    ("n_cca", Json::Num(stats.mean_ccas)),
+                    ("pr_col", Json::Num(stats.pr_collision.value())),
+                    ("pr_cf", Json::Num(stats.pr_access_failure.value())),
+                    ("procedures", Json::Int(stats.procedures as i64)),
+                ])
+            })
+            .collect();
+
+        let doc = Json::Obj(vec![
+            ("benchmark", Json::Str("fig6_contention_sweep".into())),
+            ("superframes", Json::Int(args.superframes as i64)),
+            ("threads", Json::Int(runner.threads() as i64)),
+            (
+                "host_cpus",
+                Json::Int(
+                    std::thread::available_parallelism()
+                        .map(|n| n.get() as i64)
+                        .unwrap_or(1),
+                ),
+            ),
+            ("points_total", Json::Int(points.len() as i64)),
+            ("wall_ms", Json::Num(wall_ms)),
+            ("serial_wall_ms", serial_wall_ms),
+            ("speedup_vs_serial", speedup),
+            ("points", Json::Arr(points)),
+        ]);
+        let path = "BENCH_contention.json";
+        std::fs::write(path, doc.render()).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
     }
 }

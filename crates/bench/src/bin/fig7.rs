@@ -7,8 +7,9 @@
 //! ≈135 nJ/bit (low loss) to ≈220 nJ/bit (88 dB); adapting saves up to
 //! ≈40 % versus always transmitting at 0 dBm.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin fig7 [superframes]`
+//! Usage: `cargo run --release -p wsn-bench --bin fig7 [superframes] [--threads N]`
 
+use wsn_bench::RunArgs;
 use wsn_core::activation::ActivationModel;
 use wsn_core::contention::MonteCarloContention;
 use wsn_core::link_adaptation::LinkAdaptation;
@@ -19,21 +20,23 @@ use wsn_radio::{RadioModel, TxPowerLevel};
 use wsn_units::Db;
 
 fn main() {
-    let superframes: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
+    let args = RunArgs::parse(40);
 
+    let packet = PacketLayout::with_payload(120).expect("within range");
     let study = LinkAdaptation::new(
         ActivationModel::paper_defaults(RadioModel::cc2420()),
-        PacketLayout::with_payload(120).expect("within range"),
+        packet,
         BeaconOrder::new(6).expect("valid"),
     );
     let ber = EmpiricalCc2420Ber::paper();
-    let mc = MonteCarloContention::figure6().with_superframes(superframes);
+    let mc = MonteCarloContention::figure6().with_superframes(args.superframes);
 
     let losses: Vec<Db> = (50..=95).map(|a| Db::new(a as f64)).collect();
     let loads = [0.1, 0.42, 0.7];
+
+    // All three Monte-Carlo points up front, on the parallel runner.
+    let points: Vec<(f64, PacketLayout)> = loads.iter().map(|&l| (l, packet)).collect();
+    mc.prewarm(&args.runner(), &points);
 
     println!("# Figure 7 — optimal energy per bit vs path loss (120 B payload)");
     println!("\npath_loss_db,e_bit_nj@0.10,e_bit_nj@0.42,e_bit_nj@0.70,level@0.42");

@@ -5,21 +5,20 @@
 //! the maximum 123-byte payload (the MAC overhead dominates), so buffering
 //! to the largest packet is optimal.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin fig8 [superframes]`
+//! Usage: `cargo run --release -p wsn-bench --bin fig8 [superframes] [--threads N]`
 
+use wsn_bench::RunArgs;
 use wsn_core::activation::ActivationModel;
 use wsn_core::contention::MonteCarloContention;
 use wsn_core::packet_sizing::PacketSizing;
 use wsn_mac::BeaconOrder;
 use wsn_phy::ber::EmpiricalCc2420Ber;
+use wsn_phy::frame::PacketLayout;
 use wsn_radio::{RadioModel, TxPowerLevel};
 use wsn_units::Db;
 
 fn main() {
-    let superframes: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
+    let args = RunArgs::parse(40);
 
     // A representative mid-population link: 75 dB at −5 dBm.
     let study = PacketSizing::new(
@@ -29,10 +28,22 @@ fn main() {
         Db::new(75.0),
     );
     let ber = EmpiricalCc2420Ber::paper();
-    let mc = MonteCarloContention::figure6().with_superframes(superframes);
+    let mc = MonteCarloContention::figure6().with_superframes(args.superframes);
 
     let payloads: Vec<usize> = (1..=12).map(|i| i * 10).chain([123]).collect();
     let loads = [0.1, 0.42, 0.7];
+
+    // The full 13×3 (payload, load) Monte-Carlo grid, on the parallel
+    // runner — the dominant cost of this figure.
+    let points: Vec<(f64, PacketLayout)> = loads
+        .iter()
+        .flat_map(|&l| {
+            payloads
+                .iter()
+                .map(move |&p| (l, PacketLayout::with_payload(p).expect("within range")))
+        })
+        .collect();
+    mc.prewarm(&args.runner(), &points);
 
     println!("# Figure 8 — energy per bit vs payload size (75 dB, −5 dBm)");
     println!("\npayload_bytes,e_bit_nj@0.10,e_bit_nj@0.42,e_bit_nj@0.70");

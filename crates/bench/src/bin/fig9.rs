@@ -10,8 +10,9 @@
 //! <50 %, ACK(+IFS) ≈15 %; time — shutdown 98.77 %, idle 0.47 %,
 //! TX 0.48 %, RX 0.28 %.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin fig9 [superframes]`
+//! Usage: `cargo run --release -p wsn-bench --bin fig9 [superframes] [--threads N]`
 
+use wsn_bench::RunArgs;
 use wsn_core::activation::ActivationModel;
 use wsn_core::case_study::CaseStudy;
 use wsn_core::contention::MonteCarloContention;
@@ -23,14 +24,13 @@ use wsn_sim::ChannelSimConfig;
 use wsn_units::{Db, Seconds};
 
 fn main() {
-    let superframes: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
+    let args = RunArgs::parse(40);
+    let superframes = args.superframes;
 
     let ber = EmpiricalCc2420Ber::paper();
     let study = CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420()));
     let mc = MonteCarloContention::figure6().with_superframes(superframes);
+    mc.prewarm(&args.runner(), &[(study.load(), study.packet())]);
     let report = study.run(&ber, &mc);
 
     println!("# Figure 9 — breakdowns for the case study");
@@ -81,7 +81,8 @@ fn main() {
         coordinator_tx: wsn_units::DBm::new(0.0),
         wakeup_margin: Seconds::from_millis(1.0),
     });
-    let net = sim.run(&ber);
+    // Streaming run: aggregates only, no trace allocation.
+    let net = sim.run_streaming(&ber);
 
     println!("\n## (simulator) energy per phase");
     let fractions = net.ledger.phase_energy_fractions();

@@ -2,8 +2,9 @@
 //! paper fixes: beacon order, retry budget, beacon length and the wake-up
 //! margin.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin sensitivity [superframes]`
+//! Usage: `cargo run --release -p wsn-bench --bin sensitivity [superframes] [--threads N]`
 
+use wsn_bench::RunArgs;
 use wsn_core::activation::{ActivationModel, ModelInputs};
 use wsn_core::contention::{ContentionModel, MonteCarloContention};
 use wsn_mac::{BeaconOrder, RetryPolicy};
@@ -13,15 +14,23 @@ use wsn_radio::{RadioModel, TxPowerLevel};
 use wsn_units::Db;
 
 fn main() {
-    let superframes: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
+    let args = RunArgs::parse(40);
 
     let ber = EmpiricalCc2420Ber::paper();
-    let mc = MonteCarloContention::figure6().with_superframes(superframes);
+    let mc = MonteCarloContention::figure6().with_superframes(args.superframes);
     let packet = PacketLayout::with_payload(120).expect("within range");
     let nodes = 100.0;
+
+    // Every beacon order below implies its own load; prewarm the feasible
+    // ones on the parallel runner before the serial print loops.
+    let points: Vec<(f64, PacketLayout)> = (4..=9u8)
+        .filter_map(|bo| {
+            let beacon_order = BeaconOrder::new(bo).expect("valid");
+            let load = nodes * packet.duration().secs() / beacon_order.beacon_interval().secs();
+            (load > 0.0 && load < 1.0).then_some((load, packet))
+        })
+        .collect();
+    mc.prewarm(&args.runner(), &points);
 
     // Representative mid-population operating point.
     let loss = Db::new(75.0);

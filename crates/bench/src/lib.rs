@@ -1,1 +1,208 @@
 //! Experiment harness crate; see the `fig*` binaries.
+//!
+//! This library hosts the plumbing every figure binary shares: CLI parsing
+//! (`[superframes] [--threads N] [--json]`), construction of the parallel
+//! [`Runner`], and a dependency-free JSON emitter for machine-readable
+//! benchmark output (`BENCH_contention.json`).
+
+use std::time::Instant;
+
+use wsn_sim::Runner;
+
+/// Common command-line arguments of the figure binaries.
+///
+/// Accepted forms: a positional superframe count, `--threads N` (worker
+/// threads; overrides the `WSN_SIM_THREADS` environment variable, which in
+/// turn overrides auto-detection), and `--json` (emit machine-readable
+/// benchmark output where the binary supports it).
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Superframes simulated per Monte-Carlo point.
+    pub superframes: u32,
+    /// Explicit worker-thread count (`--threads N`), if given.
+    pub threads: Option<usize>,
+    /// `--json`: write machine-readable benchmark output.
+    pub json: bool,
+}
+
+impl RunArgs {
+    /// Parses `std::env::args`, falling back to `default_superframes`.
+    ///
+    /// Unknown arguments abort with a usage message rather than being
+    /// silently ignored.
+    pub fn parse(default_superframes: u32) -> RunArgs {
+        let mut out = RunArgs {
+            superframes: default_superframes,
+            threads: None,
+            json: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let value = args
+                        .next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n > 0);
+                    match value {
+                        Some(n) => out.threads = Some(n),
+                        None => usage("--threads requires a positive integer"),
+                    }
+                }
+                "--json" => out.json = true,
+                other => match other.parse::<u32>() {
+                    Ok(sf) if sf >= 2 => out.superframes = sf,
+                    Ok(_) => usage("superframes must be at least 2 (the first is warm-up)"),
+                    Err(_) => usage(&format!("unrecognized argument `{other}`")),
+                },
+            }
+        }
+        out
+    }
+
+    /// Builds the runner: `--threads` beats `WSN_SIM_THREADS` beats
+    /// auto-detected core count.
+    pub fn runner(&self) -> Runner {
+        match self.threads {
+            Some(n) => Runner::with_threads(n),
+            None => Runner::from_env(),
+        }
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!("usage: <binary> [superframes] [--threads N] [--json]");
+    std::process::exit(2);
+}
+
+/// Milliseconds elapsed since `start`, as f64.
+pub fn elapsed_ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// A minimal JSON value with a canonical renderer — enough for the
+/// benchmark emitters, with no external dependency.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (emitted without a decimal point).
+    Int(i64),
+    /// Finite float (non-finite values render as `null`).
+    Num(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object: ordered key/value pairs.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Renders with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    out.push_str(&format!("\"{key}\": "));
+                    value.write(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_renders_nested_structures() {
+        let doc = Json::Obj(vec![
+            ("name", Json::Str("fig6".into())),
+            ("threads", Json::Int(8)),
+            ("speedup", Json::Num(3.75)),
+            ("nan", Json::Num(f64::NAN)),
+            ("points", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = doc.render();
+        assert!(text.contains("\"name\": \"fig6\""), "{text}");
+        assert!(text.contains("\"speedup\": 3.75"), "{text}");
+        assert!(text.contains("\"nan\": null"), "{text}");
+        assert!(text.contains("\"empty\": []"), "{text}");
+        assert!(text.ends_with("}\n"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let doc = Json::Str("a\"b\\c\nd".into());
+        assert_eq!(doc.render(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+}

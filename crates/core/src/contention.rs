@@ -21,7 +21,7 @@ use std::sync::Mutex;
 use wsn_mac::csma::CsmaParams;
 use wsn_mac::RetryPolicy;
 use wsn_phy::frame::PacketLayout;
-use wsn_sim::{simulate_contention, ChannelSimConfig, ContentionStats};
+use wsn_sim::{simulate_contention, ChannelSimConfig, ContentionStats, Runner};
 use wsn_units::{Probability, Seconds};
 
 /// Supplies contention statistics for a given load and packet layout.
@@ -108,18 +108,18 @@ impl MonteCarloContention {
         self.seed = seed;
         self
     }
-}
 
-impl ContentionModel for MonteCarloContention {
-    fn stats(&self, load: f64, packet: PacketLayout) -> ContentionStats {
+    fn key(load: f64, packet: PacketLayout) -> (u64, usize) {
+        ((load * 1e9).round() as u64, packet.payload_bytes())
+    }
+
+    /// The uncached Monte-Carlo evaluation of one `(load, packet)` point.
+    fn compute(&self, load: f64, packet: PacketLayout) -> ContentionStats {
         assert!(
             load > 0.0 && load < 1.0,
             "load must be in (0,1), got {load}"
         );
-        let key = ((load * 1e9).round() as u64, packet.payload_bytes());
-        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
-            return *hit;
-        }
+        let key = Self::key(load, packet);
         let cfg = ChannelSimConfig {
             nodes: self.nodes,
             packet,
@@ -130,7 +130,49 @@ impl ContentionModel for MonteCarloContention {
             seed: self.seed ^ key.0 ^ (key.1 as u64) << 40,
             synchronized_arrivals: false,
         };
-        let stats = simulate_contention(&cfg);
+        simulate_contention(&cfg)
+    }
+
+    /// Evaluates the given `(load, packet)` points on the parallel runner
+    /// and fills the memoization cache, so the model's subsequent
+    /// [`ContentionModel::stats`] calls are cache hits.
+    ///
+    /// Each point is an independent simulation with a seed derived only
+    /// from `(load, payload)`, so the cached values are bit-identical to
+    /// what serial on-demand evaluation would have produced, regardless of
+    /// the runner's thread count.
+    pub fn prewarm(&self, runner: &Runner, points: &[(f64, PacketLayout)]) {
+        // Skip cached points and duplicates, preserving first-seen order.
+        let mut fresh: Vec<(f64, PacketLayout)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache poisoned");
+            for &(load, packet) in points {
+                let key = Self::key(load, packet);
+                if !cache.contains_key(&key)
+                    && !fresh.iter().any(|&(l, p)| Self::key(l, p) == key)
+                {
+                    fresh.push((load, packet));
+                }
+            }
+        }
+        if fresh.is_empty() {
+            return;
+        }
+        let stats = runner.map(&fresh, |_, &(load, packet)| self.compute(load, packet));
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        for (&(load, packet), s) in fresh.iter().zip(stats) {
+            cache.insert(Self::key(load, packet), s);
+        }
+    }
+}
+
+impl ContentionModel for MonteCarloContention {
+    fn stats(&self, load: f64, packet: PacketLayout) -> ContentionStats {
+        let key = Self::key(load, packet);
+        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
+            return *hit;
+        }
+        let stats = self.compute(load, packet);
         self.cache
             .lock()
             .expect("cache poisoned")
@@ -392,6 +434,21 @@ mod tests {
             warm < cold / 10,
             "cache hit ({warm:?}) should be far faster than miss ({cold:?})"
         );
+    }
+
+    #[test]
+    fn prewarm_fills_cache_with_identical_values() {
+        let p50 = packet(50);
+        let p100 = packet(100);
+        let points = [(0.2, p50), (0.4, p100), (0.2, p50)]; // duplicate on purpose
+
+        let warmed = MonteCarloContention::figure6().with_superframes(6);
+        warmed.prewarm(&Runner::with_threads(4), &points);
+
+        let cold = MonteCarloContention::figure6().with_superframes(6);
+        for &(load, pkt) in &points {
+            assert_eq!(warmed.stats(load, pkt), cold.stats(load, pkt));
+        }
     }
 
     #[test]

@@ -34,10 +34,11 @@ use wsn_units::{Probability, Seconds};
 
 use crate::events::EventQueue;
 use crate::rng::Xoshiro256StarStar;
-use crate::stats::{Accumulator, ContentionStats, Counter};
+use crate::sink::{StatsSink, TraceCollector, TraceSink};
+use crate::stats::ContentionStats;
 
 /// Microseconds per unit backoff period.
-const SLOT_US: u64 = 320;
+pub(crate) const SLOT_US: u64 = 320;
 
 /// Configuration of a single-channel contention simulation.
 #[derive(Debug, Clone)]
@@ -100,6 +101,42 @@ impl ChannelSimConfig {
             .round()
             .max(8.0) as u64
     }
+
+    /// Precomputes the per-configuration frame/ACK durations the engine
+    /// consults on its hot path. Hoisting this out of the run lets a
+    /// replication sweep pay the frame-layout arithmetic once per
+    /// configuration instead of once per run.
+    pub fn timings(&self) -> SlotTimings {
+        let beacon_us = beacon_duration().micros().round() as u64;
+        SlotTimings {
+            superframe_slots: self.superframe_slots(),
+            packet_us: self.packet.duration().micros().round() as u64,
+            beacon_us,
+            beacon_slots: beacon_us.div_ceil(SLOT_US),
+            // Acknowledged transmissions hold the channel for t_ack⁻ + T_ack.
+            ack_hold_us: 192 + ack_duration().micros().round() as u64,
+            // A transmitter concludes "no acknowledgement" after t_ack⁺.
+            ack_timeout_us: 864,
+        }
+    }
+}
+
+/// Frame/ACK durations and grid constants derived once per configuration
+/// (see [`ChannelSimConfig::timings`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotTimings {
+    /// Superframe length in backoff slots.
+    pub superframe_slots: u64,
+    /// Uplink packet airtime in microseconds.
+    pub packet_us: u64,
+    /// Beacon airtime in microseconds.
+    pub beacon_us: u64,
+    /// Beacon airtime in whole backoff slots (rounded up).
+    pub beacon_slots: u64,
+    /// Channel hold time of an acknowledgement (t_ack⁻ + T_ack) in µs.
+    pub ack_hold_us: u64,
+    /// No-acknowledgement timeout t_ack⁺ in µs.
+    pub ack_timeout_us: u64,
 }
 
 /// Outcome of one contention procedure (one transmission attempt).
@@ -162,60 +199,59 @@ pub struct SimTrace {
 }
 
 impl SimTrace {
+    /// Replays the trace into a sink, grouped by record type: all
+    /// attempts (in engine order), then all transactions (in engine
+    /// order), then the overruns. The live engine interleaves the three
+    /// streams per event, and the trace does not retain that interleaving
+    /// — so replay matches a streaming run exactly for reducers that fold
+    /// each record type independently (such as [`StatsSink`] or
+    /// [`TraceCollector`]), but not for sinks whose handling of one
+    /// record type depends on the other types seen so far.
+    pub fn replay<S: TraceSink>(&self, sink: &mut S) {
+        for a in &self.attempts {
+            sink.on_attempt(a);
+        }
+        for t in &self.transactions {
+            sink.on_transaction(t);
+        }
+        for _ in 0..self.overruns {
+            sink.on_overrun();
+        }
+    }
+
+    fn reduce_transactions(&self) -> StatsSink {
+        let mut sink = StatsSink::new();
+        for t in &self.transactions {
+            sink.on_transaction(t);
+        }
+        sink
+    }
+
     /// Reduces the trace to the model's contention statistics.
     pub fn contention_stats(&self) -> ContentionStats {
-        let mut cont = Accumulator::new();
-        let mut ccas = Accumulator::new();
-        let mut col = Counter::new();
-        let mut cf = Counter::new();
+        let mut sink = StatsSink::new();
         for a in &self.attempts {
-            cont.push(a.contention_slots as f64 * SLOT_US as f64);
-            ccas.push(a.ccas as f64);
-            cf.observe(a.outcome == AttemptOutcome::AccessFailure);
-            if a.outcome != AttemptOutcome::AccessFailure {
-                col.observe(a.outcome == AttemptOutcome::Collided);
-            }
+            sink.on_attempt(a);
         }
-        ContentionStats {
-            mean_contention: Seconds::from_micros(cont.mean()),
-            mean_ccas: ccas.mean(),
-            pr_collision: col.ratio(),
-            pr_access_failure: cf.ratio(),
-            procedures: cont.count(),
-            transmissions: col.trials(),
-        }
+        sink.contention_stats()
     }
 
     /// Fraction of transactions that failed (channel access failure or
     /// retries exhausted) — the simulated counterpart of the model's
     /// `Pr_fail`.
     pub fn transaction_failure_ratio(&self) -> Probability {
-        let mut c = Counter::new();
-        for t in &self.transactions {
-            c.observe(!t.delivered);
-        }
-        c.ratio()
+        self.reduce_transactions().failure_ratio()
     }
 
     /// Mean attempts per transaction (delivered or not).
     pub fn mean_attempts(&self) -> f64 {
-        let mut acc = Accumulator::new();
-        for t in &self.transactions {
-            acc.push(t.attempts as f64);
-        }
-        acc.mean()
+        self.reduce_transactions().mean_attempts()
     }
 
     /// Mean delivery delay in superframes (`1.0` = delivered in the first
     /// superframe), over delivered packets.
     pub fn mean_delivery_superframes(&self) -> f64 {
-        let mut acc = Accumulator::new();
-        for t in &self.transactions {
-            if t.delivered {
-                acc.push(t.superframes_waited as f64 + 1.0);
-            }
-        }
-        acc.mean()
+        self.reduce_transactions().mean_delivery_superframes()
     }
 }
 
@@ -262,15 +298,27 @@ struct Inflight {
     collided: bool,
 }
 
-/// Runs the channel simulation with a per-attempt corruption oracle.
+/// Runs the channel simulation with a per-attempt corruption oracle,
+/// streaming every finalized record into `sink`.
 ///
-/// `corrupt(node)` is consulted for every collision-free transmission; when
-/// it returns `true` the packet is treated as FCS-corrupted (no
-/// acknowledgement, retry). [`simulate_contention`] passes a constant
-/// `false` — the pure-MAC setting of Figure 6.
-pub fn run_channel_sim<F>(config: &ChannelSimConfig, mut corrupt: F) -> SimTrace
-where
+/// This is the engine underneath [`run_channel_sim`] (which collects a
+/// [`SimTrace`]) and [`simulate_contention`] (which reduces online via
+/// [`StatsSink`]). `timings` must come from [`ChannelSimConfig::timings`]
+/// for the same configuration; passing it in lets replication sweeps
+/// compute the frame arithmetic once.
+///
+/// # Panics
+///
+/// Panics if the configuration is structurally invalid (no nodes, load
+/// outside `(0,1)`, fewer than two superframes).
+pub fn run_channel_sim_into<F, S>(
+    config: &ChannelSimConfig,
+    timings: &SlotTimings,
+    mut corrupt: F,
+    sink: &mut S,
+) where
     F: FnMut(u32) -> bool,
+    S: TraceSink,
 {
     assert!(config.nodes > 0, "at least one node required");
     assert!(
@@ -280,13 +328,11 @@ where
     );
     assert!(config.superframes >= 2, "need at least two superframes");
 
-    let sf_slots = config.superframe_slots();
-    let packet_us = config.packet.duration().micros().round() as u64;
-    let beacon_us = beacon_duration().micros().round() as u64;
-    // Acknowledged transmissions hold the channel for t_ack⁻ + T_ack.
-    let ack_hold_us = 192 + ack_duration().micros().round() as u64;
-    // A transmitter concludes "no acknowledgement" after t_ack⁺.
-    let ack_timeout_us = 864;
+    let sf_slots = timings.superframe_slots;
+    let packet_us = timings.packet_us;
+    let beacon_us = timings.beacon_us;
+    let ack_hold_us = timings.ack_hold_us;
+    let ack_timeout_us = timings.ack_timeout_us;
 
     let root = Xoshiro256StarStar::seed_from_u64(config.seed);
     let mut nodes: Vec<NodeState> = (0..config.nodes)
@@ -305,7 +351,7 @@ where
     let mut offsets_rng = root.split(u64::MAX);
 
     // Fixed per-node arrival offsets (slots after the beacon).
-    let beacon_slots = beacon_us.div_ceil(SLOT_US);
+    let beacon_slots = timings.beacon_slots;
     let offsets: Vec<u64> = (0..config.nodes)
         .map(|_| {
             if config.synchronized_arrivals {
@@ -336,12 +382,6 @@ where
     // not started yet.
     let mut pending_air: std::collections::VecDeque<(u64, u64)> = std::collections::VecDeque::new();
     let mut inflight: Vec<Inflight> = Vec::new();
-    let mut trace = SimTrace {
-        attempts: Vec::new(),
-        transactions: Vec::new(),
-        overruns: 0,
-        superframe_slots: sf_slots,
-    };
     let horizon_slot = config.superframes as u64 * sf_slots;
 
     while let Some((slot, ev)) = queue.pop() {
@@ -366,7 +406,7 @@ where
                 let n = &mut nodes[node as usize];
                 if n.active {
                     if !in_warmup {
-                        trace.overruns += 1;
+                        sink.on_overrun();
                     }
                     continue;
                 }
@@ -432,13 +472,13 @@ where
                     CsmaAction::Failure => {
                         let machine = n.csma.take().expect("machine present");
                         if n.recording {
-                            trace.attempts.push(AttemptRecord {
+                            sink.on_attempt(&AttemptRecord {
                                 node,
                                 contention_slots: slot - n.cont_start_slot,
                                 ccas: machine.ccas_performed(),
                                 outcome: AttemptOutcome::AccessFailure,
                             });
-                            trace.transactions.push(TransactionRecord {
+                            sink.on_transaction(&TransactionRecord {
                                 node,
                                 attempts: n.attempt - 1,
                                 delivered: false,
@@ -471,14 +511,14 @@ where
                 let n = &mut nodes[node as usize];
                 if let Some(mut pending) = n.pending_attempt.take() {
                     pending.outcome = outcome;
-                    trace.attempts.push(pending);
+                    sink.on_attempt(&pending);
                 }
 
                 if outcome == AttemptOutcome::Delivered {
                     // The acknowledgement occupies the channel too.
                     busy_until_us = busy_until_us.max(end_us + ack_hold_us);
                     if n.recording {
-                        trace.transactions.push(TransactionRecord {
+                        sink.on_transaction(&TransactionRecord {
                             node,
                             attempts: n.attempt,
                             delivered: true,
@@ -501,7 +541,7 @@ where
                     queue.push(retry_slot + periods as u64, PRIO_CCA, Ev::Cca { node });
                 } else {
                     if n.recording {
-                        trace.transactions.push(TransactionRecord {
+                        sink.on_transaction(&TransactionRecord {
                             node,
                             attempts: n.attempt,
                             delivered: false,
@@ -515,8 +555,23 @@ where
             }
         }
     }
+}
 
-    trace
+/// Runs the channel simulation with a per-attempt corruption oracle and
+/// collects the full [`SimTrace`].
+///
+/// `corrupt(node)` is consulted for every collision-free transmission; when
+/// it returns `true` the packet is treated as FCS-corrupted (no
+/// acknowledgement, retry). [`simulate_contention`] instead reduces online
+/// with a constant `false` oracle — the pure-MAC setting of Figure 6.
+pub fn run_channel_sim<F>(config: &ChannelSimConfig, corrupt: F) -> SimTrace
+where
+    F: FnMut(u32) -> bool,
+{
+    let timings = config.timings();
+    let mut collector = TraceCollector::new(timings.superframe_slots);
+    run_channel_sim_into(config, &timings, corrupt, &mut collector);
+    collector.into_trace()
 }
 
 /// Runs the pure-MAC contention characterization (no channel noise) and
@@ -534,7 +589,10 @@ where
 /// assert!(stats.pr_access_failure.value() < 0.5);
 /// ```
 pub fn simulate_contention(config: &ChannelSimConfig) -> ContentionStats {
-    run_channel_sim(config, |_| false).contention_stats()
+    let timings = config.timings();
+    let mut sink = StatsSink::new();
+    run_channel_sim_into(config, &timings, |_| false, &mut sink);
+    sink.contention_stats()
 }
 
 #[cfg(test)]

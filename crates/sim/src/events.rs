@@ -40,6 +40,11 @@ struct Key {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(Key, usize)>>,
     payloads: Vec<Option<E>>,
+    /// Indices of vacated `payloads` slots, reused by the next push. The
+    /// previous tail-only reclamation let storage grow without bound under
+    /// interleaved push/pop (a popped slot below a live tail was never
+    /// reused); the free list bounds storage by the peak queue length.
+    free: Vec<usize>,
     seq: u64,
 }
 
@@ -55,6 +60,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             payloads: Vec::new(),
+            free: Vec::new(),
             seq: 0,
         }
     }
@@ -68,8 +74,16 @@ impl<E> EventQueue<E> {
             seq: self.seq,
         };
         self.seq += 1;
-        let slot = self.payloads.len();
-        self.payloads.push(Some(event));
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.payloads[slot] = Some(event);
+                slot
+            }
+            None => {
+                self.payloads.push(Some(event));
+                self.payloads.len() - 1
+            }
+        };
         self.heap.push(Reverse((key, slot)));
     }
 
@@ -79,10 +93,7 @@ impl<E> EventQueue<E> {
         let event = self.payloads[slot]
             .take()
             .expect("payload already taken — queue invariant broken");
-        // Reclaim tail storage opportunistically.
-        while matches!(self.payloads.last(), Some(None)) {
-            self.payloads.pop();
-        }
+        self.free.push(slot);
         Some((key.time, event))
     }
 
@@ -180,6 +191,28 @@ mod tests {
         assert!(
             q.payloads.len() < 200,
             "payload storage grew unboundedly: {}",
+            q.payloads.len()
+        );
+    }
+
+    #[test]
+    fn storage_is_reclaimed_under_interleaved_push_pop() {
+        // One long-lived event pins a low slot while short-lived events
+        // churn through. Tail-only reclamation never reused the popped
+        // slots below the pinned tail, so storage grew by one slot per
+        // iteration; with the free list it stays at the peak live count.
+        let mut q = EventQueue::new();
+        q.push(u64::MAX, 0, 0); // pinned: never popped during the churn
+        for i in 0..10_000u64 {
+            q.push(i, 0, i);
+            q.push(i, 1, i);
+            let _ = q.pop();
+            let _ = q.pop();
+        }
+        assert_eq!(q.len(), 1);
+        assert!(
+            q.payloads.len() <= 4,
+            "interleaved churn grew storage to {} slots",
             q.payloads.len()
         );
     }

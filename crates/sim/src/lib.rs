@@ -15,10 +15,15 @@
 //!   breakdowns, failure probability and delay).
 //!
 //! Support modules: [`rng`] (seedable xoshiro256★★), [`events`] (a
-//! deterministic event queue), [`stats`] (accumulators and the
-//! [`stats::ContentionStats`] exchange type).
+//! deterministic event queue), [`stats`] (mergeable accumulators and the
+//! [`stats::ContentionStats`] exchange type), [`sink`] (streaming trace
+//! reduction — the engine pushes records into a [`sink::TraceSink`]
+//! instead of materializing `Vec`s), and [`runner`] (the deterministic
+//! parallel replication/sweep runner).
 //!
-//! Everything is reproducible: equal seeds give bit-identical traces.
+//! Everything is reproducible: equal seeds give bit-identical traces, and
+//! the parallel runner's merged statistics are bit-identical to the serial
+//! path for every thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,9 +32,13 @@ pub mod contention;
 pub mod events;
 pub mod network;
 pub mod rng;
+pub mod runner;
+pub mod sink;
 pub mod stats;
 
-pub use contention::{simulate_contention, ChannelSimConfig, SimTrace};
-pub use network::{NetworkConfig, NetworkReport, NetworkSimulator};
+pub use contention::{simulate_contention, ChannelSimConfig, SimTrace, SlotTimings};
+pub use network::{NetworkConfig, NetworkReport, NetworkSimulator, NetworkSummary};
 pub use rng::Xoshiro256StarStar;
-pub use stats::ContentionStats;
+pub use runner::{replication_seed, Runner, THREADS_ENV};
+pub use sink::{StatsSink, TraceCollector, TraceSink};
+pub use stats::{Accumulator, ContentionAccumulator, ContentionStats, Counter};

@@ -25,8 +25,12 @@ use wsn_radio::ledger::{EnergyLedger, PhaseTag};
 use wsn_radio::{RadioModel, RadioState, TxPowerLevel};
 use wsn_units::{DBm, Db, Power, Probability, Seconds};
 
-use crate::contention::{run_channel_sim, AttemptOutcome, ChannelSimConfig, SimTrace};
+use crate::contention::{
+    run_channel_sim_into, AttemptOutcome, AttemptRecord, ChannelSimConfig, SimTrace,
+    TransactionRecord,
+};
 use crate::rng::Xoshiro256StarStar;
+use crate::sink::{StatsSink, TeeSink, TraceCollector, TraceSink};
 
 /// Per-node transmit power assignment.
 #[derive(Debug, Clone)]
@@ -106,7 +110,27 @@ impl NetworkConfig {
     }
 }
 
-/// Aggregated results of a network simulation.
+/// Aggregated results of a network simulation, computed online — the
+/// trace-free output of [`NetworkSimulator::run_streaming`].
+#[derive(Debug, Clone)]
+pub struct NetworkSummary {
+    /// Mean average power per node over the recorded window.
+    pub mean_node_power: Power,
+    /// Per-node average powers.
+    pub node_powers: Vec<Power>,
+    /// Population energy ledger (all nodes merged) — Figure 9 material.
+    pub ledger: EnergyLedger,
+    /// Fraction of transactions that failed (`Pr_fail`).
+    pub failure_ratio: Probability,
+    /// Mean delivery delay.
+    pub mean_delay: Seconds,
+    /// Mean transmission attempts per transaction.
+    pub mean_attempts: f64,
+    /// Energy per delivered payload bit.
+    pub energy_per_bit_nj: f64,
+}
+
+/// Aggregated results of a network simulation plus the raw trace.
 #[derive(Debug, Clone)]
 pub struct NetworkReport {
     /// Mean average power per node over the recorded window.
@@ -144,18 +168,14 @@ impl NetworkSimulator {
         NetworkSimulator { config }
     }
 
-    /// Runs the simulation against a BER model.
-    pub fn run<B: BerModel>(&self, ber: &B) -> NetworkReport {
+    /// Pre-computes per-node packet-or-ACK corruption probabilities.
+    fn corruption_probabilities<B: BerModel>(&self, ber: &B, levels: &[TxPowerLevel]) -> Vec<f64> {
         let cfg = &self.config;
-        let levels = cfg.tx_policy.resolve(&cfg.path_losses);
-
-        // Pre-compute per-node packet and ACK corruption probabilities.
         let packet = cfg.channel.packet;
         let ack_exposed_bits = 8.0 * (11.0 - 4.0);
-        let per_node_corrupt: Vec<f64> = cfg
-            .path_losses
+        cfg.path_losses
             .iter()
-            .zip(&levels)
+            .zip(levels)
             .map(|(a, lvl)| {
                 let p_rx = received_power(lvl.output_power(), *a);
                 let pr_packet = ber.packet_error_probability(p_rx, packet).value();
@@ -165,41 +185,114 @@ impl NetworkSimulator {
                 // Either direction failing costs the acknowledgement.
                 1.0 - (1.0 - pr_packet) * (1.0 - pr_ack)
             })
-            .collect();
-
-        let mut noise_rng =
-            Xoshiro256StarStar::seed_from_u64(cfg.channel.seed ^ 0x5EED_CAFE_F00D_u64);
-        let trace = run_channel_sim(&cfg.channel, |node| {
-            noise_rng.bernoulli(per_node_corrupt[node as usize])
-        });
-
-        self.account_energy(&trace, &levels)
+            .collect()
     }
 
-    /// Derives ledgers and the report from a contention trace.
-    fn account_energy(&self, trace: &SimTrace, levels: &[TxPowerLevel]) -> NetworkReport {
+    /// Drives the contention engine into `sink` with the BER-driven
+    /// corruption oracle attached.
+    fn drive<B: BerModel, S: TraceSink>(&self, ber: &B, levels: &[TxPowerLevel], sink: &mut S) {
         let cfg = &self.config;
+        let per_node_corrupt = self.corruption_probabilities(ber, levels);
+        let timings = cfg.channel.timings();
+        let mut noise_rng =
+            Xoshiro256StarStar::seed_from_u64(cfg.channel.seed ^ 0x5EED_CAFE_F00D_u64);
+        run_channel_sim_into(
+            &cfg.channel,
+            &timings,
+            |node| noise_rng.bernoulli(per_node_corrupt[node as usize]),
+            sink,
+        );
+    }
+
+    /// Runs the simulation against a BER model, keeping the raw trace.
+    pub fn run<B: BerModel>(&self, ber: &B) -> NetworkReport {
+        let levels = self.config.tx_policy.resolve(&self.config.path_losses);
+        let timings = self.config.channel.timings();
+        let mut tee = TeeSink(
+            EnergyAccountant::new(&self.config, &levels),
+            TraceCollector::new(timings.superframe_slots),
+        );
+        self.drive(ber, &levels, &mut tee);
+        let TeeSink(accountant, collector) = tee;
+        let summary = accountant.finish();
+        NetworkReport {
+            mean_node_power: summary.mean_node_power,
+            node_powers: summary.node_powers,
+            ledger: summary.ledger,
+            failure_ratio: summary.failure_ratio,
+            mean_delay: summary.mean_delay,
+            mean_attempts: summary.mean_attempts,
+            energy_per_bit_nj: summary.energy_per_bit_nj,
+            trace: collector.into_trace(),
+        }
+    }
+
+    /// Runs the simulation fully streaming: every attempt/transaction is
+    /// folded into the energy ledgers and statistics as it happens, and no
+    /// trace `Vec` is ever allocated. Preferred for sweeps that only need
+    /// the aggregates.
+    pub fn run_streaming<B: BerModel>(&self, ber: &B) -> NetworkSummary {
+        let levels = self.config.tx_policy.resolve(&self.config.path_losses);
+        let mut accountant = EnergyAccountant::new(&self.config, &levels);
+        self.drive(ber, &levels, &mut accountant);
+        accountant.finish()
+    }
+}
+
+/// Online energy reducer: a [`TraceSink`] that accrues each record into
+/// the per-node ledgers the moment its outcome is final, alongside the
+/// transaction statistics ([`StatsSink`]).
+#[derive(Debug)]
+struct EnergyAccountant<'a> {
+    cfg: &'a NetworkConfig,
+    levels: &'a [TxPowerLevel],
+    ledgers: Vec<EnergyLedger>,
+    stats: StatsSink,
+    // Per-configuration constants hoisted off the per-record path.
+    packet_airtime: Seconds,
+    slot: Seconds,
+    t_ack: Seconds,
+    cca_sense: Seconds,
+    noack_listen: Seconds,
+    ifs: Seconds,
+    turn_on: Seconds,
+}
+
+impl<'a> EnergyAccountant<'a> {
+    fn new(cfg: &'a NetworkConfig, levels: &'a [TxPowerLevel]) -> Self {
+        EnergyAccountant {
+            cfg,
+            levels,
+            ledgers: vec![EnergyLedger::new(); cfg.channel.nodes],
+            stats: StatsSink::new(),
+            packet_airtime: cfg.channel.packet.duration(),
+            slot: Seconds::from_micros(320.0),
+            t_ack: ack_duration(),
+            cca_sense: Seconds::from_micros(128.0),
+            noack_listen: Seconds::from_micros(864.0 - 192.0),
+            ifs: Seconds::from_micros(640.0),
+            turn_on: cfg.radio.turn_on_time(),
+        }
+    }
+
+    /// Adds the fixed beacon overhead and the sleep remainder, then folds
+    /// everything into the summary.
+    fn finish(mut self) -> NetworkSummary {
+        let cfg = self.cfg;
         let radio = &cfg.radio;
         let n_nodes = cfg.channel.nodes;
         let recorded_superframes = cfg.channel.superframes as f64 - 1.0;
         let t_ib = cfg.channel.beacon_interval();
         let window = t_ib * recorded_superframes;
-
-        let slot = Seconds::from_micros(320.0);
         let t_beacon = beacon_duration();
-        let t_ack = ack_duration();
-        let cca_sense = Seconds::from_micros(128.0);
-        let noack_listen = Seconds::from_micros(864.0 - 192.0);
-        let ifs = Seconds::from_micros(640.0);
-        let turn_on = radio.turn_on_time();
 
-        let mut ledgers: Vec<EnergyLedger> = vec![EnergyLedger::new(); n_nodes];
-
-        // Fixed per-superframe beacon overhead for every node.
-        for ledger in &mut ledgers {
+        let mut node_powers = Vec::with_capacity(n_nodes);
+        let mut population = EnergyLedger::new();
+        for ledger in &mut self.ledgers {
+            // Fixed per-superframe beacon overhead for every node:
+            // preemptive wake-up (the shutdown→idle transition plus any
+            // margin spent in idle), receiver turn-on, beacon reception.
             for _ in 0..recorded_superframes as usize {
-                // Preemptive wake-up: the shutdown→idle transition (billed
-                // idle) plus any margin spent in idle.
                 ledger.accrue_transition(
                     radio,
                     RadioState::Shutdown,
@@ -211,81 +304,7 @@ impl NetworkSimulator {
                 ledger.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Beacon);
                 ledger.accrue(radio, RadioState::Rx, PhaseTag::Beacon, t_beacon);
             }
-        }
-
-        // Attempt-driven activity.
-        for a in &trace.attempts {
-            let node = a.node as usize;
-            let ledger = &mut ledgers[node];
-            let level = levels[node];
-
-            // Contention wall time: idle except for the CCA turn-ons.
-            let wall = slot * a.contention_slots as f64;
-            let cca_active = (turn_on + cca_sense) * a.ccas as f64;
-            let idle_time = (wall - cca_active).max(Seconds::ZERO);
-            ledger.accrue(radio, RadioState::Idle, PhaseTag::Contention, idle_time);
-            for _ in 0..a.ccas {
-                ledger.accrue_transition(
-                    radio,
-                    RadioState::Idle,
-                    RadioState::Rx,
-                    PhaseTag::Contention,
-                );
-                ledger.accrue_listen(radio, PhaseTag::Contention, cca_sense);
-            }
-
-            if a.outcome == AttemptOutcome::AccessFailure {
-                continue;
-            }
-
-            // Transmission.
-            ledger.accrue_transition(
-                radio,
-                RadioState::Idle,
-                RadioState::Tx(level),
-                PhaseTag::Transmit,
-            );
-            ledger.accrue(
-                radio,
-                RadioState::Tx(level),
-                PhaseTag::Transmit,
-                cfg.channel.packet.duration(),
-            );
-
-            // Acknowledgement window.
-            ledger.accrue_transition(
-                radio,
-                RadioState::Tx(level),
-                RadioState::Rx,
-                PhaseTag::AckWait,
-            );
-            match a.outcome {
-                AttemptOutcome::Delivered => {
-                    ledger.accrue_listen(radio, PhaseTag::AckWait, t_ack);
-                }
-                AttemptOutcome::Corrupted | AttemptOutcome::Collided => {
-                    ledger.accrue_listen(radio, PhaseTag::AckWait, noack_listen);
-                }
-                AttemptOutcome::AccessFailure => unreachable!("handled above"),
-            }
-            ledger.accrue(radio, RadioState::Idle, PhaseTag::Ifs, ifs);
-        }
-
-        // Second wake-up for each transaction (the node slept between the
-        // beacon and its packet-ready offset).
-        for t in &trace.transactions {
-            ledgers[t.node as usize].accrue_transition(
-                radio,
-                RadioState::Shutdown,
-                RadioState::Idle,
-                PhaseTag::Contention,
-            );
-        }
-
-        // Sleep is the remainder of the window.
-        let mut node_powers = Vec::with_capacity(n_nodes);
-        let mut population = EnergyLedger::new();
-        for ledger in &mut ledgers {
+            // Sleep is the remainder of the window.
             let active = ledger.total_time();
             let sleep = (window - active).max(Seconds::ZERO);
             ledger.accrue(radio, RadioState::Shutdown, PhaseTag::Sleep, sleep);
@@ -297,24 +316,90 @@ impl NetworkSimulator {
             node_powers.iter().map(|p| p.watts()).sum::<f64>() / n_nodes.max(1) as f64,
         );
 
-        let delivered_bits: f64 = trace.transactions.iter().filter(|t| t.delivered).count() as f64
-            * cfg.channel.packet.payload_bits() as f64;
+        let delivered = self.stats.failures.trials() - self.stats.failures.hits();
+        let delivered_bits = delivered as f64 * cfg.channel.packet.payload_bits() as f64;
         let energy_per_bit_nj = if delivered_bits > 0.0 {
             population.total_energy().nanojoules() / delivered_bits
         } else {
             f64::INFINITY
         };
 
-        NetworkReport {
+        NetworkSummary {
             mean_node_power,
             node_powers,
             ledger: population,
-            failure_ratio: trace.transaction_failure_ratio(),
-            mean_delay: t_ib * trace.mean_delivery_superframes(),
-            mean_attempts: trace.mean_attempts(),
+            failure_ratio: self.stats.failure_ratio(),
+            mean_delay: t_ib * self.stats.mean_delivery_superframes(),
+            mean_attempts: self.stats.mean_attempts(),
             energy_per_bit_nj,
-            trace: trace.clone(),
         }
+    }
+}
+
+impl TraceSink for EnergyAccountant<'_> {
+    fn on_attempt(&mut self, a: &AttemptRecord) {
+        self.stats.on_attempt(a);
+        let radio = &self.cfg.radio;
+        let node = a.node as usize;
+        let ledger = &mut self.ledgers[node];
+        let level = self.levels[node];
+
+        // Contention wall time: idle except for the CCA turn-ons.
+        let wall = self.slot * a.contention_slots as f64;
+        let cca_active = (self.turn_on + self.cca_sense) * a.ccas as f64;
+        let idle_time = (wall - cca_active).max(Seconds::ZERO);
+        ledger.accrue(radio, RadioState::Idle, PhaseTag::Contention, idle_time);
+        for _ in 0..a.ccas {
+            ledger.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Contention);
+            ledger.accrue_listen(radio, PhaseTag::Contention, self.cca_sense);
+        }
+
+        if a.outcome == AttemptOutcome::AccessFailure {
+            return;
+        }
+
+        // Transmission.
+        ledger.accrue_transition(
+            radio,
+            RadioState::Idle,
+            RadioState::Tx(level),
+            PhaseTag::Transmit,
+        );
+        ledger.accrue(
+            radio,
+            RadioState::Tx(level),
+            PhaseTag::Transmit,
+            self.packet_airtime,
+        );
+
+        // Acknowledgement window.
+        ledger.accrue_transition(radio, RadioState::Tx(level), RadioState::Rx, PhaseTag::AckWait);
+        match a.outcome {
+            AttemptOutcome::Delivered => {
+                ledger.accrue_listen(radio, PhaseTag::AckWait, self.t_ack);
+            }
+            AttemptOutcome::Corrupted | AttemptOutcome::Collided => {
+                ledger.accrue_listen(radio, PhaseTag::AckWait, self.noack_listen);
+            }
+            AttemptOutcome::AccessFailure => unreachable!("handled above"),
+        }
+        ledger.accrue(radio, RadioState::Idle, PhaseTag::Ifs, self.ifs);
+    }
+
+    fn on_transaction(&mut self, t: &TransactionRecord) {
+        self.stats.on_transaction(t);
+        // Second wake-up for the transaction (the node slept between the
+        // beacon and its packet-ready offset).
+        self.ledgers[t.node as usize].accrue_transition(
+            &self.cfg.radio,
+            RadioState::Shutdown,
+            RadioState::Idle,
+            PhaseTag::Contention,
+        );
+    }
+
+    fn on_overrun(&mut self) {
+        self.stats.on_overrun();
     }
 }
 

@@ -1,0 +1,231 @@
+//! Streaming consumers for the contention engine's event stream.
+//!
+//! The simulators historically materialized every [`AttemptRecord`] and
+//! [`TransactionRecord`] into [`SimTrace`] `Vec`s and reduced them
+//! afterwards. For large replication sweeps that allocation is pure
+//! overhead: every figure only needs a handful of online statistics. A
+//! [`TraceSink`] receives each record the moment its outcome is final, so
+//! a reducer can fold it immediately:
+//!
+//! * [`TraceCollector`] — the original behaviour: collect everything into
+//!   a [`SimTrace`] (kept for trace-level analyses and tests);
+//! * [`StatsSink`] — the online reducer: feeds a
+//!   [`ContentionAccumulator`] plus the transaction-level tallies without
+//!   allocating. Its output is bit-identical to collecting a trace and
+//!   reducing it afterwards, because records arrive in exactly the order
+//!   they would have been pushed.
+
+use wsn_units::Probability;
+
+use crate::contention::{AttemptOutcome, AttemptRecord, SimTrace, TransactionRecord, SLOT_US};
+use crate::stats::{Accumulator, ContentionAccumulator, ContentionStats, Counter};
+
+/// Receives contention records as the engine finalizes them.
+///
+/// Records are delivered in deterministic engine order (the order the
+/// trace `Vec`s would have been filled), so any fold over a sink is as
+/// reproducible as the trace itself.
+pub trait TraceSink {
+    /// One contention procedure finished (transmission started, collided,
+    /// was corrupted, or access failed).
+    fn on_attempt(&mut self, record: &AttemptRecord);
+    /// One application-level transaction concluded.
+    fn on_transaction(&mut self, record: &TransactionRecord);
+    /// An arrival was skipped because the node was still busy.
+    fn on_overrun(&mut self) {}
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    fn on_attempt(&mut self, record: &AttemptRecord) {
+        (**self).on_attempt(record);
+    }
+    fn on_transaction(&mut self, record: &TransactionRecord) {
+        (**self).on_transaction(record);
+    }
+    fn on_overrun(&mut self) {
+        (**self).on_overrun();
+    }
+}
+
+/// Fans records out to two sinks (e.g. an online reducer plus a trace
+/// collector).
+#[derive(Debug)]
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn on_attempt(&mut self, record: &AttemptRecord) {
+        self.0.on_attempt(record);
+        self.1.on_attempt(record);
+    }
+    fn on_transaction(&mut self, record: &TransactionRecord) {
+        self.0.on_transaction(record);
+        self.1.on_transaction(record);
+    }
+    fn on_overrun(&mut self) {
+        self.0.on_overrun();
+        self.1.on_overrun();
+    }
+}
+
+/// Collects every record into a [`SimTrace`] — the pre-streaming
+/// behaviour, still used by trace-level analyses.
+#[derive(Debug, Clone)]
+pub struct TraceCollector {
+    trace: SimTrace,
+}
+
+impl TraceCollector {
+    /// Creates a collector; `superframe_slots` is carried into the trace.
+    pub fn new(superframe_slots: u64) -> Self {
+        TraceCollector {
+            trace: SimTrace {
+                attempts: Vec::new(),
+                transactions: Vec::new(),
+                overruns: 0,
+                superframe_slots,
+            },
+        }
+    }
+
+    /// Consumes the collector, yielding the trace.
+    pub fn into_trace(self) -> SimTrace {
+        self.trace
+    }
+}
+
+impl TraceSink for TraceCollector {
+    fn on_attempt(&mut self, record: &AttemptRecord) {
+        self.trace.attempts.push(*record);
+    }
+    fn on_transaction(&mut self, record: &TransactionRecord) {
+        self.trace.transactions.push(*record);
+    }
+    fn on_overrun(&mut self) {
+        self.trace.overruns += 1;
+    }
+}
+
+/// Online reducer: folds the event stream straight into the statistics the
+/// figures consume, allocating nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsSink {
+    /// Per-procedure contention statistics (Figure 6 material).
+    pub contention: ContentionAccumulator,
+    /// Failed-transaction counter (`Pr_fail` numerator/denominator).
+    pub failures: Counter,
+    /// Attempts per transaction.
+    pub attempts: Accumulator,
+    /// Delivery delay in superframes, over delivered transactions.
+    pub delivery_superframes: Accumulator,
+    /// Arrivals skipped because the node was still busy.
+    pub overruns: u64,
+}
+
+impl StatsSink {
+    /// Creates an empty reducer.
+    pub fn new() -> Self {
+        StatsSink::default()
+    }
+
+    /// Merges another reducer (exact; fixed merge order stays
+    /// bit-deterministic).
+    pub fn merge(&mut self, other: &StatsSink) {
+        self.contention.merge(&other.contention);
+        self.failures.merge(&other.failures);
+        self.attempts.merge(&other.attempts);
+        self.delivery_superframes.merge(&other.delivery_superframes);
+        self.overruns += other.overruns;
+    }
+
+    /// The contention statistics (identical to
+    /// [`SimTrace::contention_stats`] on the equivalent trace).
+    pub fn contention_stats(&self) -> ContentionStats {
+        self.contention.finish()
+    }
+
+    /// Fraction of transactions that failed.
+    pub fn failure_ratio(&self) -> Probability {
+        self.failures.ratio()
+    }
+
+    /// Mean attempts per transaction.
+    pub fn mean_attempts(&self) -> f64 {
+        self.attempts.mean()
+    }
+
+    /// Mean delivery delay in superframes over delivered packets.
+    pub fn mean_delivery_superframes(&self) -> f64 {
+        self.delivery_superframes.mean()
+    }
+}
+
+impl TraceSink for StatsSink {
+    fn on_attempt(&mut self, record: &AttemptRecord) {
+        self.contention
+            .contention_us
+            .push(record.contention_slots as f64 * SLOT_US as f64);
+        self.contention.ccas.push(record.ccas as f64);
+        self.contention
+            .access_failures
+            .observe(record.outcome == AttemptOutcome::AccessFailure);
+        if record.outcome != AttemptOutcome::AccessFailure {
+            self.contention
+                .collisions
+                .observe(record.outcome == AttemptOutcome::Collided);
+        }
+    }
+
+    fn on_transaction(&mut self, record: &TransactionRecord) {
+        self.failures.observe(!record.delivered);
+        self.attempts.push(record.attempts as f64);
+        if record.delivered {
+            self.delivery_superframes
+                .push(record.superframes_waited as f64 + 1.0);
+        }
+    }
+
+    fn on_overrun(&mut self) {
+        self.overruns += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::{run_channel_sim, ChannelSimConfig};
+
+    fn cfg() -> ChannelSimConfig {
+        let mut c = ChannelSimConfig::figure6(50, 0.4, 77);
+        c.superframes = 8;
+        c
+    }
+
+    #[test]
+    fn streaming_matches_trace_reduction() {
+        let trace = run_channel_sim(&cfg(), |_| false);
+        let mut sink = StatsSink::new();
+        trace.replay(&mut sink);
+        let streamed = sink.contention_stats();
+        let reduced = trace.contention_stats();
+        assert_eq!(streamed, reduced);
+        assert_eq!(sink.failure_ratio(), trace.transaction_failure_ratio());
+        assert_eq!(sink.mean_attempts(), trace.mean_attempts());
+        assert_eq!(
+            sink.mean_delivery_superframes(),
+            trace.mean_delivery_superframes()
+        );
+        assert_eq!(sink.overruns, trace.overruns);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let trace = run_channel_sim(&cfg(), |_| false);
+        let mut tee = TeeSink(StatsSink::new(), TraceCollector::new(trace.superframe_slots));
+        trace.replay(&mut tee);
+        let TeeSink(stats, collector) = tee;
+        let copy = collector.into_trace();
+        assert_eq!(copy.attempts, trace.attempts);
+        assert_eq!(copy.transactions, trace.transactions);
+        assert_eq!(stats.contention_stats(), trace.contention_stats());
+    }
+}

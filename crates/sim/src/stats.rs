@@ -39,6 +39,48 @@ impl Accumulator {
         self.m2 += delta * (x - self.mean);
     }
 
+    /// Merges another accumulator into this one using Chan et al.'s
+    /// pairwise mean/variance combination.
+    ///
+    /// The result is exact (up to floating-point rounding) and independent
+    /// of how the samples were split between the two halves, which is what
+    /// lets sharded replications be reduced on worker threads and combined
+    /// afterwards. Merging in a fixed order is bit-deterministic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wsn_sim::stats::Accumulator;
+    ///
+    /// let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+    /// let mut whole = Accumulator::new();
+    /// let (mut left, mut right) = (Accumulator::new(), Accumulator::new());
+    /// for (i, &x) in xs.iter().enumerate() {
+    ///     whole.push(x);
+    ///     if i < 3 { left.push(x) } else { right.push(x) }
+    /// }
+    /// left.merge(&right);
+    /// assert_eq!(left.count(), whole.count());
+    /// assert!((left.mean() - whole.mean()).abs() < 1e-12);
+    /// assert!((left.population_variance() - whole.population_variance()).abs() < 1e-12);
+    /// ```
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n_a = self.n as f64;
+        let n_b = other.n as f64;
+        let n = n_a + n_b;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n_b / n);
+        self.m2 += other.m2 + delta * delta * (n_a * n_b / n);
+        self.n += other.n;
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.n
@@ -99,12 +141,66 @@ impl Counter {
         self.trials
     }
 
+    /// Merges another counter into this one (exact: counts simply add).
+    pub fn merge(&mut self, other: &Counter) {
+        self.hits += other.hits;
+        self.trials += other.trials;
+    }
+
     /// Hit ratio (0 when no trials were observed).
     pub fn ratio(&self) -> Probability {
         if self.trials == 0 {
             Probability::ZERO
         } else {
             Probability::clamped(self.hits as f64 / self.trials as f64)
+        }
+    }
+}
+
+/// Online reducer for contention statistics: the exact sufficient
+/// statistics behind [`ContentionStats`], kept in mergeable form.
+///
+/// [`crate::sink::StatsSink`] feeds one of these directly from the
+/// event stream, so a replication never materializes its trace; the
+/// parallel runner merges per-shard accumulators in a fixed order
+/// ([`Accumulator::merge`] / [`Counter::merge`]), which makes the parallel
+/// reduction bit-identical to the serial one.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ContentionAccumulator {
+    /// Contention duration samples in microseconds.
+    pub contention_us: Accumulator,
+    /// CCAs-per-procedure samples.
+    pub ccas: Accumulator,
+    /// Collision counter over transmissions.
+    pub collisions: Counter,
+    /// Access-failure counter over procedures.
+    pub access_failures: Counter,
+}
+
+impl ContentionAccumulator {
+    /// Creates an empty reducer.
+    pub fn new() -> Self {
+        ContentionAccumulator::default()
+    }
+
+    /// Merges another reducer into this one (exact; see
+    /// [`Accumulator::merge`]).
+    pub fn merge(&mut self, other: &ContentionAccumulator) {
+        self.contention_us.merge(&other.contention_us);
+        self.ccas.merge(&other.ccas);
+        self.collisions.merge(&other.collisions);
+        self.access_failures.merge(&other.access_failures);
+    }
+
+    /// Finalizes into the model's exchange type.
+    pub fn finish(&self) -> ContentionStats {
+        ContentionStats {
+            mean_contention: Seconds::from_micros(self.contention_us.mean()),
+            mean_ccas: self.ccas.mean(),
+            pr_collision: self.collisions.ratio(),
+            pr_access_failure: self.access_failures.ratio(),
+            procedures: self.contention_us.count(),
+            transmissions: self.collisions.trials(),
         }
     }
 }
@@ -142,6 +238,62 @@ impl ContentionStats {
             pr_access_failure: Probability::ZERO,
             procedures: 0,
             transmissions: 0,
+        }
+    }
+
+    /// Merges statistics from two disjoint sample populations, weighting
+    /// means by procedure counts and probabilities by their respective
+    /// trial counts.
+    ///
+    /// Prefer merging [`ContentionAccumulator`]s when the sufficient
+    /// statistics are still available — this method reconstructs hit
+    /// counts from the published ratios, which is exact only up to
+    /// floating-point rounding.
+    pub fn merge(&self, other: &ContentionStats) -> ContentionStats {
+        if other.procedures == 0 && other.transmissions == 0 {
+            return *self;
+        }
+        if self.procedures == 0 && self.transmissions == 0 {
+            return *other;
+        }
+        let wp_a = self.procedures as f64;
+        let wp_b = other.procedures as f64;
+        let wp = wp_a + wp_b;
+        let wt_a = self.transmissions as f64;
+        let wt_b = other.transmissions as f64;
+        let wt = wt_a + wt_b;
+        let wavg = |a: f64, b: f64, wa: f64, wb: f64, w: f64| {
+            if w == 0.0 {
+                0.0
+            } else {
+                (a * wa + b * wb) / w
+            }
+        };
+        ContentionStats {
+            mean_contention: Seconds::from_secs(wavg(
+                self.mean_contention.secs(),
+                other.mean_contention.secs(),
+                wp_a,
+                wp_b,
+                wp,
+            )),
+            mean_ccas: wavg(self.mean_ccas, other.mean_ccas, wp_a, wp_b, wp),
+            pr_collision: Probability::clamped(wavg(
+                self.pr_collision.value(),
+                other.pr_collision.value(),
+                wt_a,
+                wt_b,
+                wt,
+            )),
+            pr_access_failure: Probability::clamped(wavg(
+                self.pr_access_failure.value(),
+                other.pr_access_failure.value(),
+                wp_a,
+                wp_b,
+                wp,
+            )),
+            procedures: self.procedures + other.procedures,
+            transmissions: self.transmissions + other.transmissions,
         }
     }
 }
@@ -187,6 +339,119 @@ mod tests {
         }
         assert!((acc.mean() - (1e9 + 10.0)).abs() < 1e-3);
         assert!((acc.population_variance() - 22.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..57).map(|i| (i as f64).sin() * 100.0 + 1e6).collect();
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        for split in [0, 1, 28, 56, 57] {
+            let (mut a, mut b) = (Accumulator::new(), Accumulator::new());
+            for &x in &xs[..split] {
+                a.push(x);
+            }
+            for &x in &xs[split..] {
+                b.push(x);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-6, "split {split}");
+            assert!(
+                (a.population_variance() - whole.population_variance()).abs() < 1e-6,
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty_is_identity() {
+        let mut acc = Accumulator::new();
+        acc.push(3.0);
+        acc.push(5.0);
+        let snapshot = acc;
+        acc.merge(&Accumulator::new());
+        assert_eq!(acc, snapshot);
+        let mut empty = Accumulator::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn counter_merge_adds_counts() {
+        let mut a = Counter::new();
+        let mut b = Counter::new();
+        for i in 0..7 {
+            a.observe(i % 2 == 0);
+        }
+        for i in 0..5 {
+            b.observe(i == 0);
+        }
+        a.merge(&b);
+        assert_eq!(a.trials(), 12);
+        assert_eq!(a.hits(), 5);
+    }
+
+    #[test]
+    fn contention_accumulator_merge_is_exact() {
+        let mut whole = ContentionAccumulator::new();
+        let (mut left, mut right) = (ContentionAccumulator::new(), ContentionAccumulator::new());
+        for i in 0..40u32 {
+            let part = if i < 17 { &mut left } else { &mut right };
+            for acc in [&mut whole, part] {
+                acc.contention_us.push(320.0 * (i % 9) as f64);
+                acc.ccas.push(2.0 + (i % 3) as f64);
+                acc.access_failures.observe(i % 10 == 0);
+                if i % 10 != 0 {
+                    acc.collisions.observe(i % 7 == 0);
+                }
+            }
+        }
+        left.merge(&right);
+        let merged = left.finish();
+        let direct = whole.finish();
+        assert_eq!(merged.procedures, direct.procedures);
+        assert_eq!(merged.transmissions, direct.transmissions);
+        assert_eq!(merged.pr_collision, direct.pr_collision);
+        assert_eq!(merged.pr_access_failure, direct.pr_access_failure);
+        assert!((merged.mean_ccas - direct.mean_ccas).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_stats_merge_weights_by_counts() {
+        let a = ContentionStats {
+            mean_contention: Seconds::from_micros(1000.0),
+            mean_ccas: 2.0,
+            pr_collision: Probability::clamped(0.1),
+            pr_access_failure: Probability::clamped(0.0),
+            procedures: 100,
+            transmissions: 100,
+        };
+        let b = ContentionStats {
+            mean_contention: Seconds::from_micros(3000.0),
+            mean_ccas: 4.0,
+            pr_collision: Probability::clamped(0.3),
+            pr_access_failure: Probability::clamped(0.2),
+            procedures: 300,
+            transmissions: 100,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.procedures, 400);
+        assert_eq!(m.transmissions, 200);
+        assert!((m.mean_contention.micros() - 2500.0).abs() < 1e-9);
+        assert!((m.mean_ccas - 3.5).abs() < 1e-12);
+        assert!((m.pr_collision.value() - 0.2).abs() < 1e-12);
+        assert!((m.pr_access_failure.value() - 0.15).abs() < 1e-12);
+        // Merging with an empty side is the identity.
+        let empty = ContentionStats {
+            procedures: 0,
+            transmissions: 0,
+            ..ContentionStats::ideal()
+        };
+        assert_eq!(a.merge(&empty), a);
+        assert_eq!(empty.merge(&a), a);
     }
 
     #[test]

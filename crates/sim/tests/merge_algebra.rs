@@ -1,0 +1,169 @@
+//! Property tests for the statistics merge algebra (hand-rolled case
+//! generation — `proptest` is not vendored in the offline build image):
+//! for arbitrary sample sets and arbitrary shard boundaries,
+//! `merge(split(xs)) == reduce(xs)`.
+
+use wsn_phy::noise::UniformSource;
+use wsn_sim::{Accumulator, ContentionAccumulator, Counter, Xoshiro256StarStar};
+
+/// Splits `xs` at the given sorted cut points and reduces each shard
+/// separately, then merges the shards left-to-right.
+fn merge_accumulator_shards(xs: &[f64], cuts: &[usize]) -> Accumulator {
+    let mut merged = Accumulator::new();
+    let mut start = 0;
+    for &cut in cuts.iter().chain(std::iter::once(&xs.len())) {
+        let mut shard = Accumulator::new();
+        for &x in &xs[start..cut] {
+            shard.push(x);
+        }
+        merged.merge(&shard);
+        start = cut;
+    }
+    merged
+}
+
+#[test]
+fn accumulator_merge_of_random_splits_matches_single_pass() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xA11E);
+    for case in 0..200 {
+        let n = 1 + rng.index(400);
+        // Mix of scales, including a large common offset (the regime where
+        // naive sum-of-squares merging loses precision).
+        let offset = if case % 3 == 0 { 1e9 } else { 0.0 };
+        let xs: Vec<f64> = (0..n)
+            .map(|_| offset + rng.next_f64() * 1e4 - 5e3)
+            .collect();
+
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+
+        // Random shard boundaries (possibly empty shards).
+        let n_cuts = rng.index(5);
+        let mut cuts: Vec<usize> = (0..n_cuts).map(|_| rng.index(n + 1)).collect();
+        cuts.sort_unstable();
+        let merged = merge_accumulator_shards(&xs, &cuts);
+
+        assert_eq!(merged.count(), whole.count(), "case {case}");
+        let scale = whole.mean().abs().max(1.0);
+        assert!(
+            (merged.mean() - whole.mean()).abs() / scale < 1e-12,
+            "case {case}: mean {} vs {}",
+            merged.mean(),
+            whole.mean()
+        );
+        let vscale = whole.population_variance().abs().max(1.0);
+        assert!(
+            (merged.population_variance() - whole.population_variance()).abs() / vscale < 1e-9,
+            "case {case}: var {} vs {}",
+            merged.population_variance(),
+            whole.population_variance()
+        );
+    }
+}
+
+#[test]
+fn accumulator_merge_is_associative_up_to_rounding() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xA550C);
+    for case in 0..100 {
+        let shards: Vec<Accumulator> = (0..4)
+            .map(|_| {
+                let mut acc = Accumulator::new();
+                for _ in 0..rng.index(50) {
+                    acc.push(rng.next_f64() * 100.0);
+                }
+                acc
+            })
+            .collect();
+        // ((a·b)·c)·d versus (a·b)·(c·d)
+        let mut left = shards[0];
+        for s in &shards[1..] {
+            left.merge(s);
+        }
+        let mut ab = shards[0];
+        ab.merge(&shards[1]);
+        let mut cd = shards[2];
+        cd.merge(&shards[3]);
+        ab.merge(&cd);
+        assert_eq!(left.count(), ab.count(), "case {case}");
+        assert!((left.mean() - ab.mean()).abs() < 1e-9, "case {case}");
+        assert!(
+            (left.population_variance() - ab.population_variance()).abs() < 1e-6,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn counter_merge_of_random_splits_is_exact() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xC0DE);
+    for case in 0..200 {
+        let n = rng.index(500);
+        let hits: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.3)).collect();
+
+        let mut whole = Counter::new();
+        for &h in &hits {
+            whole.observe(h);
+        }
+
+        let cut = if n == 0 { 0 } else { rng.index(n + 1) };
+        let (mut a, mut b) = (Counter::new(), Counter::new());
+        for &h in &hits[..cut] {
+            a.observe(h);
+        }
+        for &h in &hits[cut..] {
+            b.observe(h);
+        }
+        a.merge(&b);
+
+        // Counters are integer state: the merge is exact, not approximate.
+        assert_eq!(a.hits(), whole.hits(), "case {case}");
+        assert_eq!(a.trials(), whole.trials(), "case {case}");
+        assert_eq!(a.ratio(), whole.ratio(), "case {case}");
+    }
+}
+
+#[test]
+fn contention_accumulator_split_merge_matches_reduce() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x57A7);
+    for case in 0..50 {
+        let n = 1 + rng.index(300);
+        let cut = rng.index(n + 1);
+        let mut whole = ContentionAccumulator::new();
+        let (mut a, mut b) = (ContentionAccumulator::new(), ContentionAccumulator::new());
+        for i in 0..n {
+            let part = if i < cut { &mut a } else { &mut b };
+            let cont = rng.next_f64() * 1e4;
+            let ccas = 1.0 + rng.index(10) as f64;
+            let fail = rng.bernoulli(0.1);
+            let collided = rng.bernoulli(0.2);
+            for acc in [&mut whole, part] {
+                acc.contention_us.push(cont);
+                acc.ccas.push(ccas);
+                acc.access_failures.observe(fail);
+                if !fail {
+                    acc.collisions.observe(collided);
+                }
+            }
+        }
+        a.merge(&b);
+        let merged = a.finish();
+        let direct = whole.finish();
+        assert_eq!(merged.procedures, direct.procedures, "case {case}");
+        assert_eq!(merged.transmissions, direct.transmissions, "case {case}");
+        assert_eq!(merged.pr_collision, direct.pr_collision, "case {case}");
+        assert_eq!(
+            merged.pr_access_failure, direct.pr_access_failure,
+            "case {case}"
+        );
+        assert!(
+            (merged.mean_ccas - direct.mean_ccas).abs() < 1e-9,
+            "case {case}"
+        );
+        assert!(
+            (merged.mean_contention.micros() - direct.mean_contention.micros()).abs() < 1e-6,
+            "case {case}"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! The parallel runner's contract: for a fixed master seed its output is
+//! bit-identical to the serial engine's, for every thread count, and the
+//! streaming reduction is bit-identical to trace-then-reduce.
+
+use wsn_sim::contention::run_channel_sim;
+use wsn_sim::{simulate_contention, ChannelSimConfig, Runner, StatsSink};
+
+fn point(payload: usize, load: f64, seed: u64) -> ChannelSimConfig {
+    let mut cfg = ChannelSimConfig::figure6(payload, load, seed);
+    cfg.superframes = 8;
+    cfg
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial_engine() {
+    // A miniature Figure-6 grid: 2 payloads × 5 loads.
+    let configs: Vec<ChannelSimConfig> = [20usize, 100]
+        .iter()
+        .flat_map(|&p| (1..=5).map(move |i| point(p, i as f64 * 0.15, 0xF166 + p as u64)))
+        .collect();
+
+    // Reference: the serial engine, point by point.
+    let serial: Vec<_> = configs.iter().map(simulate_contention).collect();
+
+    for threads in [1, 2, 4, 8] {
+        let parallel = Runner::with_threads(threads).sweep_contention(&configs);
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_replications_are_bit_identical_to_serial() {
+    let base = point(50, 0.42, 0xB0B);
+    let serial = Runner::serial().replicate_contention(&base, 6);
+    for threads in [2, 3, 6, 12] {
+        let parallel = Runner::with_threads(threads).replicate_contention(&base, 6);
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+#[test]
+fn streaming_reduction_equals_trace_reduction() {
+    let cfg = point(100, 0.6, 0x7EA);
+    let trace = run_channel_sim(&cfg, |_| false);
+    let mut sink = StatsSink::new();
+    trace.replay(&mut sink);
+    assert_eq!(simulate_contention(&cfg), trace.contention_stats());
+    assert_eq!(sink.contention_stats(), trace.contention_stats());
+}
+
+#[test]
+fn runner_output_is_reproducible_across_invocations() {
+    let base = point(50, 0.42, 42);
+    let a = Runner::from_env().replicate_contention(&base, 4);
+    let b = Runner::from_env().replicate_contention(&base, 4);
+    assert_eq!(a, b);
+}
