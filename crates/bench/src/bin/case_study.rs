@@ -4,10 +4,20 @@
 //! buffered into 120-byte packets, BO = 6 (T_ib = 983.04 ms), path losses
 //! uniform in 55–95 dB, per-node energy-optimal transmit power.
 //!
+//! Two independent reproductions are printed:
+//!
+//! 1. the **analytical activation model** averaged over the loss
+//!    population (with Monte-Carlo and ideal contention sources);
+//! 2. the **discrete-event scenario**: the 16 channels × `--reps`
+//!    replications run as independent parallel simulations on the runner
+//!    and merge into a network-wide summary with replication-based
+//!    standard errors. Output is bit-identical for every `--threads`
+//!    value.
+//!
 //! Paper reference values: average power 211 µW, delivery delay 1.45 s,
 //! transmission failure probability 16 %, load 42 %.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin case_study [superframes] [--threads N]`
+//! Usage: `cargo run --release -p wsn-bench --bin case_study [superframes] [--threads N] [--reps N]`
 
 use wsn_bench::RunArgs;
 use wsn_core::activation::ActivationModel;
@@ -18,11 +28,13 @@ use wsn_radio::{PhaseTag, RadioModel, StateKind};
 
 fn main() {
     let args = RunArgs::parse(60);
+    let reps = args.reps_or(4);
+    let runner = args.runner();
 
     let study = CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420()));
     let ber = EmpiricalCc2420Ber::paper();
     let mc = MonteCarloContention::figure6().with_superframes(args.superframes);
-    mc.prewarm(&args.runner(), &[(study.load(), study.packet())]);
+    mc.prewarm(&runner, &[(study.load(), study.packet())]);
 
     println!("# Case study (paper §5)");
     println!(
@@ -39,7 +51,7 @@ fn main() {
             study.run(&ber, &IdealContention),
         ),
     ] {
-        println!("\n## {name}");
+        println!("\n## model: {name}");
         println!(
             "average power             : {:.1} µW   (paper: 211 µW)",
             report.average_power.microwatts()
@@ -79,5 +91,59 @@ fn main() {
                 println!("  {:<11}: {:5.1} %", level.to_string(), share * 100.0);
             }
         }
+    }
+
+    // The discrete-event reproduction: 16 channels × reps replications as
+    // one parallel job grid, per-node link-adapted transmit power.
+    let outcome = study.simulate(&runner, &ber, &mc, args.superframes, reps);
+    println!(
+        "\n## simulator: 16 parallel channels × {reps} replications ({} threads)",
+        runner.threads()
+    );
+    println!(
+        "average power             : {:.1} ± {:.1} µW   (paper: 211 µW)",
+        outcome.overall.mean_node_power.microwatts(),
+        outcome.overall.power_standard_error.microwatts()
+    );
+    println!(
+        "mean delivery delay       : {:.2} ± {:.2} s    (paper: 1.45 s)",
+        outcome.overall.mean_delay.secs(),
+        outcome.overall.delay_standard_error.secs()
+    );
+    println!(
+        "transmission failure      : {:.1} ± {:.1} %    (paper: 16 %)",
+        outcome.overall.failure_ratio.value() * 100.0,
+        outcome.overall.failure_standard_error * 100.0
+    );
+    println!(
+        "energy per delivered bit  : {:.0} nJ",
+        outcome.overall.energy_per_bit_nj
+    );
+    println!("energy breakdown (simulated):");
+    for (phase, f) in outcome.overall.ledger.phase_energy_fractions() {
+        if f > 0.0005 && phase != PhaseTag::Sleep {
+            println!("  {:<11}: {:5.1} %", phase.to_string(), f * 100.0);
+        }
+    }
+    println!("per-channel spread:");
+    let (lo, hi) = outcome.power_spread_uw();
+    println!("  node power : {lo:.1} – {hi:.1} µW across the 16 channels");
+    let (worst, summary) = outcome.worst_channel();
+    println!(
+        "  worst failure: channel {worst} at {:.1} ± {:.1} %",
+        summary.failure_ratio.value() * 100.0,
+        summary.failure_standard_error * 100.0
+    );
+    println!("\nchannel,power_uW,power_se_uW,fail_pct,fail_se_pct,delay_s,attempts");
+    for (c, s) in outcome.per_channel.iter().enumerate() {
+        println!(
+            "{c},{:.2},{:.2},{:.2},{:.2},{:.3},{:.3}",
+            s.mean_node_power.microwatts(),
+            s.power_standard_error.microwatts(),
+            s.failure_ratio.value() * 100.0,
+            s.failure_standard_error * 100.0,
+            s.mean_delay.secs(),
+            s.mean_attempts
+        );
     }
 }

@@ -2,9 +2,14 @@
 //! CSMA/CA algorithm versus network load for packet payloads of 10, 20, 50
 //! and 100 bytes (100 nodes per channel).
 //!
-//! Prints one CSV block per metric: mean contention duration, mean number
-//! of CCAs, collision probability and channel-access-failure probability.
-//! The 72 parameter points are independent simulations and run on the
+//! Prints one CSV block per metric — mean contention duration, mean number
+//! of CCAs, collision probability and channel-access-failure probability —
+//! as `value±stderr` cells: the standard error of the means comes from the
+//! merged per-procedure accumulators, the probability errors are binomial.
+//! `--reps N` merges N independent replications per point (seeds derived
+//! with the splitmix scheme) for tighter errors.
+//!
+//! The `points × reps` grid runs as independent simulations on the
 //! parallel [`Runner`]; results are bit-identical to the serial sweep.
 //!
 //! With `--json`, per-point wall-clock and statistics — plus a serial
@@ -12,12 +17,13 @@
 //! `BENCH_contention.json` so the performance trajectory is machine
 //! readable across PRs.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin fig6 [superframes] [--threads N] [--json]`
+//! Usage: `cargo run --release -p wsn-bench --bin fig6 [superframes] [--threads N] [--reps N] [--json]`
 
 use std::time::Instant;
 
 use wsn_bench::{elapsed_ms, Json, RunArgs};
-use wsn_sim::{ChannelSimConfig, ContentionStats, Runner};
+use wsn_sim::contention::run_channel_sim_into;
+use wsn_sim::{replication_seed, ChannelSimConfig, Runner, StatsSink};
 
 fn configs_for(payloads: &[usize], loads: &[f64], superframes: u32) -> Vec<ChannelSimConfig> {
     let mut configs = Vec::with_capacity(payloads.len() * loads.len());
@@ -31,15 +37,40 @@ fn configs_for(payloads: &[usize], loads: &[f64], superframes: u32) -> Vec<Chann
     configs
 }
 
-/// Runs the sweep, timing each point; returns `(stats, point_wall_ms)` in
-/// config order plus the total wall-clock in milliseconds.
-fn timed_sweep(runner: &Runner, configs: &[ChannelSimConfig]) -> (Vec<(ContentionStats, f64)>, f64) {
+/// Runs the sweep with `reps` replications per point, timing each job;
+/// returns `(merged_sink, point_wall_ms)` in config order plus the total
+/// wall-clock in milliseconds. Replication 0 keeps the point's base seed
+/// so a single-replication sweep matches the pre-replication outputs;
+/// further replications derive their seeds with [`replication_seed`].
+fn timed_sweep(
+    runner: &Runner,
+    configs: &[ChannelSimConfig],
+    reps: u32,
+) -> (Vec<(StatsSink, f64)>, f64) {
     let t0 = Instant::now();
-    let rows = runner.map(configs, |_, cfg| {
+    let shards = runner.map_replicated(configs, reps, |_, base, r| {
         let t = Instant::now();
-        let stats = wsn_sim::simulate_contention(cfg);
-        (stats, elapsed_ms(t))
+        let mut cfg = base.clone();
+        if r > 0 {
+            cfg.seed = replication_seed(base.seed, r);
+        }
+        let timings = cfg.timings();
+        let mut sink = StatsSink::new();
+        run_channel_sim_into(&cfg, &timings, |_| false, &mut sink);
+        (sink, elapsed_ms(t))
     });
+    let rows = shards
+        .into_iter()
+        .map(|point_shards| {
+            let mut merged = StatsSink::new();
+            let mut ms = 0.0;
+            for (sink, shard_ms) in &point_shards {
+                merged.merge(sink);
+                ms += shard_ms;
+            }
+            (merged, ms)
+        })
+        .collect();
     let total = elapsed_ms(t0);
     (rows, total)
 }
@@ -47,37 +78,56 @@ fn timed_sweep(runner: &Runner, configs: &[ChannelSimConfig]) -> (Vec<(Contentio
 fn main() {
     let args = RunArgs::parse(60);
     let runner = args.runner();
+    let reps = args.reps_or(1);
 
     let payloads = [10usize, 20, 50, 100];
     let loads: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
     let configs = configs_for(&payloads, &loads, args.superframes);
 
-    let (rows, wall_ms) = timed_sweep(&runner, &configs);
+    let (rows, wall_ms) = timed_sweep(&runner, &configs, reps);
 
     println!("# Figure 6 — slotted CSMA/CA behaviour, 100 nodes/channel");
     println!(
-        "# ({} superframes per point, standard CSMA parameters, {} threads, {:.0} ms)",
+        "# ({} superframes per point, {} replication(s), standard CSMA parameters, {} threads, {:.0} ms)",
         args.superframes,
+        reps,
         runner.threads(),
         wall_ms
     );
+    type Cell = Box<dyn Fn(&StatsSink) -> (f64, f64)>;
     for (title, f) in [
         (
-            "mean contention duration T_cont [ms]",
-            Box::new(|s: &ContentionStats| s.mean_contention.millis())
-                as Box<dyn Fn(&ContentionStats) -> f64>,
+            "mean contention duration T_cont [ms] (±stderr)",
+            Box::new(|s: &StatsSink| {
+                (
+                    s.contention.contention_us.mean() / 1e3,
+                    s.contention.contention_us.standard_error() / 1e3,
+                )
+            }) as Cell,
         ),
         (
-            "mean CCAs per procedure N_CCA",
-            Box::new(|s: &ContentionStats| s.mean_ccas),
+            "mean CCAs per procedure N_CCA (±stderr)",
+            Box::new(|s: &StatsSink| {
+                (s.contention.ccas.mean(), s.contention.ccas.standard_error())
+            }),
         ),
         (
-            "collision probability Pr_col",
-            Box::new(|s: &ContentionStats| s.pr_collision.value()),
+            "collision probability Pr_col (±binomial stderr)",
+            Box::new(|s: &StatsSink| {
+                (
+                    s.contention.collisions.ratio().value(),
+                    s.contention.collisions.standard_error(),
+                )
+            }),
         ),
         (
-            "channel access failure probability Pr_cf",
-            Box::new(|s: &ContentionStats| s.pr_access_failure.value()),
+            "channel access failure probability Pr_cf (±binomial stderr)",
+            Box::new(|s: &StatsSink| {
+                (
+                    s.contention.access_failures.ratio().value(),
+                    s.contention.access_failures.standard_error(),
+                )
+            }),
         ),
     ] {
         println!("\n## {title}");
@@ -90,8 +140,9 @@ fn main() {
             print!("{load:.2}");
             for payload_idx in 0..payloads.len() {
                 // Rows are laid out payload-major by construction.
-                let (stats, _) = &rows[payload_idx * loads.len() + load_idx];
-                print!(",{:.4}", f(stats));
+                let (sink, _) = &rows[payload_idx * loads.len() + load_idx];
+                let (value, se) = f(sink);
+                print!(",{value:.4}±{se:.4}");
             }
             println!();
         }
@@ -101,7 +152,7 @@ fn main() {
         // Serial reference pass for the recorded speedup (skipped when the
         // sweep already ran single-threaded — it would be the same run).
         let (serial_wall_ms, speedup) = if runner.threads() > 1 {
-            let (_, serial_ms) = timed_sweep(&Runner::serial(), &configs);
+            let (_, serial_ms) = timed_sweep(&Runner::serial(), &configs, reps);
             (Json::Num(serial_ms), Json::Num(serial_ms / wall_ms))
         } else {
             (Json::Null, Json::Null)
@@ -110,15 +161,32 @@ fn main() {
         let points: Vec<Json> = configs
             .iter()
             .zip(&rows)
-            .map(|(cfg, (stats, point_ms))| {
+            .map(|(cfg, (sink, point_ms))| {
+                let stats = sink.contention_stats();
                 Json::Obj(vec![
                     ("payload_bytes", Json::Int(cfg.packet.payload_bytes() as i64)),
                     ("load", Json::Num(cfg.load)),
                     ("wall_ms", Json::Num(*point_ms)),
                     ("t_cont_ms", Json::Num(stats.mean_contention.millis())),
+                    (
+                        "t_cont_se_ms",
+                        Json::Num(sink.contention.contention_us.standard_error() / 1e3),
+                    ),
                     ("n_cca", Json::Num(stats.mean_ccas)),
+                    (
+                        "n_cca_se",
+                        Json::Num(sink.contention.ccas.standard_error()),
+                    ),
                     ("pr_col", Json::Num(stats.pr_collision.value())),
+                    (
+                        "pr_col_se",
+                        Json::Num(sink.contention.collisions.standard_error()),
+                    ),
                     ("pr_cf", Json::Num(stats.pr_access_failure.value())),
+                    (
+                        "pr_cf_se",
+                        Json::Num(sink.contention.access_failures.standard_error()),
+                    ),
                     ("procedures", Json::Int(stats.procedures as i64)),
                 ])
             })
@@ -127,6 +195,7 @@ fn main() {
         let doc = Json::Obj(vec![
             ("benchmark", Json::Str("fig6_contention_sweep".into())),
             ("superframes", Json::Int(args.superframes as i64)),
+            ("replications", Json::Int(reps as i64)),
             ("threads", Json::Int(runner.threads() as i64)),
             (
                 "host_cpus",

@@ -7,7 +7,10 @@
 //! ≈135 nJ/bit (low loss) to ≈220 nJ/bit (88 dB); adapting saves up to
 //! ≈40 % versus always transmitting at 0 dBm.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin fig7 [superframes] [--threads N]`
+//! `--reps N` merges N independent contention replications per load point
+//! (exact fixed-order merges) before the model consumes them.
+//!
+//! Usage: `cargo run --release -p wsn-bench --bin fig7 [superframes] [--threads N] [--reps N]`
 
 use wsn_bench::RunArgs;
 use wsn_core::activation::ActivationModel;
@@ -29,12 +32,15 @@ fn main() {
         BeaconOrder::new(6).expect("valid"),
     );
     let ber = EmpiricalCc2420Ber::paper();
-    let mc = MonteCarloContention::figure6().with_superframes(args.superframes);
+    let mc = MonteCarloContention::figure6()
+        .with_superframes(args.superframes)
+        .with_replications(args.reps_or(1));
 
     let losses: Vec<Db> = (50..=95).map(|a| Db::new(a as f64)).collect();
     let loads = [0.1, 0.42, 0.7];
 
-    // All three Monte-Carlo points up front, on the parallel runner.
+    // The full loads × replications Monte-Carlo grid up front, on the
+    // parallel runner.
     let points: Vec<(f64, PacketLayout)> = loads.iter().map(|&l| (l, packet)).collect();
     mc.prewarm(&args.runner(), &points);
 

@@ -5,7 +5,10 @@
 //! the maximum 123-byte payload (the MAC overhead dominates), so buffering
 //! to the largest packet is optimal.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin fig8 [superframes] [--threads N]`
+//! `--reps N` merges N independent contention replications per grid point
+//! (exact fixed-order merges) before the model consumes them.
+//!
+//! Usage: `cargo run --release -p wsn-bench --bin fig8 [superframes] [--threads N] [--reps N]`
 
 use wsn_bench::RunArgs;
 use wsn_core::activation::ActivationModel;
@@ -28,13 +31,15 @@ fn main() {
         Db::new(75.0),
     );
     let ber = EmpiricalCc2420Ber::paper();
-    let mc = MonteCarloContention::figure6().with_superframes(args.superframes);
+    let mc = MonteCarloContention::figure6()
+        .with_superframes(args.superframes)
+        .with_replications(args.reps_or(1));
 
     let payloads: Vec<usize> = (1..=12).map(|i| i * 10).chain([123]).collect();
     let loads = [0.1, 0.42, 0.7];
 
-    // The full 13×3 (payload, load) Monte-Carlo grid, on the parallel
-    // runner — the dominant cost of this figure.
+    // The full 13×3×reps (payload, load, replication) Monte-Carlo grid,
+    // on the parallel runner — the dominant cost of this figure.
     let points: Vec<(f64, PacketLayout)> = loads
         .iter()
         .flat_map(|&l| {

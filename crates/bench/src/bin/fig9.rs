@@ -4,24 +4,21 @@
 //!
 //! Two independent reproductions are printed and cross-checked:
 //! the analytical model (averaged over the path-loss population) and the
-//! discrete-event network simulator (one channel, 100 nodes).
+//! discrete-event scenario (all 16 channels × `--reps` replications in
+//! parallel, with replication-based standard errors).
 //!
 //! Paper reference: energy — beacon ≈20 %, contention ≈25 %, transmit
 //! <50 %, ACK(+IFS) ≈15 %; time — shutdown 98.77 %, idle 0.47 %,
 //! TX 0.48 %, RX 0.28 %.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin fig9 [superframes] [--threads N]`
+//! Usage: `cargo run --release -p wsn-bench --bin fig9 [superframes] [--threads N] [--reps N]`
 
 use wsn_bench::RunArgs;
 use wsn_core::activation::ActivationModel;
 use wsn_core::case_study::CaseStudy;
 use wsn_core::contention::MonteCarloContention;
-use wsn_core::link_adaptation::LinkAdaptation;
 use wsn_phy::ber::EmpiricalCc2420Ber;
-use wsn_radio::{PhaseTag, RadioModel, StateKind, TxPowerLevel};
-use wsn_sim::network::{NetworkConfig, NetworkSimulator, TxPowerPolicy};
-use wsn_sim::ChannelSimConfig;
-use wsn_units::{Db, Seconds};
+use wsn_radio::{PhaseTag, RadioModel, StateKind};
 
 fn main() {
     let args = RunArgs::parse(40);
@@ -59,32 +56,14 @@ fn main() {
         );
     }
 
-    // Discrete-event cross-check: one channel of 100 nodes, path losses on
-    // the population grid, link-adapted power levels from the model.
-    let adaptation =
-        LinkAdaptation::new(study.model().clone(), study.packet(), study.beacon_order());
-    let losses: Vec<Db> = (0..100)
-        .map(|i| Db::new(55.0 + 40.0 * (i as f64 + 0.5) / 100.0))
-        .collect();
-    let levels: Vec<TxPowerLevel> = losses
-        .iter()
-        .map(|&a| adaptation.best_level(a, study.load(), &ber, &mc).level)
-        .collect();
+    // Discrete-event cross-check through the scenario layer: the full 16
+    // channels with link-adapted power levels, run as parallel streaming
+    // simulations with replication-based standard errors.
+    let reps = args.reps_or(2);
+    let outcome = study.simulate(&args.runner(), &ber, &mc, superframes.max(10), reps);
+    let net = &outcome.overall;
 
-    let mut channel = ChannelSimConfig::figure6(120, study.load(), 0xF169);
-    channel.superframes = superframes.max(10);
-    let sim = NetworkSimulator::new(NetworkConfig {
-        channel,
-        radio: RadioModel::cc2420(),
-        path_losses: losses,
-        tx_policy: TxPowerPolicy::PerNode(levels),
-        coordinator_tx: wsn_units::DBm::new(0.0),
-        wakeup_margin: Seconds::from_millis(1.0),
-    });
-    // Streaming run: aggregates only, no trace allocation.
-    let net = sim.run_streaming(&ber);
-
-    println!("\n## (simulator) energy per phase");
+    println!("\n## (simulator, 16 channels × {reps} replications) energy per phase");
     let fractions = net.ledger.phase_energy_fractions();
     for (phase, f) in fractions {
         if f > 0.0 {
@@ -96,18 +75,21 @@ fn main() {
         println!("  {:<11}: {:7.3} %", state.to_string(), f * 100.0);
     }
     println!(
-        "\nsimulator mean node power : {:.1} µW  (model: {:.1} µW, paper: 211 µW)",
+        "\nsimulator mean node power : {:.1} ± {:.1} µW  (model: {:.1} µW, paper: 211 µW)",
         net.mean_node_power.microwatts(),
+        net.power_standard_error.microwatts(),
         report.average_power.microwatts()
     );
     println!(
-        "simulator failure ratio   : {:.1} %  (model: {:.1} %, paper: 16 %)",
+        "simulator failure ratio   : {:.1} ± {:.1} %  (model: {:.1} %, paper: 16 %)",
         net.failure_ratio.value() * 100.0,
+        net.failure_standard_error * 100.0,
         report.mean_failure.value() * 100.0
     );
     println!(
-        "simulator mean delay      : {:.2} s  (model: {:.2} s, paper: 1.45 s)",
+        "simulator mean delay      : {:.2} ± {:.2} s  (model: {:.2} s, paper: 1.45 s)",
         net.mean_delay.secs(),
+        net.delay_standard_error.secs(),
         report.mean_delay.secs()
     );
 }

@@ -2,7 +2,10 @@
 //! paper fixes: beacon order, retry budget, beacon length and the wake-up
 //! margin.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin sensitivity [superframes] [--threads N]`
+//! `--reps N` merges N independent contention replications per operating
+//! point before the model consumes them.
+//!
+//! Usage: `cargo run --release -p wsn-bench --bin sensitivity [superframes] [--threads N] [--reps N]`
 
 use wsn_bench::RunArgs;
 use wsn_core::activation::{ActivationModel, ModelInputs};
@@ -17,7 +20,9 @@ fn main() {
     let args = RunArgs::parse(40);
 
     let ber = EmpiricalCc2420Ber::paper();
-    let mc = MonteCarloContention::figure6().with_superframes(args.superframes);
+    let mc = MonteCarloContention::figure6()
+        .with_superframes(args.superframes)
+        .with_replications(args.reps_or(1));
     let packet = PacketLayout::with_payload(120).expect("within range");
     let nodes = 100.0;
 

@@ -13,14 +13,19 @@ use wsn_sim::Runner;
 ///
 /// Accepted forms: a positional superframe count, `--threads N` (worker
 /// threads; overrides the `WSN_SIM_THREADS` environment variable, which in
-/// turn overrides auto-detection), and `--json` (emit machine-readable
-/// benchmark output where the binary supports it).
+/// turn overrides auto-detection), `--reps N` (independent replications
+/// per Monte-Carlo point, for replication-based standard errors), and
+/// `--json` (emit machine-readable benchmark output where the binary
+/// supports it).
 #[derive(Debug, Clone)]
 pub struct RunArgs {
     /// Superframes simulated per Monte-Carlo point.
     pub superframes: u32,
     /// Explicit worker-thread count (`--threads N`), if given.
     pub threads: Option<usize>,
+    /// Explicit replication count (`--reps N`), if given; binaries fall
+    /// back to their own defaults.
+    pub reps: Option<u32>,
     /// `--json`: write machine-readable benchmark output.
     pub json: bool,
 }
@@ -34,6 +39,7 @@ impl RunArgs {
         let mut out = RunArgs {
             superframes: default_superframes,
             threads: None,
+            reps: None,
             json: false,
         };
         let mut args = std::env::args().skip(1);
@@ -49,6 +55,16 @@ impl RunArgs {
                         None => usage("--threads requires a positive integer"),
                     }
                 }
+                "--reps" => {
+                    let value = args
+                        .next()
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .filter(|&n| n > 0);
+                    match value {
+                        Some(n) => out.reps = Some(n),
+                        None => usage("--reps requires a positive integer"),
+                    }
+                }
                 "--json" => out.json = true,
                 other => match other.parse::<u32>() {
                     Ok(sf) if sf >= 2 => out.superframes = sf,
@@ -58,6 +74,11 @@ impl RunArgs {
             }
         }
         out
+    }
+
+    /// The replication count: `--reps` if given, otherwise `default`.
+    pub fn reps_or(&self, default: u32) -> u32 {
+        self.reps.unwrap_or(default).max(1)
     }
 
     /// Builds the runner: `--threads` beats `WSN_SIM_THREADS` beats
@@ -72,7 +93,7 @@ impl RunArgs {
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!("usage: <binary> [superframes] [--threads N] [--json]");
+    eprintln!("usage: <binary> [superframes] [--threads N] [--reps N] [--json]");
     std::process::exit(2);
 }
 

@@ -113,6 +113,139 @@ impl Deployment {
         }
         parts
     }
+
+    /// Splits node indices into `channels` contiguous index blocks (the
+    /// first `⌈n/channels⌉`-ish nodes on channel 0, and so on). Useful when
+    /// the deployment was generated group-by-group — e.g.
+    /// [`clustered`](Self::clustered) emits nodes cluster-major, so a
+    /// contiguous partition assigns one cluster per channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn contiguous_partition(&self, channels: usize) -> Vec<Vec<usize>> {
+        assert!(channels > 0, "at least one channel required");
+        let n = self.positions.len();
+        let base = n / channels;
+        let extra = n % channels;
+        let mut parts = Vec::with_capacity(channels);
+        let mut next = 0usize;
+        for c in 0..channels {
+            let take = base + usize::from(c < extra);
+            parts.push((next..next + take).collect());
+            next += take;
+        }
+        parts
+    }
+
+    /// Splits node indices into `channels` concentric distance bands: nodes
+    /// are sorted by range from the base station and the nearest block goes
+    /// to channel 0, the farthest to channel `channels − 1`. This is the
+    /// *ring-stratified* allocation — every channel sees a narrow path-loss
+    /// band instead of the full population, which concentrates the weak
+    /// links (and their retries) on the outer channels.
+    ///
+    /// Ties are broken by node index, so the partition is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn ring_partition(&self, channels: usize) -> Vec<Vec<usize>> {
+        assert!(channels > 0, "at least one channel required");
+        let mut order: Vec<usize> = (0..self.positions.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.positions[a]
+                .range()
+                .meters()
+                .total_cmp(&self.positions[b].range().meters())
+                .then(a.cmp(&b))
+        });
+        let n = order.len();
+        let base = n / channels;
+        let extra = n % channels;
+        let mut parts = Vec::with_capacity(channels);
+        let mut next = 0usize;
+        for c in 0..channels {
+            let take = base + usize::from(c < extra);
+            parts.push(order[next..next + take].to_vec());
+            next += take;
+        }
+        parts
+    }
+
+    /// Places `per_ring` nodes on each of the given concentric `radii`
+    /// (uniform random angles), emitting nodes ring-major: ring 0's nodes
+    /// first. The disc radius is the largest ring radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radii` is empty or any radius is not strictly positive.
+    pub fn rings<U: UniformSource>(per_ring: usize, radii: &[Meters], rng: &mut U) -> Self {
+        assert!(!radii.is_empty(), "at least one ring required");
+        assert!(
+            radii.iter().all(|r| r.meters() > 0.0),
+            "ring radii must be positive"
+        );
+        let mut positions = Vec::with_capacity(per_ring * radii.len());
+        for &radius in radii {
+            for _ in 0..per_ring {
+                let theta = core::f64::consts::TAU * rng.next_f64();
+                positions.push(Position {
+                    x: radius.meters() * theta.cos(),
+                    y: radius.meters() * theta.sin(),
+                });
+            }
+        }
+        let radius = radii
+            .iter()
+            .copied()
+            .fold(Meters::ZERO, Meters::max);
+        Deployment { positions, radius }
+    }
+
+    /// Places `clusters × per_cluster` nodes in compact clusters: cluster
+    /// centers are spread evenly around a circle of radius
+    /// `field_radius − cluster_radius`, and each cluster's nodes are
+    /// uniform (by area) in a disc of `cluster_radius` around its center.
+    /// Nodes are emitted cluster-major, so
+    /// [`contiguous_partition`](Self::contiguous_partition) maps one
+    /// cluster per channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cluster_radius < field_radius` and
+    /// `clusters > 0`.
+    pub fn clustered<U: UniformSource>(
+        clusters: usize,
+        per_cluster: usize,
+        field_radius: Meters,
+        cluster_radius: Meters,
+        rng: &mut U,
+    ) -> Self {
+        assert!(clusters > 0, "at least one cluster required");
+        assert!(
+            cluster_radius.meters() > 0.0 && cluster_radius < field_radius,
+            "cluster radius must be in (0, field radius)"
+        );
+        let ring = field_radius.meters() - cluster_radius.meters();
+        let mut positions = Vec::with_capacity(clusters * per_cluster);
+        for c in 0..clusters {
+            let phi = core::f64::consts::TAU * c as f64 / clusters as f64;
+            let (cx, cy) = (ring * phi.cos(), ring * phi.sin());
+            for _ in 0..per_cluster {
+                let r = cluster_radius.meters() * rng.next_f64().sqrt();
+                let theta = core::f64::consts::TAU * rng.next_f64();
+                positions.push(Position {
+                    x: cx + r * theta.cos(),
+                    y: cy + r * theta.sin(),
+                });
+            }
+        }
+        Deployment {
+            positions,
+            radius: field_radius,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,5 +327,96 @@ mod tests {
     fn zero_channels_rejected() {
         let d = Deployment::uniform_disc(4, Meters::new(1.0), &mut SplitMix64::new(0));
         let _ = d.channel_partition(0);
+    }
+
+    #[test]
+    fn contiguous_partition_covers_in_index_order() {
+        let d = Deployment::uniform_disc(10, Meters::new(5.0), &mut SplitMix64::new(6));
+        let parts = d.contiguous_partition(3);
+        assert_eq!(parts.len(), 3);
+        // 10 = 4 + 3 + 3, indices in order.
+        assert_eq!(parts[0], vec![0, 1, 2, 3]);
+        assert_eq!(parts[1], vec![4, 5, 6]);
+        assert_eq!(parts[2], vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_partition_stratifies_by_range() {
+        let mut rng = SplitMix64::new(7);
+        let d = Deployment::uniform_disc(400, Meters::new(30.0), &mut rng);
+        let parts = d.ring_partition(4);
+        assert!(parts.iter().all(|p| p.len() == 100));
+        let ranges = d.ranges();
+        // Every node of band k is no farther than every node of band k+1.
+        for k in 0..3 {
+            let outer_of_k = parts[k]
+                .iter()
+                .map(|&i| ranges[i].meters())
+                .fold(0.0, f64::max);
+            let inner_of_next = parts[k + 1]
+                .iter()
+                .map(|&i| ranges[i].meters())
+                .fold(f64::INFINITY, f64::min);
+            assert!(outer_of_k <= inner_of_next + 1e-12, "band {k} overlaps");
+        }
+        // All indices appear exactly once.
+        let mut all: Vec<usize> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rings_place_nodes_at_exact_radii() {
+        let mut rng = SplitMix64::new(8);
+        let radii = [Meters::new(5.0), Meters::new(15.0), Meters::new(25.0)];
+        let d = Deployment::rings(20, &radii, &mut rng);
+        assert_eq!(d.len(), 60);
+        assert_eq!(d.radius(), Meters::new(25.0));
+        for (i, p) in d.positions().iter().enumerate() {
+            let want = radii[i / 20].meters();
+            assert!((p.range().meters() - want).abs() < 1e-9, "node {i}");
+        }
+        // Ring-major emission: contiguous partition isolates each ring.
+        let parts = d.contiguous_partition(3);
+        for (k, part) in parts.iter().enumerate() {
+            for &i in part {
+                assert!((d.positions()[i].range().meters() - radii[k].meters()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_are_compact_and_cluster_major() {
+        let mut rng = SplitMix64::new(9);
+        let d = Deployment::clustered(4, 25, Meters::new(40.0), Meters::new(5.0), &mut rng);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.radius(), Meters::new(40.0));
+        let parts = d.contiguous_partition(4);
+        for part in &parts {
+            assert_eq!(part.len(), 25);
+            // All nodes of a cluster fit in a 2×cluster_radius-diameter disc.
+            let xs: Vec<f64> = part.iter().map(|&i| d.positions()[i].x).collect();
+            let ys: Vec<f64> = part.iter().map(|&i| d.positions()[i].y).collect();
+            let (cx, cy) = (
+                xs.iter().sum::<f64>() / 25.0,
+                ys.iter().sum::<f64>() / 25.0,
+            );
+            for (&x, &y) in xs.iter().zip(&ys) {
+                let dist = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+                assert!(dist <= 10.0, "node {dist} m from its cluster centroid");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster radius must be in")]
+    fn oversized_cluster_radius_rejected() {
+        let _ = Deployment::clustered(
+            2,
+            2,
+            Meters::new(10.0),
+            Meters::new(10.0),
+            &mut SplitMix64::new(0),
+        );
     }
 }

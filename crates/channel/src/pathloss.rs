@@ -97,6 +97,16 @@ impl LogDistance {
         self.exponent
     }
 
+    /// The same reference point with a different exponent — e.g. the
+    /// 2.45 GHz free-space reference hardened to an in-building exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` is not positive.
+    pub fn with_exponent(self, exponent: f64) -> Self {
+        LogDistance::new(self.reference_loss, self.reference_distance, exponent)
+    }
+
     /// Inverts the model: distance at which `loss` is reached.
     pub fn distance_for_loss(&self, loss: Db) -> Meters {
         let exp = (loss.db() - self.reference_loss.db()) / (10.0 * self.exponent);

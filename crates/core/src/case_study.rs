@@ -14,6 +14,9 @@ use wsn_mac::BeaconOrder;
 use wsn_phy::ber::BerModel;
 use wsn_phy::frame::PacketLayout;
 use wsn_radio::{PhaseTag, StateKind, TxPowerLevel};
+use wsn_sim::network::TxPowerPolicy;
+use wsn_sim::scenario::{DeploymentSpec, Scenario, ScenarioOutcome, TrafficSpec};
+use wsn_sim::Runner;
 use wsn_units::{Db, Power, Probability, Seconds};
 
 use crate::activation::{ActivationModel, ModelInputs, ModelOutput};
@@ -26,6 +29,7 @@ pub struct CaseStudy {
     model: ActivationModel,
     packet: PacketLayout,
     beacon_order: BeaconOrder,
+    channels: usize,
     nodes_per_channel: usize,
     population: UniformPathLossPopulation,
     grid_points: usize,
@@ -39,6 +43,7 @@ impl CaseStudy {
             model,
             packet: PacketLayout::with_payload(120).expect("120 ≤ 123"),
             beacon_order: BeaconOrder::new(6).expect("BO 6 valid"),
+            channels: 16,
             nodes_per_channel: 100,
             population: UniformPathLossPopulation::paper_case_study(),
             grid_points: 81,
@@ -77,9 +82,19 @@ impl CaseStudy {
         self.beacon_order
     }
 
+    /// Number of independent channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
     /// Nodes sharing each channel.
     pub fn nodes_per_channel(&self) -> usize {
         self.nodes_per_channel
+    }
+
+    /// The path-loss population.
+    pub fn population(&self) -> UniformPathLossPopulation {
+        self.population
     }
 
     /// Network load λ per channel: `N·T_packet / T_ib` (≈ 0.43, the
@@ -87,6 +102,75 @@ impl CaseStudy {
     pub fn load(&self) -> f64 {
         self.nodes_per_channel as f64 * self.packet.duration().secs()
             / self.beacon_order.beacon_interval().secs()
+    }
+
+    /// The case study as a declarative [`Scenario`]: 16 channels × 100
+    /// nodes on the uniform 55–95 dB loss grid, 120-byte payloads, BO = 6
+    /// — the discrete-event counterpart of [`run`](Self::run). Compiled
+    /// per-channel loads equal [`load`](Self::load) by construction.
+    pub fn scenario(&self) -> Scenario {
+        Scenario::new(
+            "paper §5 case study",
+            self.channels,
+            self.nodes_per_channel,
+            DeploymentSpec::UniformLossGrid {
+                min_db: self.population.min().db(),
+                max_db: self.population.max().db(),
+            },
+        )
+        .with_traffic(TrafficSpec::Uniform {
+            payload_bytes: self.packet.payload_bytes(),
+        })
+        .with_beacon_order(self.beacon_order)
+    }
+
+    /// Simulates the case study end to end on the parallel runner: the
+    /// scenario's 16 channels (× `replications`) run as independent
+    /// discrete-event simulations with per-node energy-optimal transmit
+    /// levels from the analytical link adaptation, and merge into
+    /// per-channel and network-wide summaries with replication-based
+    /// standard errors. Bit-identical for every thread count.
+    pub fn simulate<B: BerModel + Sync, C: ContentionModel>(
+        &self,
+        runner: &Runner,
+        ber: &B,
+        contention: &C,
+        superframes: u32,
+        replications: u32,
+    ) -> ScenarioOutcome {
+        let scenario = self
+            .scenario()
+            .with_superframes(superframes)
+            .with_replications(replications);
+        let adaptation = LinkAdaptation::new(self.model.clone(), self.packet, self.beacon_order);
+        let mut configs = scenario.compile();
+        // The paper scenario compiles identical loss populations and loads
+        // for every channel, so the (expensive) per-node adaptation is
+        // computed once per distinct (losses, load) pair and reused.
+        let mut adapted: Vec<(Vec<wsn_units::Db>, f64, Vec<wsn_radio::TxPowerLevel>)> = Vec::new();
+        for cfg in &mut configs {
+            let levels = match adapted
+                .iter()
+                .find(|(losses, load, _)| *losses == cfg.path_losses && *load == cfg.channel.load)
+            {
+                Some((_, _, levels)) => levels.clone(),
+                None => {
+                    let levels: Vec<wsn_radio::TxPowerLevel> = cfg
+                        .path_losses
+                        .iter()
+                        .map(|&a| {
+                            adaptation
+                                .best_level(a, cfg.channel.load, ber, contention)
+                                .level
+                        })
+                        .collect();
+                    adapted.push((cfg.path_losses.clone(), cfg.channel.load, levels.clone()));
+                    levels
+                }
+            };
+            cfg.tx_policy = TxPowerPolicy::PerNode(levels);
+        }
+        scenario.run_with(runner, &configs, ber)
     }
 
     /// Runs the study.
@@ -289,6 +373,47 @@ mod tests {
         assert!(used >= 4, "population should span ≥4 levels, used {used}");
         // Weakest level serves the near cohort.
         assert!(report.level_shares[0].1 > 0.0, "nobody uses −25 dBm");
+    }
+
+    #[test]
+    fn scenario_compiles_to_16_channels_of_100_nodes_at_the_paper_load() {
+        let study = CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420()));
+        let configs = study.scenario().compile();
+        assert_eq!(configs.len(), 16, "paper uses 16 channels");
+        for (c, cfg) in configs.iter().enumerate() {
+            assert_eq!(cfg.channel.nodes, 100, "channel {c}");
+            assert_eq!(cfg.path_losses.len(), 100, "channel {c}");
+            // The compiled load is the same `N·T_packet / T_ib` the
+            // analytical study uses.
+            assert!(
+                (cfg.channel.load - study.load()).abs() < 1e-12,
+                "channel {c}: compiled load {} vs model load {}",
+                cfg.channel.load,
+                study.load()
+            );
+            // Population span matches the 55–95 dB case study.
+            let min = cfg.path_losses.iter().map(|l| l.db()).fold(f64::MAX, f64::min);
+            let max = cfg.path_losses.iter().map(|l| l.db()).fold(f64::MIN, f64::max);
+            assert!(min > 55.0 && max < 95.0);
+        }
+    }
+
+    #[test]
+    fn simulate_runs_in_parallel_with_replication_errors() {
+        let study = CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420()));
+        let ber = EmpiricalCc2420Ber::paper();
+        let serial = study.simulate(&Runner::serial(), &ber, &IdealContention, 4, 2);
+        let parallel = study.simulate(&Runner::with_threads(4), &ber, &IdealContention, 4, 2);
+        assert_eq!(serial.per_channel.len(), 16);
+        assert_eq!(serial.overall.replications, 2);
+        assert_eq!(serial.overall.mean_node_power, parallel.overall.mean_node_power);
+        assert_eq!(serial.overall.failure_ratio, parallel.overall.failure_ratio);
+        assert_eq!(
+            serial.overall.power_standard_error,
+            parallel.overall.power_standard_error
+        );
+        // 16 channels × 100 nodes × 2 replications pooled.
+        assert_eq!(serial.overall.node_powers.len(), 3200);
     }
 
     #[test]

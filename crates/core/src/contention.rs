@@ -21,7 +21,10 @@ use std::sync::Mutex;
 use wsn_mac::csma::CsmaParams;
 use wsn_mac::RetryPolicy;
 use wsn_phy::frame::PacketLayout;
-use wsn_sim::{simulate_contention, ChannelSimConfig, ContentionStats, Runner};
+use wsn_sim::contention::run_channel_sim_into;
+use wsn_sim::{
+    replication_seed, simulate_contention, ChannelSimConfig, ContentionStats, Runner, StatsSink,
+};
 use wsn_units::{Probability, Seconds};
 
 /// Supplies contention statistics for a given load and packet layout.
@@ -67,19 +70,21 @@ pub struct MonteCarloContention {
     csma: CsmaParams,
     retries: RetryPolicy,
     superframes: u32,
+    replications: u32,
     seed: u64,
     cache: Mutex<HashMap<(u64, usize), ContentionStats>>,
 }
 
 impl MonteCarloContention {
     /// The paper's Figure 6 setting: 100 nodes, standard CSMA parameters,
-    /// `N_max = 5`.
+    /// `N_max = 5`, one replication per point.
     pub fn figure6() -> Self {
         MonteCarloContention {
             nodes: 100,
             csma: CsmaParams::standard_2003(),
             retries: RetryPolicy::paper(),
             superframes: 40,
+            replications: 1,
             seed: 0x0F16_6AA0,
             cache: Mutex::new(HashMap::new()),
         }
@@ -103,6 +108,17 @@ impl MonteCarloContention {
         self
     }
 
+    /// Overrides the number of independent replications merged per point
+    /// (clamped to at least 1). With `r > 1` every `(load, payload)`
+    /// point is the exact replication-order merge of `r` simulations with
+    /// [`replication_seed`]-derived seeds — tighter statistics, and
+    /// [`prewarm`](Self::prewarm) parallelizes over the full
+    /// `points × replications` grid.
+    pub fn with_replications(mut self, replications: u32) -> Self {
+        self.replications = replications.max(1);
+        self
+    }
+
     /// Overrides the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -113,14 +129,14 @@ impl MonteCarloContention {
         ((load * 1e9).round() as u64, packet.payload_bytes())
     }
 
-    /// The uncached Monte-Carlo evaluation of one `(load, packet)` point.
-    fn compute(&self, load: f64, packet: PacketLayout) -> ContentionStats {
+    /// The base configuration of one `(load, packet)` point.
+    fn config_for(&self, load: f64, packet: PacketLayout) -> ChannelSimConfig {
         assert!(
             load > 0.0 && load < 1.0,
             "load must be in (0,1), got {load}"
         );
         let key = Self::key(load, packet);
-        let cfg = ChannelSimConfig {
+        ChannelSimConfig {
             nodes: self.nodes,
             packet,
             load,
@@ -129,18 +145,48 @@ impl MonteCarloContention {
             superframes: self.superframes,
             seed: self.seed ^ key.0 ^ (key.1 as u64) << 40,
             synchronized_arrivals: false,
-        };
-        simulate_contention(&cfg)
+        }
+    }
+
+    /// One replication's statistics sink for a point. Replication 0
+    /// always keeps the point's base seed (so a single-replication source
+    /// reproduces pre-replication outputs exactly, and `fig6 --reps N`
+    /// follows the same convention); further replications derive their
+    /// seeds with [`replication_seed`].
+    fn replication_sink(&self, base: &ChannelSimConfig, i: u64) -> StatsSink {
+        let mut cfg = base.clone();
+        if i > 0 {
+            cfg.seed = replication_seed(base.seed, i);
+        }
+        let timings = cfg.timings();
+        let mut sink = StatsSink::new();
+        run_channel_sim_into(&cfg, &timings, |_| false, &mut sink);
+        sink
+    }
+
+    /// The uncached Monte-Carlo evaluation of one `(load, packet)` point:
+    /// the fixed-order merge over this source's replications.
+    fn compute(&self, load: f64, packet: PacketLayout) -> ContentionStats {
+        let base = self.config_for(load, packet);
+        if self.replications == 1 {
+            return simulate_contention(&base);
+        }
+        let mut merged = StatsSink::new();
+        for i in 0..self.replications as u64 {
+            merged.merge(&self.replication_sink(&base, i));
+        }
+        merged.contention_stats()
     }
 
     /// Evaluates the given `(load, packet)` points on the parallel runner
     /// and fills the memoization cache, so the model's subsequent
     /// [`ContentionModel::stats`] calls are cache hits.
     ///
-    /// Each point is an independent simulation with a seed derived only
-    /// from `(load, payload)`, so the cached values are bit-identical to
-    /// what serial on-demand evaluation would have produced, regardless of
-    /// the runner's thread count.
+    /// The full `points × replications` grid is one flat job list, and
+    /// each point's replications merge in replication order afterwards —
+    /// so the cached values are bit-identical to what serial on-demand
+    /// evaluation would have produced, regardless of the runner's thread
+    /// count.
     pub fn prewarm(&self, runner: &Runner, points: &[(f64, PacketLayout)]) {
         // Skip cached points and duplicates, preserving first-seen order.
         let mut fresh: Vec<(f64, PacketLayout)> = Vec::new();
@@ -158,10 +204,16 @@ impl MonteCarloContention {
         if fresh.is_empty() {
             return;
         }
-        let stats = runner.map(&fresh, |_, &(load, packet)| self.compute(load, packet));
+        let sinks = runner.map_replicated(&fresh, self.replications, |_, &(load, packet), r| {
+            self.replication_sink(&self.config_for(load, packet), r)
+        });
         let mut cache = self.cache.lock().expect("cache poisoned");
-        for (&(load, packet), s) in fresh.iter().zip(stats) {
-            cache.insert(Self::key(load, packet), s);
+        for (&(load, packet), point_sinks) in fresh.iter().zip(&sinks) {
+            let mut merged = StatsSink::new();
+            for sink in point_sinks {
+                merged.merge(sink);
+            }
+            cache.insert(Self::key(load, packet), merged.contention_stats());
         }
     }
 }
@@ -215,6 +267,46 @@ impl TableContention {
                 grid.push(source.stats(load, packet));
             }
         }
+        TableContention {
+            loads: loads.to_vec(),
+            payloads: payloads.to_vec(),
+            grid,
+        }
+    }
+
+    /// Builds the same table with the grid evaluated on the parallel
+    /// [`Runner`] — each `(load, payload)` cell is an independent job, so
+    /// a design-space table fills in parallel instead of serially. The
+    /// result is identical to [`tabulate`](Self::tabulate) for any
+    /// deterministic source, for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty or not strictly increasing.
+    pub fn tabulate_parallel<M: ContentionModel + Sync>(
+        runner: &Runner,
+        source: &M,
+        loads: &[f64],
+        payloads: &[usize],
+    ) -> Self {
+        assert!(!loads.is_empty() && !payloads.is_empty(), "empty grid");
+        assert!(
+            loads.windows(2).all(|w| w[0] < w[1]),
+            "loads must be strictly increasing"
+        );
+        assert!(
+            payloads.windows(2).all(|w| w[0] < w[1]),
+            "payloads must be strictly increasing"
+        );
+        let cells: Vec<(f64, usize)> = loads
+            .iter()
+            .flat_map(|&load| payloads.iter().map(move |&payload| (load, payload)))
+            .collect();
+        let grid = runner.map(&cells, |_, &(load, payload)| {
+            let packet =
+                PacketLayout::with_payload(payload).expect("tabulated payload within range");
+            source.stats(load, packet)
+        });
         TableContention {
             loads: loads.to_vec(),
             payloads: payloads.to_vec(),
@@ -456,6 +548,51 @@ mod tests {
     fn monte_carlo_rejects_bad_load() {
         let mc = MonteCarloContention::figure6();
         let _ = mc.stats(0.0, packet(50));
+    }
+
+    #[test]
+    fn replicated_prewarm_matches_serial_stats() {
+        let p = packet(80);
+        let points = [(0.3, p), (0.5, p)];
+        let warmed = MonteCarloContention::figure6()
+            .with_superframes(5)
+            .with_replications(3);
+        warmed.prewarm(&Runner::with_threads(4), &points);
+        let cold = MonteCarloContention::figure6()
+            .with_superframes(5)
+            .with_replications(3);
+        for &(load, pkt) in &points {
+            assert_eq!(warmed.stats(load, pkt), cold.stats(load, pkt));
+        }
+        // Three replications observe three single-replication sample sets.
+        let single = MonteCarloContention::figure6().with_superframes(5);
+        let one = single.stats(0.3, p);
+        let three = cold.stats(0.3, p);
+        assert!(three.procedures > one.procedures);
+    }
+
+    #[test]
+    fn tabulate_parallel_matches_serial_tabulate() {
+        let loads = [0.2, 0.4, 0.6];
+        let payloads = [20usize, 60, 100];
+        let serial = TableContention::tabulate(&LinearSource, &loads, &payloads);
+        for threads in [1, 4] {
+            let parallel = TableContention::tabulate_parallel(
+                &Runner::with_threads(threads),
+                &LinearSource,
+                &loads,
+                &payloads,
+            );
+            for &load in &loads {
+                for &p in &payloads {
+                    assert_eq!(
+                        serial.stats(load, packet(p)),
+                        parallel.stats(load, packet(p)),
+                        "threads={threads} cell ({load},{p})"
+                    );
+                }
+            }
+        }
     }
 
     /// A fake analytic source for interpolation tests: every statistic is a

@@ -240,6 +240,13 @@ impl EnergyLedger {
     }
 
     /// Folds another ledger into this one (aggregating nodes).
+    ///
+    /// Componentwise addition, so the merge is exact and
+    /// order-insensitive up to floating-point rounding: per-node ledgers
+    /// combine into per-channel ledgers and per-channel ledgers into
+    /// population ledgers. The simulator's sharded accumulators rely on
+    /// this — merging shards in a fixed order keeps parallel reductions
+    /// bit-identical to the serial fold.
     pub fn merge(&mut self, other: &EnergyLedger) {
         for i in 0..4 {
             self.state_time[i] += other.state_time[i];

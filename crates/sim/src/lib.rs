@@ -21,9 +21,32 @@
 //! instead of materializing `Vec`s), and [`runner`] (the deterministic
 //! parallel replication/sweep runner).
 //!
+//! ## The experiment pipeline: scenario → config → runner → accumulator
+//!
+//! Network experiments flow through four layers:
+//!
+//! 1. **[`scenario`]** — a [`scenario::Scenario`] declaratively describes
+//!    the whole experiment: deployment geometry (uniform 55–95 dB
+//!    population, disc, rings, per-channel clusters), node-to-channel
+//!    allocation, per-channel traffic, CSMA/radio parameters, the BER
+//!    model and the replication count;
+//! 2. **config** — [`scenario::Scenario::compile`] lowers it into one
+//!    [`NetworkConfig`] per channel, with per-channel loads and
+//!    splitmix-derived seeds;
+//! 3. **runner** — [`Runner`] executes the channels × replications grid
+//!    on a scoped thread pool ([`Runner::sweep_network`],
+//!    [`Runner::replicate_network`], [`scenario::Scenario::run`]),
+//!    deriving each replication's seed from `(master, index)` only;
+//! 4. **accumulator** — every run streams into a mergeable
+//!    [`network::NetworkAccumulator`] (built on [`Accumulator`],
+//!    [`Counter`] and `EnergyLedger::merge`); shards merge in a fixed
+//!    order and finalize into [`NetworkSummary`] with replication-based
+//!    standard errors.
+//!
 //! Everything is reproducible: equal seeds give bit-identical traces, and
-//! the parallel runner's merged statistics are bit-identical to the serial
-//! path for every thread count.
+//! every parallel reduction — contention sweeps, network replications,
+//! whole scenarios — is bit-identical to the serial path for every thread
+//! count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,12 +56,18 @@ pub mod events;
 pub mod network;
 pub mod rng;
 pub mod runner;
+pub mod scenario;
 pub mod sink;
 pub mod stats;
 
 pub use contention::{simulate_contention, ChannelSimConfig, SimTrace, SlotTimings};
-pub use network::{NetworkConfig, NetworkReport, NetworkSimulator, NetworkSummary};
+pub use network::{
+    NetworkAccumulator, NetworkConfig, NetworkReport, NetworkSimulator, NetworkSummary,
+};
 pub use rng::Xoshiro256StarStar;
 pub use runner::{replication_seed, Runner, THREADS_ENV};
+pub use scenario::{
+    BerChoice, ChannelAllocation, DeploymentSpec, Scenario, ScenarioOutcome, TrafficSpec,
+};
 pub use sink::{StatsSink, TraceCollector, TraceSink};
 pub use stats::{Accumulator, ContentionAccumulator, ContentionStats, Counter};

@@ -31,6 +31,7 @@ use crate::contention::{
 };
 use crate::rng::Xoshiro256StarStar;
 use crate::sink::{StatsSink, TeeSink, TraceCollector, TraceSink};
+use crate::stats::{Accumulator, Counter};
 
 /// Per-node transmit power assignment.
 #[derive(Debug, Clone)]
@@ -111,12 +112,13 @@ impl NetworkConfig {
 }
 
 /// Aggregated results of a network simulation, computed online — the
-/// trace-free output of [`NetworkSimulator::run_streaming`].
+/// trace-free output of [`NetworkSimulator::run_streaming`] and the
+/// finalized form of a [`NetworkAccumulator`].
 #[derive(Debug, Clone)]
 pub struct NetworkSummary {
     /// Mean average power per node over the recorded window.
     pub mean_node_power: Power,
-    /// Per-node average powers.
+    /// Per-node average powers (channel-major when channels were merged).
     pub node_powers: Vec<Power>,
     /// Population energy ledger (all nodes merged) — Figure 9 material.
     pub ledger: EnergyLedger,
@@ -128,6 +130,143 @@ pub struct NetworkSummary {
     pub mean_attempts: f64,
     /// Energy per delivered payload bit.
     pub energy_per_bit_nj: f64,
+    /// Number of independent replications merged into this summary.
+    pub replications: u32,
+    /// Standard error of [`mean_node_power`](Self::mean_node_power):
+    /// across replication means when `replications ≥ 2`, otherwise across
+    /// the node population of the single run.
+    pub power_standard_error: Power,
+    /// Standard error of [`failure_ratio`](Self::failure_ratio): across
+    /// replications when available, otherwise the binomial error over
+    /// transactions.
+    pub failure_standard_error: f64,
+    /// Standard error of [`mean_delay`](Self::mean_delay): across
+    /// replications when available, otherwise across delivered
+    /// transactions.
+    pub delay_standard_error: Seconds,
+}
+
+/// Mergeable sufficient statistics of one or more network simulation runs.
+///
+/// This is the network-level analogue of
+/// [`ContentionAccumulator`](crate::stats::ContentionAccumulator): every
+/// field merges exactly ([`Accumulator::merge`] / [`Counter::merge`] /
+/// [`EnergyLedger::merge`]), so per-channel and per-replication shards
+/// reduced on worker threads and combined in a fixed order are
+/// bit-identical to a serial fold. [`NetworkSimulator::run_accumulate`]
+/// produces one per run; the parallel runner and the scenario layer merge
+/// them.
+///
+/// Replication-level confidence intervals come from the `rep_*`
+/// accumulators, which receive **one sample per sealed replication**
+/// ([`seal_replication`](Self::seal_replication)): seal each replication's
+/// accumulator (possibly after merging that replication's channels) before
+/// merging it into the total.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkAccumulator {
+    /// Per-node average powers in µW (one sample per node).
+    pub node_power_uw: Accumulator,
+    /// Per-node average powers in accrual order (concatenated on merge).
+    pub node_powers: Vec<Power>,
+    /// Population energy ledger (all nodes merged).
+    pub ledger: EnergyLedger,
+    /// Failed-transaction counter (`Pr_fail`).
+    pub failures: Counter,
+    /// Transmission attempts per transaction.
+    pub attempts: Accumulator,
+    /// Delivery delay in seconds, over delivered transactions.
+    pub delay_secs: Accumulator,
+    /// Delivered payload bits (energy-per-bit denominator).
+    pub delivered_payload_bits: f64,
+    /// Arrivals skipped because the node was still busy.
+    pub overruns: u64,
+    /// Replication means of the per-node power (µW); one sample per
+    /// sealed replication.
+    pub rep_power_uw: Accumulator,
+    /// Replication failure ratios; one sample per sealed replication.
+    pub rep_failure: Accumulator,
+    /// Replication mean delays (s); one sample per sealed replication.
+    pub rep_delay_secs: Accumulator,
+}
+
+impl NetworkAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        NetworkAccumulator::default()
+    }
+
+    /// Merges another accumulator into this one. Exact, and
+    /// bit-deterministic when performed in a fixed order.
+    pub fn merge(&mut self, other: &NetworkAccumulator) {
+        self.node_power_uw.merge(&other.node_power_uw);
+        self.node_powers.extend_from_slice(&other.node_powers);
+        self.ledger.merge(&other.ledger);
+        self.failures.merge(&other.failures);
+        self.attempts.merge(&other.attempts);
+        self.delay_secs.merge(&other.delay_secs);
+        self.delivered_payload_bits += other.delivered_payload_bits;
+        self.overruns += other.overruns;
+        self.rep_power_uw.merge(&other.rep_power_uw);
+        self.rep_failure.merge(&other.rep_failure);
+        self.rep_delay_secs.merge(&other.rep_delay_secs);
+    }
+
+    /// Records the current aggregate scalars as one replication sample.
+    ///
+    /// Call exactly once per independent replication, after all of that
+    /// replication's shards (e.g. its channels) have been merged and
+    /// before merging into the cross-replication total.
+    pub fn seal_replication(&mut self) {
+        self.rep_power_uw.push(self.node_power_uw.mean());
+        self.rep_failure.push(self.failures.ratio().value());
+        self.rep_delay_secs.push(self.delay_secs.mean());
+    }
+
+    /// Number of sealed replications.
+    pub fn replications(&self) -> u32 {
+        self.rep_power_uw.count() as u32
+    }
+
+    /// Finalizes into a [`NetworkSummary`].
+    ///
+    /// Standard errors are replication-based when at least two
+    /// replications were sealed; with fewer they fall back to the
+    /// within-run sample errors (node population for power, binomial over
+    /// transactions for failures, delivered transactions for delay).
+    pub fn summary(&self) -> NetworkSummary {
+        let replications = self.replications();
+        let (power_se_uw, failure_se, delay_se_secs) = if replications >= 2 {
+            (
+                self.rep_power_uw.standard_error(),
+                self.rep_failure.standard_error(),
+                self.rep_delay_secs.standard_error(),
+            )
+        } else {
+            (
+                self.node_power_uw.standard_error(),
+                self.failures.standard_error(),
+                self.delay_secs.standard_error(),
+            )
+        };
+        let energy_per_bit_nj = if self.delivered_payload_bits > 0.0 {
+            self.ledger.total_energy().nanojoules() / self.delivered_payload_bits
+        } else {
+            f64::INFINITY
+        };
+        NetworkSummary {
+            mean_node_power: Power::from_microwatts(self.node_power_uw.mean()),
+            node_powers: self.node_powers.clone(),
+            ledger: self.ledger.clone(),
+            failure_ratio: self.failures.ratio(),
+            mean_delay: Seconds::from_secs(self.delay_secs.mean()),
+            mean_attempts: self.attempts.mean(),
+            energy_per_bit_nj,
+            replications,
+            power_standard_error: Power::from_microwatts(power_se_uw),
+            failure_standard_error: failure_se,
+            delay_standard_error: Seconds::from_secs(delay_se_secs),
+        }
+    }
 }
 
 /// Aggregated results of a network simulation plus the raw trace.
@@ -214,7 +353,9 @@ impl NetworkSimulator {
         );
         self.drive(ber, &levels, &mut tee);
         let TeeSink(accountant, collector) = tee;
-        let summary = accountant.finish();
+        let mut acc = accountant.finish();
+        acc.seal_replication();
+        let summary = acc.summary();
         NetworkReport {
             mean_node_power: summary.mean_node_power,
             node_powers: summary.node_powers,
@@ -227,15 +368,30 @@ impl NetworkSimulator {
         }
     }
 
-    /// Runs the simulation fully streaming: every attempt/transaction is
-    /// folded into the energy ledgers and statistics as it happens, and no
-    /// trace `Vec` is ever allocated. Preferred for sweeps that only need
-    /// the aggregates.
-    pub fn run_streaming<B: BerModel>(&self, ber: &B) -> NetworkSummary {
+    /// Runs the simulation fully streaming into a mergeable
+    /// [`NetworkAccumulator`]: every attempt/transaction is folded into
+    /// the energy ledgers and statistics as it happens, and no trace `Vec`
+    /// is ever allocated.
+    ///
+    /// The returned accumulator is **unsealed** — no replication sample
+    /// has been recorded — so callers aggregating shards (channels of one
+    /// replication) can merge first and
+    /// [`seal_replication`](NetworkAccumulator::seal_replication) once.
+    pub fn run_accumulate<B: BerModel>(&self, ber: &B) -> NetworkAccumulator {
         let levels = self.config.tx_policy.resolve(&self.config.path_losses);
         let mut accountant = EnergyAccountant::new(&self.config, &levels);
         self.drive(ber, &levels, &mut accountant);
         accountant.finish()
+    }
+
+    /// Runs one streaming replication and finalizes it. Preferred for
+    /// sweeps that only need the aggregates of a single run; use
+    /// [`run_accumulate`](Self::run_accumulate) plus
+    /// [`NetworkAccumulator::merge`] for multi-run reductions.
+    pub fn run_streaming<B: BerModel>(&self, ber: &B) -> NetworkSummary {
+        let mut acc = self.run_accumulate(ber);
+        acc.seal_replication();
+        acc.summary()
     }
 }
 
@@ -276,8 +432,8 @@ impl<'a> EnergyAccountant<'a> {
     }
 
     /// Adds the fixed beacon overhead and the sleep remainder, then folds
-    /// everything into the summary.
-    fn finish(mut self) -> NetworkSummary {
+    /// everything into an (unsealed) mergeable accumulator.
+    fn finish(mut self) -> NetworkAccumulator {
         let cfg = self.cfg;
         let radio = &cfg.radio;
         let n_nodes = cfg.channel.nodes;
@@ -286,8 +442,8 @@ impl<'a> EnergyAccountant<'a> {
         let window = t_ib * recorded_superframes;
         let t_beacon = beacon_duration();
 
-        let mut node_powers = Vec::with_capacity(n_nodes);
-        let mut population = EnergyLedger::new();
+        let mut acc = NetworkAccumulator::new();
+        acc.node_powers.reserve(n_nodes);
         for ledger in &mut self.ledgers {
             // Fixed per-superframe beacon overhead for every node:
             // preemptive wake-up (the shutdown→idle transition plus any
@@ -308,31 +464,22 @@ impl<'a> EnergyAccountant<'a> {
             let active = ledger.total_time();
             let sleep = (window - active).max(Seconds::ZERO);
             ledger.accrue(radio, RadioState::Shutdown, PhaseTag::Sleep, sleep);
-            node_powers.push(ledger.average_power(window));
-            population.merge(ledger);
+            let power = ledger.average_power(window);
+            acc.node_power_uw.push(power.microwatts());
+            acc.node_powers.push(power);
+            acc.ledger.merge(ledger);
         }
-
-        let mean_node_power = Power::from_watts(
-            node_powers.iter().map(|p| p.watts()).sum::<f64>() / n_nodes.max(1) as f64,
-        );
 
         let delivered = self.stats.failures.trials() - self.stats.failures.hits();
-        let delivered_bits = delivered as f64 * cfg.channel.packet.payload_bits() as f64;
-        let energy_per_bit_nj = if delivered_bits > 0.0 {
-            population.total_energy().nanojoules() / delivered_bits
-        } else {
-            f64::INFINITY
-        };
-
-        NetworkSummary {
-            mean_node_power,
-            node_powers,
-            ledger: population,
-            failure_ratio: self.stats.failure_ratio(),
-            mean_delay: t_ib * self.stats.mean_delivery_superframes(),
-            mean_attempts: self.stats.mean_attempts(),
-            energy_per_bit_nj,
-        }
+        acc.delivered_payload_bits = delivered as f64 * cfg.channel.packet.payload_bits() as f64;
+        acc.failures = self.stats.failures;
+        acc.attempts = self.stats.attempts;
+        // Delays were accumulated in superframes; rescale to seconds once,
+        // exactly, so accumulators from channels with different beacon
+        // intervals merge in common units.
+        acc.delay_secs = self.stats.delivery_superframes.scaled(t_ib.secs());
+        acc.overruns = self.stats.overruns;
+        acc
     }
 }
 

@@ -38,7 +38,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+use wsn_phy::ber::BerModel;
+
 use crate::contention::{run_channel_sim_into, ChannelSimConfig};
+use crate::network::{NetworkAccumulator, NetworkConfig, NetworkSimulator, NetworkSummary};
 use crate::sink::StatsSink;
 use crate::stats::ContentionStats;
 
@@ -170,9 +173,42 @@ impl Runner {
         })
     }
 
+    /// Maps `f` over the flat `items × replications` grid, returning one
+    /// `Vec` of per-replication results per item (item order preserved,
+    /// replication order within each item). `f` receives
+    /// `(item_index, &item, replication_index)`.
+    ///
+    /// This is the shared fan-out discipline behind every replicated
+    /// sweep — contention prewarming, figure timing sweeps, scenario
+    /// grids: all jobs go to the pool as one list (maximum parallelism),
+    /// and callers merge each item's replications in replication order,
+    /// which keeps the reduction bit-identical for every thread count.
+    pub fn map_replicated<T, R, F>(&self, items: &[T], replications: u32, f: F) -> Vec<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T, u64) -> R + Sync,
+    {
+        let reps = replications.max(1) as usize;
+        let jobs: Vec<(usize, u64)> = (0..items.len())
+            .flat_map(|i| (0..reps as u64).map(move |r| (i, r)))
+            .collect();
+        let mut flat = self.map(&jobs, |_, &(i, r)| f(i, &items[i], r)).into_iter();
+        (0..items.len())
+            .map(|_| flat.by_ref().take(reps).collect())
+            .collect()
+    }
+
     /// Runs `replications` independent copies of `base` (seeds derived via
-    /// [`replication_seed`]) and merges their statistics in replication
-    /// order.
+    /// [`replication_seed`]) and merges their full statistics sinks in
+    /// replication order.
+    ///
+    /// The merged [`StatsSink`] exposes the sufficient statistics behind
+    /// [`ContentionStats`] — in particular the
+    /// [`Accumulator::standard_error`](crate::stats::Accumulator::standard_error)
+    /// of the mean contention duration and CCA count, and the binomial
+    /// errors of the probability counters — which the figure binaries
+    /// print as `value ± stderr` columns.
     ///
     /// The per-configuration [`crate::contention::SlotTimings`] are
     /// computed once and shared by every replication.
@@ -180,11 +216,11 @@ impl Runner {
     /// # Panics
     ///
     /// Panics if `replications` is zero.
-    pub fn replicate_contention(
+    pub fn replicate_contention_sink(
         &self,
         base: &ChannelSimConfig,
         replications: u32,
-    ) -> ContentionStats {
+    ) -> StatsSink {
         assert!(replications > 0, "at least one replication required");
         let timings = base.timings();
         let indices: Vec<u64> = (0..replications as u64).collect();
@@ -199,7 +235,70 @@ impl Runner {
         for shard in &shards {
             merged.merge(shard);
         }
-        merged.contention_stats()
+        merged
+    }
+
+    /// Runs `replications` independent copies of `base` and merges their
+    /// statistics in replication order; the finalized form of
+    /// [`replicate_contention_sink`](Self::replicate_contention_sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replications` is zero.
+    pub fn replicate_contention(
+        &self,
+        base: &ChannelSimConfig,
+        replications: u32,
+    ) -> ContentionStats {
+        self.replicate_contention_sink(base, replications)
+            .contention_stats()
+    }
+
+    /// Simulates every network configuration in parallel, one streaming
+    /// replication each. Results are in `configs` order and bit-identical
+    /// to calling [`NetworkSimulator::run_streaming`] over the slice
+    /// serially — the paper's 16-channel case study is 16 entries here.
+    pub fn sweep_network<B: BerModel + Sync>(
+        &self,
+        configs: &[NetworkConfig],
+        ber: &B,
+    ) -> Vec<NetworkSummary> {
+        self.map(configs, |_, cfg| {
+            NetworkSimulator::new(cfg.clone()).run_streaming(ber)
+        })
+    }
+
+    /// Runs `replications` independent copies of the network simulation
+    /// `base` (channel seeds derived via [`replication_seed`], which also
+    /// reseeds the corruption oracle) and merges the per-replication
+    /// [`NetworkAccumulator`]s in replication order, so the summary's
+    /// standard errors are replication-based.
+    ///
+    /// Bit-identical for every thread count, like every runner reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replications` is zero.
+    pub fn replicate_network<B: BerModel + Sync>(
+        &self,
+        base: &NetworkConfig,
+        replications: u32,
+        ber: &B,
+    ) -> NetworkSummary {
+        assert!(replications > 0, "at least one replication required");
+        let indices: Vec<u64> = (0..replications as u64).collect();
+        let shards = self.map(&indices, |_, &i| {
+            let mut cfg = base.clone();
+            cfg.channel.seed = replication_seed(base.channel.seed, i);
+            let mut acc = NetworkSimulator::new(cfg).run_accumulate(ber);
+            acc.seal_replication();
+            acc
+        });
+        let mut merged = NetworkAccumulator::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        merged.summary()
     }
 }
 
@@ -264,6 +363,58 @@ mod tests {
         let serial = Runner::serial().sweep_contention(&configs);
         let parallel = Runner::with_threads(3).sweep_contention(&configs);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn replicate_contention_sink_matches_stats() {
+        let mut base = ChannelSimConfig::figure6(50, 0.4, 0xC0DE);
+        base.superframes = 5;
+        base.nodes = 30;
+        let runner = Runner::with_threads(2);
+        let sink = runner.replicate_contention_sink(&base, 4);
+        assert_eq!(sink.contention_stats(), runner.replicate_contention(&base, 4));
+        // Four replications of samples → meaningful standard errors.
+        assert!(sink.contention.contention_us.standard_error() > 0.0);
+        assert!(sink.contention.ccas.standard_error() > 0.0);
+    }
+
+    #[test]
+    fn network_replications_are_bit_identical_across_thread_counts() {
+        use crate::network::{NetworkConfig, TxPowerPolicy};
+        use wsn_phy::ber::EmpiricalCc2420Ber;
+        use wsn_radio::RadioModel;
+        use wsn_units::{DBm, Db, Seconds};
+
+        let mut channel = ChannelSimConfig::figure6(120, 0.4, 0x11E7);
+        channel.nodes = 15;
+        channel.superframes = 5;
+        let base = NetworkConfig {
+            path_losses: vec![Db::new(75.0); channel.nodes],
+            channel,
+            radio: RadioModel::cc2420(),
+            tx_policy: TxPowerPolicy::ChannelInversion {
+                target_rx: DBm::new(-88.0),
+            },
+            coordinator_tx: DBm::new(0.0),
+            wakeup_margin: Seconds::from_millis(1.0),
+        };
+        let ber = EmpiricalCc2420Ber::paper();
+        let serial = Runner::serial().replicate_network(&base, 5, &ber);
+        assert_eq!(serial.replications, 5);
+        assert!(serial.power_standard_error.microwatts() > 0.0);
+        for threads in [2, 4] {
+            let parallel = Runner::with_threads(threads).replicate_network(&base, 5, &ber);
+            assert_eq!(
+                serial.mean_node_power, parallel.mean_node_power,
+                "threads={threads}"
+            );
+            assert_eq!(serial.failure_ratio, parallel.failure_ratio);
+            assert_eq!(serial.mean_delay, parallel.mean_delay);
+            assert_eq!(
+                serial.power_standard_error,
+                parallel.power_standard_error
+            );
+        }
     }
 
     #[test]

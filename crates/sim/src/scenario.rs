@@ -1,0 +1,745 @@
+//! Declarative network experiments: the scenario layer.
+//!
+//! A [`Scenario`] describes a whole multi-channel deployment — geometry,
+//! node-to-channel allocation, traffic, CSMA and radio parameters, the BER
+//! model, the transmit-power policy and the replication count — and
+//! [compiles](Scenario::compile) into one [`NetworkConfig`] per channel.
+//! [`Scenario::run`] then executes the full grid (channels ×
+//! replications) on the deterministic parallel [`Runner`] and reduces the
+//! per-run [`NetworkAccumulator`]s in a fixed order, so the outcome is
+//! **bit-identical for every thread count**, like every other runner
+//! reduction.
+//!
+//! The paper's §5 case study — 1600 nodes on 16 channels, path losses
+//! uniform in 55–95 dB — is [`Scenario::paper_case_study`]; the other
+//! deployment specs (uniform disc, concentric rings, per-channel
+//! clusters) and the per-channel traffic spec open scenarios the paper
+//! could not sweep, such as ring-stratified path loss and heterogeneous
+//! loads.
+//!
+//! Pipeline: **scenario → per-channel configs → runner grid → merged
+//! accumulators → per-channel + overall summaries.**
+
+use wsn_channel::{
+    shadowed_population, Deployment, LogDistance, LogNormalShadowing, UniformPathLossPopulation,
+};
+use wsn_mac::csma::CsmaParams;
+use wsn_mac::{BeaconOrder, RetryPolicy};
+use wsn_phy::ber::{BerModel, EmpiricalCc2420Ber, HardDecisionDsssBer, StandardOqpskBer};
+use wsn_phy::frame::PacketLayout;
+use wsn_phy::noise::SplitMix64;
+use wsn_radio::RadioModel;
+use wsn_units::{DBm, Db, Meters, Seconds};
+
+use crate::contention::ChannelSimConfig;
+use crate::network::{
+    NetworkAccumulator, NetworkConfig, NetworkSimulator, NetworkSummary, TxPowerPolicy,
+};
+use crate::runner::{replication_seed, Runner};
+
+/// Where the nodes are, physically — compiled into per-node path losses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeploymentSpec {
+    /// The paper's abstract population: every channel's losses form the
+    /// deterministic midpoint grid of a uniform distribution over
+    /// `[min_db, max_db]`. Geometry-free; the
+    /// [`ChannelAllocation`] is irrelevant for this spec.
+    UniformLossGrid {
+        /// Lower loss bound in dB.
+        min_db: f64,
+        /// Upper loss bound in dB.
+        max_db: f64,
+    },
+    /// Nodes uniform (by area) in a disc, log-distance path loss with the
+    /// 2.45 GHz free-space reference.
+    Disc {
+        /// Disc radius in meters.
+        radius_m: f64,
+        /// Path-loss exponent (2 = free space, ≈3 indoors).
+        exponent: f64,
+        /// Log-normal shadowing σ in dB (0 disables shadowing).
+        shadowing_db: f64,
+    },
+    /// Nodes on concentric rings (uniform random angles), emitted
+    /// ring-major. With one ring per channel and
+    /// [`ChannelAllocation::Contiguous`], every channel sees a single
+    /// range.
+    Rings {
+        /// Ring radii in meters; the total node count must be divisible
+        /// by the ring count.
+        radii_m: Vec<f64>,
+        /// Path-loss exponent.
+        exponent: f64,
+        /// Log-normal shadowing σ in dB (0 disables shadowing).
+        shadowing_db: f64,
+    },
+    /// One compact cluster per channel, centers evenly spaced on a circle
+    /// inside the field. Emitted cluster-major, so
+    /// [`ChannelAllocation::Contiguous`] maps cluster `c` to channel `c`.
+    Clustered {
+        /// Field radius in meters.
+        field_radius_m: f64,
+        /// Cluster radius in meters (each cluster is a small disc).
+        cluster_radius_m: f64,
+        /// Path-loss exponent.
+        exponent: f64,
+        /// Log-normal shadowing σ in dB (0 disables shadowing).
+        shadowing_db: f64,
+    },
+}
+
+/// How node indices map onto channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelAllocation {
+    /// Round-robin interleaving ([`Deployment::channel_partition`]) — the
+    /// paper's reading: every channel samples the whole population.
+    RoundRobin,
+    /// Contiguous index blocks ([`Deployment::contiguous_partition`]) —
+    /// pairs with group-major deployments (rings, clusters).
+    Contiguous,
+    /// Concentric distance bands ([`Deployment::ring_partition`]) —
+    /// ring-stratified: channel 0 takes the nearest nodes, the last
+    /// channel the farthest.
+    RingStratified,
+}
+
+/// Per-channel traffic: what each node buffers and uplinks per superframe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrafficSpec {
+    /// Every channel carries the same payload.
+    Uniform {
+        /// Uplink payload in bytes (≤ 123).
+        payload_bytes: usize,
+    },
+    /// Heterogeneous traffic: channel `c` carries `payload_bytes[c]`.
+    PerChannel {
+        /// One payload per channel.
+        payload_bytes: Vec<usize>,
+    },
+}
+
+/// Which bit-error-rate model corrupts packets and acknowledgements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BerChoice {
+    /// The paper's empirical CC2420 fit.
+    EmpiricalCc2420,
+    /// Hard-decision DSSS with the given receiver noise figure.
+    HardDecisionDsss {
+        /// Receiver noise figure in dB.
+        noise_figure_db: f64,
+    },
+    /// Standard O-QPSK with the given receiver noise figure.
+    StandardOqpsk {
+        /// Receiver noise figure in dB.
+        noise_figure_db: f64,
+    },
+}
+
+/// A declarative multi-channel network experiment.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::scenario::Scenario;
+/// use wsn_sim::Runner;
+///
+/// let scenario = Scenario::paper_case_study()
+///     .with_superframes(4)
+///     .with_replications(2);
+/// let configs = scenario.compile();
+/// assert_eq!(configs.len(), 16);
+/// assert!(configs.iter().all(|c| c.channel.nodes == 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable scenario name (printed by the experiment binaries).
+    pub name: String,
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Nodes sharing each channel.
+    pub nodes_per_channel: usize,
+    /// Physical deployment / path-loss population.
+    pub deployment: DeploymentSpec,
+    /// Node-to-channel allocation for geometric deployments.
+    pub allocation: ChannelAllocation,
+    /// Traffic per channel.
+    pub traffic: TrafficSpec,
+    /// Beacon order (sets the inter-beacon period, hence the load).
+    pub beacon_order: BeaconOrder,
+    /// CSMA/CA parameters.
+    pub csma: CsmaParams,
+    /// Retransmission budget.
+    pub retries: RetryPolicy,
+    /// Simulated superframes per replication (first is warm-up).
+    pub superframes: u32,
+    /// Independent replications per channel.
+    pub replications: u32,
+    /// Master seed: deployment, per-channel and per-replication seeds all
+    /// derive from it.
+    pub seed: u64,
+    /// Radio energy model.
+    pub radio: RadioModel,
+    /// Transmit power assignment (scenario-wide; swap per-channel
+    /// policies onto the compiled configs for e.g. link adaptation).
+    pub tx_policy: TxPowerPolicy,
+    /// Coordinator transmit power (beacons, acknowledgements).
+    pub coordinator_tx: DBm,
+    /// Chip wake-up margin before each beacon.
+    pub wakeup_margin: Seconds,
+    /// BER model choice.
+    pub ber: BerChoice,
+    /// `true` to start all contentions at the beacon (ablation).
+    pub synchronized_arrivals: bool,
+}
+
+impl Scenario {
+    /// A scenario skeleton with the paper's MAC/radio defaults: BO = 6,
+    /// standard 2003 CSMA, `N_max = 5`, CC2420 radio and BER, channel
+    /// inversion to −88 dBm, 1 ms wake-up margin, one replication.
+    pub fn new(
+        name: impl Into<String>,
+        channels: usize,
+        nodes_per_channel: usize,
+        deployment: DeploymentSpec,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            channels,
+            nodes_per_channel,
+            deployment,
+            allocation: ChannelAllocation::RoundRobin,
+            traffic: TrafficSpec::Uniform { payload_bytes: 120 },
+            beacon_order: BeaconOrder::new(6).expect("BO 6 valid"),
+            csma: CsmaParams::standard_2003(),
+            retries: RetryPolicy::paper(),
+            superframes: 20,
+            replications: 1,
+            seed: 0x5CE7_A210,
+            radio: RadioModel::cc2420(),
+            tx_policy: TxPowerPolicy::ChannelInversion {
+                target_rx: DBm::new(-88.0),
+            },
+            coordinator_tx: DBm::new(0.0),
+            wakeup_margin: Seconds::from_millis(1.0),
+            ber: BerChoice::EmpiricalCc2420,
+            synchronized_arrivals: false,
+        }
+    }
+
+    /// The paper's §5 dense-network case study: 16 channels × 100 nodes,
+    /// 120-byte payloads, BO = 6, path losses uniform in 55–95 dB.
+    pub fn paper_case_study() -> Self {
+        Scenario::new(
+            "paper §5 case study",
+            16,
+            100,
+            DeploymentSpec::UniformLossGrid {
+                min_db: 55.0,
+                max_db: 95.0,
+            },
+        )
+    }
+
+    /// Overrides the node-to-channel allocation.
+    pub fn with_allocation(mut self, allocation: ChannelAllocation) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Overrides the traffic spec.
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Overrides the beacon order.
+    pub fn with_beacon_order(mut self, beacon_order: BeaconOrder) -> Self {
+        self.beacon_order = beacon_order;
+        self
+    }
+
+    /// Overrides the simulated superframes per replication.
+    pub fn with_superframes(mut self, superframes: u32) -> Self {
+        self.superframes = superframes;
+        self
+    }
+
+    /// Overrides the replication count (clamped to at least 1 at run
+    /// time).
+    pub fn with_replications(mut self, replications: u32) -> Self {
+        self.replications = replications;
+        self
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the transmit-power policy.
+    pub fn with_tx_policy(mut self, tx_policy: TxPowerPolicy) -> Self {
+        self.tx_policy = tx_policy;
+        self
+    }
+
+    /// Overrides the BER model choice.
+    pub fn with_ber(mut self, ber: BerChoice) -> Self {
+        self.ber = ber;
+        self
+    }
+
+    /// Total node count across all channels.
+    pub fn total_nodes(&self) -> usize {
+        self.channels * self.nodes_per_channel
+    }
+
+    /// The payload carried by channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-channel payload list is shorter than the channel
+    /// count or a payload exceeds the 123-byte maximum.
+    pub fn channel_packet(&self, c: usize) -> PacketLayout {
+        let bytes = match &self.traffic {
+            TrafficSpec::Uniform { payload_bytes } => *payload_bytes,
+            TrafficSpec::PerChannel { payload_bytes } => {
+                assert!(
+                    payload_bytes.len() >= self.channels,
+                    "one payload per channel required ({} < {})",
+                    payload_bytes.len(),
+                    self.channels
+                );
+                payload_bytes[c]
+            }
+        };
+        PacketLayout::with_payload(bytes).expect("payload within the 123-byte maximum")
+    }
+
+    /// The network load λ of channel `c` implied by its traffic and the
+    /// beacon order: `N·T_packet / T_ib`.
+    pub fn channel_load(&self, c: usize) -> f64 {
+        self.nodes_per_channel as f64 * self.channel_packet(c).duration().secs()
+            / self.beacon_order.beacon_interval().secs()
+    }
+
+    /// Per-node path losses for every channel, from the deployment spec.
+    ///
+    /// Deterministic in the master seed: the geometry RNG stream is
+    /// derived from it and independent of the per-channel contention
+    /// seeds.
+    pub fn channel_losses(&self) -> Vec<Vec<Db>> {
+        let n = self.total_nodes();
+        // A dedicated geometry stream, disjoint from the per-channel
+        // contention seeds (which use small indices).
+        let mut rng = SplitMix64::new(replication_seed(self.seed, 0xDE9_1077));
+        let (losses, deployment) = match &self.deployment {
+            DeploymentSpec::UniformLossGrid { min_db, max_db } => {
+                let population =
+                    UniformPathLossPopulation::new(Db::new(*min_db), Db::new(*max_db));
+                let grid = population.grid(self.nodes_per_channel);
+                return vec![grid; self.channels];
+            }
+            DeploymentSpec::Disc {
+                radius_m,
+                exponent,
+                shadowing_db,
+            } => {
+                let d = Deployment::uniform_disc(n, Meters::new(*radius_m), &mut rng);
+                let losses = Self::losses_for(&d, *exponent, *shadowing_db, &mut rng);
+                (losses, d)
+            }
+            DeploymentSpec::Rings {
+                radii_m,
+                exponent,
+                shadowing_db,
+            } => {
+                assert!(
+                    !radii_m.is_empty() && n % radii_m.len() == 0,
+                    "total node count {} must divide over {} rings",
+                    n,
+                    radii_m.len()
+                );
+                let radii: Vec<Meters> = radii_m.iter().map(|&r| Meters::new(r)).collect();
+                let d = Deployment::rings(n / radii.len(), &radii, &mut rng);
+                let losses = Self::losses_for(&d, *exponent, *shadowing_db, &mut rng);
+                (losses, d)
+            }
+            DeploymentSpec::Clustered {
+                field_radius_m,
+                cluster_radius_m,
+                exponent,
+                shadowing_db,
+            } => {
+                let d = Deployment::clustered(
+                    self.channels,
+                    self.nodes_per_channel,
+                    Meters::new(*field_radius_m),
+                    Meters::new(*cluster_radius_m),
+                    &mut rng,
+                );
+                let losses = Self::losses_for(&d, *exponent, *shadowing_db, &mut rng);
+                (losses, d)
+            }
+        };
+        let parts = match self.allocation {
+            ChannelAllocation::RoundRobin => deployment.channel_partition(self.channels),
+            ChannelAllocation::Contiguous => deployment.contiguous_partition(self.channels),
+            ChannelAllocation::RingStratified => deployment.ring_partition(self.channels),
+        };
+        parts
+            .iter()
+            .map(|part| part.iter().map(|&i| losses[i]).collect())
+            .collect()
+    }
+
+    fn losses_for(
+        deployment: &Deployment,
+        exponent: f64,
+        shadowing_db: f64,
+        rng: &mut SplitMix64,
+    ) -> Vec<Db> {
+        let model = LogDistance::free_space_2450().with_exponent(exponent);
+        if shadowing_db > 0.0 {
+            let shadowed =
+                LogNormalShadowing::new(model, Db::new(shadowing_db), deployment.len(), rng);
+            shadowed_population(&shadowed, &deployment.ranges())
+        } else {
+            deployment.path_losses(&model)
+        }
+    }
+
+    /// Compiles the scenario into one [`NetworkConfig`] per channel.
+    ///
+    /// Channel `c` gets the seed `replication_seed(master, c)` (the
+    /// replication layer derives further seeds from it), its traffic's
+    /// load, and its slice of the deployment's path losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is structurally inconsistent (zero
+    /// channels/nodes, payload list too short, a channel load outside
+    /// `(0, 1)`).
+    pub fn compile(&self) -> Vec<NetworkConfig> {
+        assert!(self.channels > 0, "at least one channel required");
+        assert!(self.nodes_per_channel > 0, "at least one node per channel");
+        let losses = self.channel_losses();
+        (0..self.channels)
+            .map(|c| {
+                let packet = self.channel_packet(c);
+                let load = self.channel_load(c);
+                assert!(
+                    load > 0.0 && load < 1.0,
+                    "channel {c} load {load:.3} outside (0,1) — lower the traffic or raise BO"
+                );
+                NetworkConfig {
+                    channel: ChannelSimConfig {
+                        nodes: self.nodes_per_channel,
+                        packet,
+                        load,
+                        csma: self.csma,
+                        retries: self.retries,
+                        superframes: self.superframes,
+                        seed: replication_seed(self.seed, c as u64),
+                        synchronized_arrivals: self.synchronized_arrivals,
+                    },
+                    radio: self.radio.clone(),
+                    path_losses: losses[c].clone(),
+                    tx_policy: self.tx_policy.clone(),
+                    coordinator_tx: self.coordinator_tx,
+                    wakeup_margin: self.wakeup_margin,
+                }
+            })
+            .collect()
+    }
+
+    /// Compiles and runs the scenario on `runner` with the configured BER
+    /// model.
+    pub fn run(&self, runner: &Runner) -> ScenarioOutcome {
+        let configs = self.compile();
+        self.run_compiled(runner, &configs)
+    }
+
+    /// Runs pre-compiled (possibly caller-adjusted) channel configs with
+    /// the scenario's BER choice — e.g. after swapping per-node
+    /// link-adapted transmit levels onto each config.
+    pub fn run_compiled(&self, runner: &Runner, configs: &[NetworkConfig]) -> ScenarioOutcome {
+        match self.ber {
+            BerChoice::EmpiricalCc2420 => {
+                self.run_with(runner, configs, &EmpiricalCc2420Ber::paper())
+            }
+            BerChoice::HardDecisionDsss { noise_figure_db } => {
+                self.run_with(runner, configs, &HardDecisionDsssBer::new(Db::new(noise_figure_db)))
+            }
+            BerChoice::StandardOqpsk { noise_figure_db } => {
+                self.run_with(runner, configs, &StandardOqpskBer::new(Db::new(noise_figure_db)))
+            }
+        }
+    }
+
+    /// Runs pre-compiled configs with an explicit BER model.
+    ///
+    /// The full channels × replications grid is one flat job list on the
+    /// runner, so a 16-channel study with 4 replications exposes 64-way
+    /// parallelism. Reductions are serial and fixed-order:
+    ///
+    /// * **per channel** — its replications merge in replication order,
+    ///   each sealed, so per-channel standard errors are
+    ///   replication-based;
+    /// * **overall** — for each replication, all channels merge
+    ///   (channel-major) into one network-wide accumulator which is then
+    ///   sealed; the sealed replications merge in order, so the overall
+    ///   standard errors are replication-based too.
+    ///
+    /// Bit-identical for every thread count.
+    pub fn run_with<B: BerModel + Sync>(
+        &self,
+        runner: &Runner,
+        configs: &[NetworkConfig],
+        ber: &B,
+    ) -> ScenarioOutcome {
+        let reps = self.replications.max(1) as usize;
+        let accs = runner.map_replicated(configs, self.replications.max(1), |_, cfg, r| {
+            let mut cfg = cfg.clone();
+            cfg.channel.seed = replication_seed(cfg.channel.seed, r);
+            NetworkSimulator::new(cfg).run_accumulate(ber)
+        });
+
+        let per_channel = accs
+            .iter()
+            .map(|channel_reps| {
+                let mut total = NetworkAccumulator::new();
+                for shard in channel_reps {
+                    let mut shard = shard.clone();
+                    shard.seal_replication();
+                    total.merge(&shard);
+                }
+                total.summary()
+            })
+            .collect();
+
+        let mut overall = NetworkAccumulator::new();
+        for r in 0..reps {
+            let mut rep_acc = NetworkAccumulator::new();
+            for channel_reps in &accs {
+                rep_acc.merge(&channel_reps[r]);
+            }
+            rep_acc.seal_replication();
+            overall.merge(&rep_acc);
+        }
+
+        ScenarioOutcome {
+            name: self.name.clone(),
+            per_channel,
+            overall: overall.summary(),
+        }
+    }
+}
+
+/// Results of a scenario run: one summary per channel plus the
+/// network-wide reduction.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario's name (echoed for experiment logs).
+    pub name: String,
+    /// Per-channel summaries, in channel order.
+    pub per_channel: Vec<NetworkSummary>,
+    /// All channels and replications merged.
+    pub overall: NetworkSummary,
+}
+
+impl ScenarioOutcome {
+    /// Index and summary of the channel with the highest failure ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has no channels.
+    pub fn worst_channel(&self) -> (usize, &NetworkSummary) {
+        self.per_channel
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.failure_ratio
+                    .value()
+                    .total_cmp(&b.1.failure_ratio.value())
+            })
+            .expect("at least one channel")
+    }
+
+    /// Spread of per-channel mean node powers, `(min µW, max µW)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has no channels.
+    pub fn power_spread_uw(&self) -> (f64, f64) {
+        assert!(!self.per_channel.is_empty(), "at least one channel");
+        let powers: Vec<f64> = self
+            .per_channel
+            .iter()
+            .map(|s| s.mean_node_power.microwatts())
+            .collect();
+        (
+            powers.iter().copied().fold(f64::INFINITY, f64::min),
+            powers.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(deployment: DeploymentSpec) -> Scenario {
+        let mut s = Scenario::new("tiny", 4, 10, deployment);
+        s.superframes = 4;
+        s
+    }
+
+    #[test]
+    fn paper_case_study_compiles_to_16x100() {
+        let configs = Scenario::paper_case_study().compile();
+        assert_eq!(configs.len(), 16);
+        for cfg in &configs {
+            assert_eq!(cfg.channel.nodes, 100);
+            assert_eq!(cfg.path_losses.len(), 100);
+            assert_eq!(cfg.channel.packet.payload_bytes(), 120);
+            // BO 6 → T_ib 983.04 ms → the paper's ≈42 % load.
+            assert!((cfg.channel.load - 0.433).abs() < 0.005);
+            // Identical loss grid per channel, spanning 55–95 dB.
+            assert!(cfg.path_losses.first().unwrap().db() > 55.0);
+            assert!(cfg.path_losses.last().unwrap().db() < 95.0);
+        }
+        // Per-channel seeds are distinct.
+        let mut seeds: Vec<u64> = configs.iter().map(|c| c.channel.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 16);
+    }
+
+    #[test]
+    fn geometric_scenarios_partition_all_nodes() {
+        for (spec, allocation) in [
+            (
+                DeploymentSpec::Disc {
+                    radius_m: 30.0,
+                    exponent: 3.0,
+                    shadowing_db: 0.0,
+                },
+                ChannelAllocation::RingStratified,
+            ),
+            (
+                DeploymentSpec::Rings {
+                    radii_m: vec![5.0, 12.0, 20.0, 28.0],
+                    exponent: 3.0,
+                    shadowing_db: 2.0,
+                },
+                ChannelAllocation::Contiguous,
+            ),
+            (
+                DeploymentSpec::Clustered {
+                    field_radius_m: 40.0,
+                    cluster_radius_m: 4.0,
+                    exponent: 3.0,
+                    shadowing_db: 0.0,
+                },
+                ChannelAllocation::Contiguous,
+            ),
+        ] {
+            let s = tiny(spec).with_allocation(allocation);
+            let configs = s.compile();
+            assert_eq!(configs.len(), 4);
+            assert!(configs.iter().all(|c| c.path_losses.len() == 10));
+        }
+    }
+
+    #[test]
+    fn ring_stratified_channels_order_by_loss() {
+        let s = tiny(DeploymentSpec::Disc {
+            radius_m: 30.0,
+            exponent: 3.0,
+            shadowing_db: 0.0,
+        })
+        .with_allocation(ChannelAllocation::RingStratified);
+        let configs = s.compile();
+        let mean_loss = |cfg: &NetworkConfig| {
+            cfg.path_losses.iter().map(|l| l.db()).sum::<f64>() / cfg.path_losses.len() as f64
+        };
+        for w in configs.windows(2) {
+            assert!(mean_loss(&w[0]) <= mean_loss(&w[1]));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_traffic_changes_per_channel_load() {
+        let s = tiny(DeploymentSpec::UniformLossGrid {
+            min_db: 60.0,
+            max_db: 80.0,
+        })
+        .with_traffic(TrafficSpec::PerChannel {
+            payload_bytes: vec![40, 80, 120, 123],
+        });
+        let configs = s.compile();
+        let loads: Vec<f64> = configs.iter().map(|c| c.channel.load).collect();
+        assert!(loads.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(configs[3].channel.packet.payload_bytes(), 123);
+    }
+
+    #[test]
+    fn compilation_is_deterministic_in_the_seed() {
+        let spec = DeploymentSpec::Disc {
+            radius_m: 25.0,
+            exponent: 3.0,
+            shadowing_db: 4.0,
+        };
+        let a = tiny(spec.clone()).with_seed(7).compile();
+        let b = tiny(spec.clone()).with_seed(7).compile();
+        let c = tiny(spec).with_seed(8).compile();
+        assert_eq!(a[0].path_losses, b[0].path_losses);
+        assert_ne!(a[0].path_losses, c[0].path_losses);
+    }
+
+    #[test]
+    fn scenario_run_is_bit_identical_across_thread_counts() {
+        let s = tiny(DeploymentSpec::UniformLossGrid {
+            min_db: 60.0,
+            max_db: 85.0,
+        })
+        .with_replications(3);
+        let serial = s.run(&Runner::serial());
+        for threads in [2, 4] {
+            let parallel = s.run(&Runner::with_threads(threads));
+            assert_eq!(
+                serial.overall.mean_node_power, parallel.overall.mean_node_power,
+                "threads={threads}"
+            );
+            assert_eq!(serial.overall.failure_ratio, parallel.overall.failure_ratio);
+            assert_eq!(
+                serial.overall.power_standard_error,
+                parallel.overall.power_standard_error
+            );
+            for (a, b) in serial.per_channel.iter().zip(&parallel.per_channel) {
+                assert_eq!(a.mean_node_power, b.mean_node_power);
+                assert_eq!(a.failure_ratio, b.failure_ratio);
+            }
+        }
+        assert_eq!(serial.overall.replications, 3);
+        assert_eq!(serial.per_channel[0].replications, 3);
+    }
+
+    #[test]
+    fn overall_pools_all_channels() {
+        let s = tiny(DeploymentSpec::UniformLossGrid {
+            min_db: 60.0,
+            max_db: 85.0,
+        });
+        let outcome = s.run(&Runner::serial());
+        assert_eq!(outcome.per_channel.len(), 4);
+        // 4 channels × 10 nodes × 1 replication.
+        assert_eq!(outcome.overall.node_powers.len(), 40);
+        let (lo, hi) = outcome.power_spread_uw();
+        assert!(lo <= hi);
+        let (worst, summary) = outcome.worst_channel();
+        assert!(worst < 4);
+        assert!(summary.failure_ratio.value() <= 1.0);
+    }
+}

@@ -108,6 +108,20 @@ impl Accumulator {
             (self.m2 / (self.n as f64 - 1.0) / self.n as f64).sqrt()
         }
     }
+
+    /// The accumulator of every sample multiplied by `factor`: the count is
+    /// unchanged, the mean scales by `factor` and the sum of squared
+    /// deviations by `factor²`. Exact (up to floating-point rounding), so
+    /// unit conversions can be applied *after* accumulation — e.g. delivery
+    /// delays recorded in superframes rescaled to seconds by the
+    /// inter-beacon period — without replaying the samples.
+    pub fn scaled(&self, factor: f64) -> Accumulator {
+        Accumulator {
+            n: self.n,
+            mean: self.mean * factor,
+            m2: self.m2 * factor * factor,
+        }
+    }
 }
 
 /// Ratio counter for event probabilities.
@@ -153,6 +167,17 @@ impl Counter {
             Probability::ZERO
         } else {
             Probability::clamped(self.hits as f64 / self.trials as f64)
+        }
+    }
+
+    /// Binomial standard error of the hit ratio, `√(p̂(1−p̂)/n)` (0 with
+    /// fewer than two trials).
+    pub fn standard_error(&self) -> f64 {
+        if self.trials < 2 {
+            0.0
+        } else {
+            let p = self.hits as f64 / self.trials as f64;
+            (p * (1.0 - p) / self.trials as f64).sqrt()
         }
     }
 }
@@ -377,6 +402,34 @@ mod tests {
         let mut empty = Accumulator::new();
         empty.merge(&snapshot);
         assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn accumulator_scaled_matches_scaling_the_samples() {
+        let xs = [2.0, 4.0, 4.0, 5.0, 7.0, 9.0];
+        let factor = 0.98304;
+        let mut raw = Accumulator::new();
+        let mut reference = Accumulator::new();
+        for &x in &xs {
+            raw.push(x);
+            reference.push(x * factor);
+        }
+        let scaled = raw.scaled(factor);
+        assert_eq!(scaled.count(), reference.count());
+        assert!((scaled.mean() - reference.mean()).abs() < 1e-12);
+        assert!((scaled.population_variance() - reference.population_variance()).abs() < 1e-12);
+        assert!((scaled.standard_error() - reference.standard_error()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_standard_error_is_binomial() {
+        let mut c = Counter::new();
+        assert_eq!(c.standard_error(), 0.0);
+        for i in 0..100 {
+            c.observe(i < 16);
+        }
+        let want = (0.16 * 0.84 / 100.0_f64).sqrt();
+        assert!((c.standard_error() - want).abs() < 1e-12);
     }
 
     #[test]

@@ -3,8 +3,16 @@
 //! for arbitrary sample sets and arbitrary shard boundaries,
 //! `merge(split(xs)) == reduce(xs)`.
 
+use wsn_phy::ber::EmpiricalCc2420Ber;
 use wsn_phy::noise::UniformSource;
-use wsn_sim::{Accumulator, ContentionAccumulator, Counter, Xoshiro256StarStar};
+use wsn_radio::ledger::{EnergyLedger, PhaseTag};
+use wsn_radio::{RadioModel, RadioState};
+use wsn_sim::network::{NetworkConfig, TxPowerPolicy};
+use wsn_sim::{
+    Accumulator, ChannelSimConfig, ContentionAccumulator, Counter, NetworkAccumulator,
+    NetworkSimulator, Xoshiro256StarStar,
+};
+use wsn_units::{DBm, Db, Seconds};
 
 /// Splits `xs` at the given sorted cut points and reduces each shard
 /// separately, then merges the shards left-to-right.
@@ -122,6 +130,150 @@ fn counter_merge_of_random_splits_is_exact() {
         assert_eq!(a.trials(), whole.trials(), "case {case}");
         assert_eq!(a.ratio(), whole.ratio(), "case {case}");
     }
+}
+
+#[test]
+fn energy_ledger_sharded_merge_matches_single_ledger() {
+    // Accruing a random event stream into one ledger equals accruing its
+    // shards into separate ledgers and merging — the property that lets
+    // per-node and per-channel ledgers combine into population ledgers.
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x1ED6E5);
+    let radio = RadioModel::cc2420();
+    for case in 0..50 {
+        let n = 1 + rng.index(200);
+        let shards = 1 + rng.index(4);
+        let mut whole = EnergyLedger::new();
+        let mut parts = vec![EnergyLedger::new(); shards];
+        for _ in 0..n {
+            let which = rng.index(shards);
+            let state = match rng.index(4) {
+                0 => RadioState::Shutdown,
+                1 => RadioState::Idle,
+                2 => RadioState::Rx,
+                _ => RadioState::Idle,
+            };
+            let phase = PhaseTag::ALL[rng.index(PhaseTag::ALL.len())];
+            let duration = Seconds::from_micros(rng.next_f64() * 1e3);
+            whole.accrue(&radio, state, phase, duration);
+            parts[which].accrue(&radio, state, phase, duration);
+        }
+        let mut merged = EnergyLedger::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert!(
+            (merged.total_energy().joules() - whole.total_energy().joules()).abs() < 1e-15,
+            "case {case}: energy"
+        );
+        assert!(
+            (merged.total_time().secs() - whole.total_time().secs()).abs() < 1e-12,
+            "case {case}: time"
+        );
+        for phase in PhaseTag::ALL {
+            assert!(
+                (merged.energy_in_phase(phase).joules() - whole.energy_in_phase(phase).joules())
+                    .abs()
+                    < 1e-15,
+                "case {case}: phase {phase}"
+            );
+        }
+    }
+}
+
+fn small_network(nodes: usize, seed: u64) -> NetworkConfig {
+    let mut channel = ChannelSimConfig::figure6(120, 0.4, seed);
+    channel.nodes = nodes;
+    channel.superframes = 5;
+    NetworkConfig {
+        path_losses: (0..nodes)
+            .map(|i| Db::new(60.0 + 30.0 * i as f64 / nodes.max(1) as f64))
+            .collect(),
+        channel,
+        radio: RadioModel::cc2420(),
+        tx_policy: TxPowerPolicy::ChannelInversion {
+            target_rx: DBm::new(-88.0),
+        },
+        coordinator_tx: DBm::new(0.0),
+        wakeup_margin: Seconds::from_millis(1.0),
+    }
+}
+
+#[test]
+fn network_accumulator_channel_merge_pools_exactly() {
+    // Three "channels" merged into one accumulator: counts, ledgers and
+    // delivered bits add exactly; pooled means are the sample-weighted
+    // combination.
+    let ber = EmpiricalCc2420Ber::paper();
+    let accs: Vec<NetworkAccumulator> = (0..3u64)
+        .map(|c| NetworkSimulator::new(small_network(12, 0xC0FFEE + c)).run_accumulate(&ber))
+        .collect();
+    let mut merged = NetworkAccumulator::new();
+    for a in &accs {
+        merged.merge(a);
+    }
+    assert_eq!(
+        merged.failures.trials(),
+        accs.iter().map(|a| a.failures.trials()).sum::<u64>()
+    );
+    assert_eq!(
+        merged.node_power_uw.count(),
+        accs.iter().map(|a| a.node_power_uw.count()).sum::<u64>()
+    );
+    assert_eq!(merged.node_powers.len(), 36);
+    let energy_sum: f64 = accs.iter().map(|a| a.ledger.total_energy().joules()).sum();
+    assert!((merged.ledger.total_energy().joules() - energy_sum).abs() < 1e-15);
+    let bits_sum: f64 = accs.iter().map(|a| a.delivered_payload_bits).sum();
+    assert_eq!(merged.delivered_payload_bits, bits_sum);
+    // Merge order of replication-less accumulators leaves reps at zero
+    // until sealed.
+    assert_eq!(merged.replications(), 0);
+}
+
+#[test]
+fn network_accumulator_merge_is_split_invariant() {
+    // Merging (a·b)·c equals a·(b·c) exactly for the integer state and to
+    // rounding for the floating accumulators.
+    let ber = EmpiricalCc2420Ber::paper();
+    let accs: Vec<NetworkAccumulator> = (0..3u64)
+        .map(|c| NetworkSimulator::new(small_network(10, 0xAB + c)).run_accumulate(&ber))
+        .collect();
+    let mut left = accs[0].clone();
+    left.merge(&accs[1]);
+    left.merge(&accs[2]);
+    let mut right_tail = accs[1].clone();
+    right_tail.merge(&accs[2]);
+    let mut right = accs[0].clone();
+    right.merge(&right_tail);
+    assert_eq!(left.failures, right.failures);
+    assert_eq!(left.overruns, right.overruns);
+    assert!((left.node_power_uw.mean() - right.node_power_uw.mean()).abs() < 1e-9);
+    assert!((left.attempts.mean() - right.attempts.mean()).abs() < 1e-9);
+    let ls = left.summary();
+    let rs = right.summary();
+    assert!(
+        (ls.mean_node_power.microwatts() - rs.mean_node_power.microwatts()).abs() < 1e-9
+    );
+    assert_eq!(ls.failure_ratio, rs.failure_ratio);
+}
+
+#[test]
+fn sealed_replications_drive_the_standard_errors() {
+    let ber = EmpiricalCc2420Ber::paper();
+    let mut total = NetworkAccumulator::new();
+    for r in 0..4u64 {
+        let mut shard =
+            NetworkSimulator::new(small_network(10, 0x5EA1 + r)).run_accumulate(&ber);
+        shard.seal_replication();
+        total.merge(&shard);
+    }
+    assert_eq!(total.replications(), 4);
+    let summary = total.summary();
+    assert_eq!(summary.replications, 4);
+    // Four distinct seeds → nonzero spread across replication means.
+    assert!(summary.power_standard_error.microwatts() > 0.0);
+    // The replication-level mean of means equals the pooled mean (equal
+    // shard sizes).
+    assert!((total.rep_power_uw.mean() - total.node_power_uw.mean()).abs() < 1e-9);
 }
 
 #[test]

@@ -1,14 +1,66 @@
 //! The parallel runner's contract: for a fixed master seed its output is
 //! bit-identical to the serial engine's, for every thread count, and the
-//! streaming reduction is bit-identical to trace-then-reduce.
+//! streaming reduction is bit-identical to trace-then-reduce. The same
+//! guarantee covers the network layer: replicated network simulations and
+//! whole scenarios merge to bit-identical summaries for every thread
+//! count.
 
+use wsn_phy::ber::EmpiricalCc2420Ber;
+use wsn_radio::RadioModel;
 use wsn_sim::contention::run_channel_sim;
-use wsn_sim::{simulate_contention, ChannelSimConfig, Runner, StatsSink};
+use wsn_sim::network::{NetworkConfig, NetworkSummary, TxPowerPolicy};
+use wsn_sim::scenario::{ChannelAllocation, DeploymentSpec, Scenario, TrafficSpec};
+use wsn_sim::{simulate_contention, ChannelSimConfig, NetworkSimulator, Runner, StatsSink};
+use wsn_units::{DBm, Db, Seconds};
 
 fn point(payload: usize, load: f64, seed: u64) -> ChannelSimConfig {
     let mut cfg = ChannelSimConfig::figure6(payload, load, seed);
     cfg.superframes = 8;
     cfg
+}
+
+fn network_point(nodes: usize, seed: u64) -> NetworkConfig {
+    let mut channel = point(120, 0.4, seed);
+    channel.nodes = nodes;
+    channel.superframes = 5;
+    NetworkConfig {
+        path_losses: (0..nodes)
+            .map(|i| Db::new(58.0 + 35.0 * i as f64 / nodes as f64))
+            .collect(),
+        channel,
+        radio: RadioModel::cc2420(),
+        tx_policy: TxPowerPolicy::ChannelInversion {
+            target_rx: DBm::new(-88.0),
+        },
+        coordinator_tx: DBm::new(0.0),
+        wakeup_margin: Seconds::from_millis(1.0),
+    }
+}
+
+/// Bit-exact equality on every scalar of a summary.
+fn assert_summaries_identical(a: &NetworkSummary, b: &NetworkSummary, context: &str) {
+    assert_eq!(a.mean_node_power, b.mean_node_power, "{context}: power");
+    assert_eq!(a.failure_ratio, b.failure_ratio, "{context}: failures");
+    assert_eq!(a.mean_delay, b.mean_delay, "{context}: delay");
+    assert_eq!(a.mean_attempts, b.mean_attempts, "{context}: attempts");
+    assert_eq!(
+        a.energy_per_bit_nj, b.energy_per_bit_nj,
+        "{context}: energy/bit"
+    );
+    assert_eq!(a.replications, b.replications, "{context}: reps");
+    assert_eq!(
+        a.power_standard_error, b.power_standard_error,
+        "{context}: power se"
+    );
+    assert_eq!(
+        a.failure_standard_error, b.failure_standard_error,
+        "{context}: failure se"
+    );
+    assert_eq!(
+        a.delay_standard_error, b.delay_standard_error,
+        "{context}: delay se"
+    );
+    assert_eq!(a.node_powers, b.node_powers, "{context}: node powers");
 }
 
 #[test]
@@ -54,4 +106,78 @@ fn runner_output_is_reproducible_across_invocations() {
     let a = Runner::from_env().replicate_contention(&base, 4);
     let b = Runner::from_env().replicate_contention(&base, 4);
     assert_eq!(a, b);
+}
+
+#[test]
+fn network_sweep_is_bit_identical_to_serial_streaming() {
+    let ber = EmpiricalCc2420Ber::paper();
+    let configs: Vec<NetworkConfig> = (0..5u64).map(|c| network_point(12, 0x4E7 + c)).collect();
+
+    // Reference: serial streaming runs, config by config.
+    let serial: Vec<NetworkSummary> = configs
+        .iter()
+        .map(|cfg| NetworkSimulator::new(cfg.clone()).run_streaming(&ber))
+        .collect();
+
+    for threads in [1, 2, 4] {
+        let parallel = Runner::with_threads(threads).sweep_network(&configs, &ber);
+        assert_eq!(parallel.len(), serial.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_summaries_identical(a, b, &format!("sweep threads={threads}"));
+        }
+    }
+}
+
+#[test]
+fn network_replications_are_bit_identical_across_1_2_4_threads() {
+    let ber = EmpiricalCc2420Ber::paper();
+    let base = network_point(15, 0xBEE);
+    let serial = Runner::with_threads(1).replicate_network(&base, 6, &ber);
+    assert_eq!(serial.replications, 6);
+    for threads in [2, 4] {
+        let parallel = Runner::with_threads(threads).replicate_network(&base, 6, &ber);
+        assert_summaries_identical(&serial, &parallel, &format!("replicate threads={threads}"));
+    }
+}
+
+#[test]
+fn scenario_runs_are_bit_identical_across_1_2_4_threads() {
+    // A geometric, heterogeneous-traffic scenario exercises deployment
+    // compilation, per-channel loads and the two-level (channel ×
+    // replication) reduction at once.
+    let scenario = Scenario::new(
+        "determinism probe",
+        3,
+        8,
+        DeploymentSpec::Disc {
+            radius_m: 40.0,
+            exponent: 3.0,
+            shadowing_db: 3.0,
+        },
+    )
+    .with_allocation(ChannelAllocation::RingStratified)
+    .with_traffic(TrafficSpec::PerChannel {
+        payload_bytes: vec![60, 100, 123],
+    })
+    .with_superframes(4)
+    .with_replications(3);
+
+    let serial = scenario.run(&Runner::with_threads(1));
+    for threads in [2, 4] {
+        let parallel = scenario.run(&Runner::with_threads(threads));
+        assert_summaries_identical(
+            &serial.overall,
+            &parallel.overall,
+            &format!("scenario overall threads={threads}"),
+        );
+        for (c, (a, b)) in serial
+            .per_channel
+            .iter()
+            .zip(&parallel.per_channel)
+            .enumerate()
+        {
+            assert_summaries_identical(a, b, &format!("scenario ch{c} threads={threads}"));
+        }
+    }
+    assert_eq!(serial.overall.replications, 3);
 }

@@ -1,0 +1,85 @@
+//! The scenario layer in one sweep: the same 4-channel network under
+//! three deployments — the paper's uniform loss population, a
+//! ring-stratified indoor disc, and per-channel clusters — each run as
+//! parallel replicated simulations with replication-based standard
+//! errors.
+//!
+//! Run with: `cargo run --release --example scenario_sweep`
+
+use ieee802154_energy::sim::scenario::{
+    ChannelAllocation, DeploymentSpec, Scenario, TrafficSpec,
+};
+use ieee802154_energy::sim::Runner;
+
+fn main() {
+    let runner = Runner::from_env();
+    let scenarios = [
+        Scenario::new(
+            "uniform 55-95 dB population",
+            4,
+            50,
+            DeploymentSpec::UniformLossGrid {
+                min_db: 55.0,
+                max_db: 95.0,
+            },
+        ),
+        Scenario::new(
+            "indoor disc, ring-stratified",
+            4,
+            50,
+            DeploymentSpec::Disc {
+                radius_m: 55.0,
+                exponent: 3.0,
+                shadowing_db: 4.0,
+            },
+        )
+        .with_allocation(ChannelAllocation::RingStratified),
+        Scenario::new(
+            "clustered, heterogeneous traffic",
+            4,
+            50,
+            DeploymentSpec::Clustered {
+                field_radius_m: 50.0,
+                cluster_radius_m: 6.0,
+                exponent: 3.0,
+                shadowing_db: 4.0,
+            },
+        )
+        .with_allocation(ChannelAllocation::Contiguous)
+        .with_traffic(TrafficSpec::PerChannel {
+            payload_bytes: vec![40, 80, 120, 123],
+        }),
+    ];
+
+    println!(
+        "scenario sweep — 4 channels × 50 nodes, 12 superframes × 4 replications ({} threads)\n",
+        runner.threads()
+    );
+    for scenario in scenarios {
+        let outcome = scenario
+            .with_superframes(12)
+            .with_replications(4)
+            .run(&runner);
+        let o = &outcome.overall;
+        println!("{}", outcome.name);
+        println!(
+            "  power    : {:.1} ± {:.1} µW",
+            o.mean_node_power.microwatts(),
+            o.power_standard_error.microwatts()
+        );
+        println!(
+            "  failures : {:.1} ± {:.1} %",
+            o.failure_ratio.value() * 100.0,
+            o.failure_standard_error * 100.0
+        );
+        println!("  delay    : {:.2} s", o.mean_delay.secs());
+        for (c, s) in outcome.per_channel.iter().enumerate() {
+            println!(
+                "    ch{c}: {:6.1} µW, fail {:5.1} %",
+                s.mean_node_power.microwatts(),
+                s.failure_ratio.value() * 100.0
+            );
+        }
+        println!();
+    }
+}
