@@ -17,9 +17,13 @@
 //! Paper reference values: average power 211 µW, delivery delay 1.45 s,
 //! transmission failure probability 16 %, load 42 %.
 //!
-//! Usage: `cargo run --release -p wsn-bench --bin case_study [superframes] [--threads N] [--reps N]`
+//! With `--json`, per-channel wall-clock and statistics — plus a serial
+//! reference timing and the resulting speedup — are written to
+//! `BENCH_network.json`, mirroring fig6's `BENCH_contention.json` schema.
+//!
+//! Usage: `cargo run --release -p wsn-bench --bin case_study [superframes] [--threads N] [--reps N] [--json]`
 
-use wsn_bench::RunArgs;
+use wsn_bench::{network_bench_json, RunArgs, BENCH_NETWORK_PATH};
 use wsn_core::activation::ActivationModel;
 use wsn_core::case_study::CaseStudy;
 use wsn_core::contention::{ContentionModel, IdealContention, MonteCarloContention};
@@ -95,7 +99,8 @@ fn main() {
 
     // The discrete-event reproduction: 16 channels × reps replications as
     // one parallel job grid, per-node link-adapted transmit power.
-    let outcome = study.simulate(&runner, &ber, &mc, args.superframes, reps);
+    let timed = study.simulate_timed(&runner, &ber, &mc, args.superframes, reps);
+    let outcome = &timed.outcome;
     println!(
         "\n## simulator: 16 parallel channels × {reps} replications ({} threads)",
         runner.threads()
@@ -145,5 +150,26 @@ fn main() {
             s.mean_delay.secs(),
             s.mean_attempts
         );
+    }
+
+    if args.json {
+        // Serial reference pass for the recorded speedup (skipped when the
+        // grid already ran single-threaded — it would be the same run).
+        let serial_wall_ms = (runner.threads() > 1).then(|| {
+            study
+                .simulate_timed(&wsn_sim::Runner::serial(), &ber, &mc, args.superframes, reps)
+                .wall_ms
+        });
+        let doc = network_bench_json(
+            "case_study_network",
+            args.superframes,
+            reps,
+            runner.threads(),
+            &timed,
+            serial_wall_ms,
+            Vec::new(),
+        );
+        std::fs::write(BENCH_NETWORK_PATH, doc.render()).expect("write benchmark JSON");
+        eprintln!("wrote {BENCH_NETWORK_PATH}");
     }
 }

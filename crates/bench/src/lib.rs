@@ -14,8 +14,9 @@ use wsn_sim::Runner;
 /// Accepted forms: a positional superframe count, `--threads N` (worker
 /// threads; overrides the `WSN_SIM_THREADS` environment variable, which in
 /// turn overrides auto-detection), `--reps N` (independent replications
-/// per Monte-Carlo point, for replication-based standard errors), and
-/// `--json` (emit machine-readable benchmark output where the binary
+/// per Monte-Carlo point, for replication-based standard errors),
+/// `--rounds N` (closed-loop policy rounds, where the binary runs one),
+/// and `--json` (emit machine-readable benchmark output where the binary
 /// supports it).
 #[derive(Debug, Clone)]
 pub struct RunArgs {
@@ -26,6 +27,9 @@ pub struct RunArgs {
     /// Explicit replication count (`--reps N`), if given; binaries fall
     /// back to their own defaults.
     pub reps: Option<u32>,
+    /// Explicit policy-round budget (`--rounds N`), if given; the
+    /// adaptive binaries fall back to their own defaults.
+    pub rounds: Option<u32>,
     /// `--json`: write machine-readable benchmark output.
     pub json: bool,
 }
@@ -40,6 +44,7 @@ impl RunArgs {
             superframes: default_superframes,
             threads: None,
             reps: None,
+            rounds: None,
             json: false,
         };
         let mut args = std::env::args().skip(1);
@@ -65,6 +70,16 @@ impl RunArgs {
                         None => usage("--reps requires a positive integer"),
                     }
                 }
+                "--rounds" => {
+                    let value = args
+                        .next()
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .filter(|&n| n > 0);
+                    match value {
+                        Some(n) => out.rounds = Some(n),
+                        None => usage("--rounds requires a positive integer"),
+                    }
+                }
                 "--json" => out.json = true,
                 other => match other.parse::<u32>() {
                     Ok(sf) if sf >= 2 => out.superframes = sf,
@@ -81,6 +96,11 @@ impl RunArgs {
         self.reps.unwrap_or(default).max(1)
     }
 
+    /// The policy-round budget: `--rounds` if given, otherwise `default`.
+    pub fn rounds_or(&self, default: u32) -> u32 {
+        self.rounds.unwrap_or(default).max(1)
+    }
+
     /// Builds the runner: `--threads` beats `WSN_SIM_THREADS` beats
     /// auto-detected core count.
     pub fn runner(&self) -> Runner {
@@ -93,13 +113,89 @@ impl RunArgs {
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!("usage: <binary> [superframes] [--threads N] [--reps N] [--json]");
+    eprintln!("usage: <binary> [superframes] [--threads N] [--reps N] [--rounds N] [--json]");
     std::process::exit(2);
 }
 
 /// Milliseconds elapsed since `start`, as f64.
 pub fn elapsed_ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Canonical output path of the network benchmark document emitted by
+/// `case_study --json` and `adaptive --json`.
+pub const BENCH_NETWORK_PATH: &str = "BENCH_network.json";
+
+/// Builds the `BENCH_network.json` document, mirroring
+/// `BENCH_contention.json`'s schema: per-point (here: per-channel)
+/// wall-clock, a serial-reference speedup and `host_cpus`, plus the
+/// reduced per-channel statistics. `extra` pairs (e.g. the adaptive
+/// binary's round trajectory) are spliced in before `points`.
+pub fn network_bench_json(
+    benchmark: &str,
+    superframes: u32,
+    replications: u32,
+    threads: usize,
+    run: &wsn_sim::TimedScenarioRun,
+    serial_wall_ms: Option<f64>,
+    extra: Vec<(&'static str, Json)>,
+) -> Json {
+    let points: Vec<Json> = run
+        .outcome
+        .per_channel
+        .iter()
+        .zip(&run.channel_wall_ms)
+        .enumerate()
+        .map(|(c, (s, &ms))| {
+            Json::Obj(vec![
+                ("channel", Json::Int(c as i64)),
+                ("wall_ms", Json::Num(ms)),
+                ("power_uw", Json::Num(s.mean_node_power.microwatts())),
+                (
+                    "power_se_uw",
+                    Json::Num(s.power_standard_error.microwatts()),
+                ),
+                ("pr_fail", Json::Num(s.failure_ratio.value())),
+                ("pr_fail_se", Json::Num(s.failure_standard_error)),
+                ("delay_s", Json::Num(s.mean_delay.secs())),
+                ("attempts", Json::Num(s.mean_attempts)),
+                ("transactions", Json::Int(s.transactions as i64)),
+            ])
+        })
+        .collect();
+    let (serial_ms, speedup) = match serial_wall_ms {
+        Some(ms) => (Json::Num(ms), Json::Num(ms / run.wall_ms)),
+        None => (Json::Null, Json::Null),
+    };
+    let mut pairs = vec![
+        ("benchmark", Json::Str(benchmark.into())),
+        ("superframes", Json::Int(superframes as i64)),
+        ("replications", Json::Int(replications as i64)),
+        ("threads", Json::Int(threads as i64)),
+        (
+            "host_cpus",
+            Json::Int(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as i64)
+                    .unwrap_or(1),
+            ),
+        ),
+        ("channels", Json::Int(points.len() as i64)),
+        ("wall_ms", Json::Num(run.wall_ms)),
+        ("serial_wall_ms", serial_ms),
+        ("speedup_vs_serial", speedup),
+        (
+            "overall_power_uw",
+            Json::Num(run.outcome.overall.mean_node_power.microwatts()),
+        ),
+        (
+            "overall_pr_fail",
+            Json::Num(run.outcome.overall.failure_ratio.value()),
+        ),
+    ];
+    pairs.extend(extra);
+    pairs.push(("points", Json::Arr(points)));
+    Json::Obj(pairs)
 }
 
 /// A minimal JSON value with a canonical renderer — enough for the

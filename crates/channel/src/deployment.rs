@@ -248,6 +248,40 @@ impl Deployment {
     }
 }
 
+/// Groups node indices by an explicit node→channel assignment: entry `c` of
+/// the result lists the nodes assigned to channel `c`, in node-index order.
+///
+/// This is the inverse view of the partition methods above — where
+/// [`Deployment::channel_partition`] *produces* an allocation,
+/// `assignment_partition` *consumes* one (e.g. an adaptive re-allocation
+/// computed from observed per-channel failure rates) and lowers it back to
+/// the per-channel index lists the simulator compiles from.
+///
+/// # Panics
+///
+/// Panics if `channels == 0` or any assignment entry is `≥ channels`.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_channel::assignment_partition;
+///
+/// let parts = assignment_partition(&[0, 1, 0, 2, 1], 3);
+/// assert_eq!(parts, vec![vec![0, 2], vec![1, 4], vec![3]]);
+/// ```
+pub fn assignment_partition(assignment: &[usize], channels: usize) -> Vec<Vec<usize>> {
+    assert!(channels > 0, "at least one channel required");
+    let mut parts = vec![Vec::new(); channels];
+    for (node, &channel) in assignment.iter().enumerate() {
+        assert!(
+            channel < channels,
+            "node {node} assigned to channel {channel} of {channels}"
+        );
+        parts[channel].push(node);
+    }
+    parts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,7 @@ pub mod link;
 pub mod pathloss;
 pub mod shadowing;
 
-pub use deployment::{Deployment, Position};
+pub use deployment::{assignment_partition, Deployment, Position};
 pub use link::{received_power, ChannelAssumptions, Link};
 pub use pathloss::{FixedPathLoss, LogDistance, PathLossModel, UniformPathLossPopulation};
 pub use shadowing::{shadowed_population, LogNormalShadowing};

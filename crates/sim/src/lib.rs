@@ -43,10 +43,16 @@
 //!    order and finalize into [`NetworkSummary`] with replication-based
 //!    standard errors.
 //!
+//! A fifth layer, [`policy`], closes the loop: a [`policy::PolicyEngine`]
+//! re-runs a scenario in rounds, feeding each round's per-channel
+//! summaries to a pluggable [`policy::AllocationPolicy`] that emits the
+//! next round's node→channel assignment — adaptive channel assignment
+//! evaluated entirely on the same deterministic pipeline.
+//!
 //! Everything is reproducible: equal seeds give bit-identical traces, and
 //! every parallel reduction — contention sweeps, network replications,
-//! whole scenarios — is bit-identical to the serial path for every thread
-//! count.
+//! whole scenarios, closed policy loops — is bit-identical to the serial
+//! path for every thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +60,7 @@
 pub mod contention;
 pub mod events;
 pub mod network;
+pub mod policy;
 pub mod rng;
 pub mod runner;
 pub mod scenario;
@@ -64,10 +71,15 @@ pub use contention::{simulate_contention, ChannelSimConfig, SimTrace, SlotTiming
 pub use network::{
     NetworkAccumulator, NetworkConfig, NetworkReport, NetworkSimulator, NetworkSummary,
 };
+pub use policy::{
+    AllocationPolicy, GreedyRebalance, PolicyEngine, PolicyTrace, PolicyTraceAccumulator,
+    ProportionalFair, RoundObservation, StaticAllocation,
+};
 pub use rng::Xoshiro256StarStar;
 pub use runner::{replication_seed, Runner, THREADS_ENV};
 pub use scenario::{
-    BerChoice, ChannelAllocation, DeploymentSpec, Scenario, ScenarioOutcome, TrafficSpec,
+    BerChoice, ChannelAllocation, DeploymentSpec, ResolvedBer, Scenario, ScenarioOutcome,
+    TimedScenarioRun, TrafficSpec,
 };
 pub use sink::{StatsSink, TraceCollector, TraceSink};
-pub use stats::{Accumulator, ContentionAccumulator, ContentionStats, Counter};
+pub use stats::{Accumulator, ContentionAccumulator, ContentionStats, Counter, Extrema};

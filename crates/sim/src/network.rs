@@ -124,6 +124,10 @@ pub struct NetworkSummary {
     pub ledger: EnergyLedger,
     /// Fraction of transactions that failed (`Pr_fail`).
     pub failure_ratio: Probability,
+    /// Number of transactions observed (the trials behind
+    /// [`failure_ratio`](Self::failure_ratio)) — the sample size
+    /// allocation policies weight their per-channel observations by.
+    pub transactions: u64,
     /// Mean delivery delay.
     pub mean_delay: Seconds,
     /// Mean transmission attempts per transaction.
@@ -258,6 +262,7 @@ impl NetworkAccumulator {
             node_powers: self.node_powers.clone(),
             ledger: self.ledger.clone(),
             failure_ratio: self.failures.ratio(),
+            transactions: self.failures.trials(),
             mean_delay: Seconds::from_secs(self.delay_secs.mean()),
             mean_attempts: self.attempts.mean(),
             energy_per_bit_nj,

@@ -20,8 +20,11 @@
 //! Pipeline: **scenario → per-channel configs → runner grid → merged
 //! accumulators → per-channel + overall summaries.**
 
+use std::time::Instant;
+
 use wsn_channel::{
-    shadowed_population, Deployment, LogDistance, LogNormalShadowing, UniformPathLossPopulation,
+    assignment_partition, shadowed_population, Deployment, LogDistance, LogNormalShadowing,
+    UniformPathLossPopulation,
 };
 use wsn_mac::csma::CsmaParams;
 use wsn_mac::{BeaconOrder, RetryPolicy};
@@ -135,6 +138,66 @@ pub enum BerChoice {
     },
 }
 
+impl BerChoice {
+    /// Instantiates the chosen BER model.
+    pub fn model(&self) -> ResolvedBer {
+        match *self {
+            BerChoice::EmpiricalCc2420 => ResolvedBer::Empirical(EmpiricalCc2420Ber::paper()),
+            BerChoice::HardDecisionDsss { noise_figure_db } => {
+                ResolvedBer::HardDecisionDsss(HardDecisionDsssBer::new(Db::new(noise_figure_db)))
+            }
+            BerChoice::StandardOqpsk { noise_figure_db } => {
+                ResolvedBer::StandardOqpsk(StandardOqpskBer::new(Db::new(noise_figure_db)))
+            }
+        }
+    }
+
+    /// The same choice with its receiver noise figure raised by
+    /// `offset_db` — the per-channel quality-asymmetry knob. The empirical
+    /// CC2420 fit has no explicit noise figure, so a nonzero offset
+    /// switches it to the hard-decision DSSS model at the paper's nominal
+    /// 23 dB figure plus the offset.
+    pub fn with_noise_offset(&self, offset_db: f64) -> BerChoice {
+        if offset_db == 0.0 {
+            return *self;
+        }
+        match *self {
+            BerChoice::EmpiricalCc2420 => BerChoice::HardDecisionDsss {
+                noise_figure_db: 23.0 + offset_db,
+            },
+            BerChoice::HardDecisionDsss { noise_figure_db } => BerChoice::HardDecisionDsss {
+                noise_figure_db: noise_figure_db + offset_db,
+            },
+            BerChoice::StandardOqpsk { noise_figure_db } => BerChoice::StandardOqpsk {
+                noise_figure_db: noise_figure_db + offset_db,
+            },
+        }
+    }
+}
+
+/// An instantiated [`BerChoice`]: one concrete model per variant, so
+/// per-channel BER choices can run side by side on the worker pool without
+/// generics over the channel index.
+#[derive(Debug, Clone, Copy)]
+pub enum ResolvedBer {
+    /// The paper's empirical CC2420 fit.
+    Empirical(EmpiricalCc2420Ber),
+    /// Hard-decision DSSS.
+    HardDecisionDsss(HardDecisionDsssBer),
+    /// Standard O-QPSK.
+    StandardOqpsk(StandardOqpskBer),
+}
+
+impl BerModel for ResolvedBer {
+    fn bit_error_probability(&self, p_rx: wsn_units::DBm) -> wsn_units::Probability {
+        match self {
+            ResolvedBer::Empirical(m) => m.bit_error_probability(p_rx),
+            ResolvedBer::HardDecisionDsss(m) => m.bit_error_probability(p_rx),
+            ResolvedBer::StandardOqpsk(m) => m.bit_error_probability(p_rx),
+        }
+    }
+}
+
 /// A declarative multi-channel network experiment.
 ///
 /// # Examples
@@ -186,8 +249,17 @@ pub struct Scenario {
     pub coordinator_tx: DBm,
     /// Chip wake-up margin before each beacon.
     pub wakeup_margin: Seconds,
-    /// BER model choice.
+    /// BER model choice (scenario-wide default).
     pub ber: BerChoice,
+    /// Per-channel BER overrides — channel `c` runs with `channel_ber[c]`
+    /// when set, [`ber`](Self::ber) otherwise. The channel-quality
+    /// asymmetry seam: asymmetric noise figures make physically identical
+    /// channels behave differently.
+    pub channel_ber: Option<Vec<BerChoice>>,
+    /// Per-channel link-budget penalties in dB, added to every path loss
+    /// compiled onto that channel (e.g. interference raising a channel's
+    /// effective noise floor). `None` means all channels are clean.
+    pub channel_loss_offsets_db: Option<Vec<f64>>,
     /// `true` to start all contentions at the beacon (ablation).
     pub synchronized_arrivals: bool,
 }
@@ -222,6 +294,8 @@ impl Scenario {
             coordinator_tx: DBm::new(0.0),
             wakeup_margin: Seconds::from_millis(1.0),
             ber: BerChoice::EmpiricalCc2420,
+            channel_ber: None,
+            channel_loss_offsets_db: None,
             synchronized_arrivals: false,
         }
     }
@@ -289,6 +363,62 @@ impl Scenario {
         self
     }
 
+    /// Gives every channel its own BER model — the channel-quality
+    /// asymmetry seam promoted from the scenario-wide
+    /// [`with_ber`](Self::with_ber). One entry per channel.
+    pub fn with_channel_ber(mut self, channel_ber: Vec<BerChoice>) -> Self {
+        self.channel_ber = Some(channel_ber);
+        self
+    }
+
+    /// Adds a per-channel link-budget penalty in dB to every path loss
+    /// compiled onto that channel. One entry per channel.
+    pub fn with_channel_loss_offsets(mut self, offsets_db: Vec<f64>) -> Self {
+        self.channel_loss_offsets_db = Some(offsets_db);
+        self
+    }
+
+    /// The BER choice governing channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-channel BER list is shorter than the channel count.
+    pub fn channel_ber(&self, c: usize) -> BerChoice {
+        match &self.channel_ber {
+            Some(bers) => {
+                assert!(
+                    bers.len() >= self.channels,
+                    "one BER choice per channel required ({} < {})",
+                    bers.len(),
+                    self.channels
+                );
+                bers[c]
+            }
+            None => self.ber,
+        }
+    }
+
+    /// The link-budget penalty of channel `c` in dB (0 when none is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-channel offset list is shorter than the channel
+    /// count.
+    pub fn channel_loss_offset(&self, c: usize) -> Db {
+        match &self.channel_loss_offsets_db {
+            Some(offsets) => {
+                assert!(
+                    offsets.len() >= self.channels,
+                    "one loss offset per channel required ({} < {})",
+                    offsets.len(),
+                    self.channels
+                );
+                Db::new(offsets[c])
+            }
+            None => Db::new(0.0),
+        }
+    }
+
     /// Total node count across all channels.
     pub fn total_nodes(&self) -> usize {
         self.channels * self.nodes_per_channel
@@ -319,27 +449,38 @@ impl Scenario {
     /// The network load λ of channel `c` implied by its traffic and the
     /// beacon order: `N·T_packet / T_ib`.
     pub fn channel_load(&self, c: usize) -> f64 {
-        self.nodes_per_channel as f64 * self.channel_packet(c).duration().secs()
+        self.load_for(c, self.nodes_per_channel)
+    }
+
+    /// The load channel `c` would carry with `nodes` nodes assigned to it
+    /// — the assignment-aware generalization of
+    /// [`channel_load`](Self::channel_load).
+    pub fn load_for(&self, c: usize, nodes: usize) -> f64 {
+        nodes as f64 * self.channel_packet(c).duration().secs()
             / self.beacon_order.beacon_interval().secs()
     }
 
-    /// Per-node path losses for every channel, from the deployment spec.
+    /// The most nodes channel `c` can hold while keeping its load below
+    /// `max_load` — the capacity bound allocation policies must respect.
+    pub fn channel_capacity(&self, c: usize, max_load: f64) -> usize {
+        let per_node = self.channel_packet(c).duration().secs();
+        let budget = self.beacon_order.beacon_interval().secs() * max_load;
+        (budget / per_node).floor() as usize
+    }
+
+    /// The geometric deployment and its per-node losses, or `None` for the
+    /// geometry-free [`DeploymentSpec::UniformLossGrid`].
     ///
     /// Deterministic in the master seed: the geometry RNG stream is
     /// derived from it and independent of the per-channel contention
     /// seeds.
-    pub fn channel_losses(&self) -> Vec<Vec<Db>> {
+    fn geometry(&self) -> Option<(Vec<Db>, Deployment)> {
         let n = self.total_nodes();
         // A dedicated geometry stream, disjoint from the per-channel
         // contention seeds (which use small indices).
         let mut rng = SplitMix64::new(replication_seed(self.seed, 0xDE9_1077));
         let (losses, deployment) = match &self.deployment {
-            DeploymentSpec::UniformLossGrid { min_db, max_db } => {
-                let population =
-                    UniformPathLossPopulation::new(Db::new(*min_db), Db::new(*max_db));
-                let grid = population.grid(self.nodes_per_channel);
-                return vec![grid; self.channels];
-            }
+            DeploymentSpec::UniformLossGrid { .. } => return None,
             DeploymentSpec::Disc {
                 radius_m,
                 exponent,
@@ -382,15 +523,122 @@ impl Scenario {
                 (losses, d)
             }
         };
-        let parts = match self.allocation {
+        Some((losses, deployment))
+    }
+
+    /// The scenario's [`ChannelAllocation`] applied to a geometric
+    /// deployment — the single dispatch point shared by
+    /// [`channel_losses`](Self::channel_losses) and
+    /// [`initial_assignment`](Self::initial_assignment).
+    fn geometric_partition(&self, deployment: &Deployment) -> Vec<Vec<usize>> {
+        match self.allocation {
             ChannelAllocation::RoundRobin => deployment.channel_partition(self.channels),
             ChannelAllocation::Contiguous => deployment.contiguous_partition(self.channels),
             ChannelAllocation::RingStratified => deployment.ring_partition(self.channels),
+        }
+    }
+
+    /// Per-node path losses for every channel, from the deployment spec,
+    /// with any [per-channel loss offsets](Self::with_channel_loss_offsets)
+    /// applied.
+    ///
+    /// Deterministic in the master seed: the geometry RNG stream is
+    /// derived from it and independent of the per-channel contention
+    /// seeds.
+    pub fn channel_losses(&self) -> Vec<Vec<Db>> {
+        let mut per_channel: Vec<Vec<Db>> = match self.geometry() {
+            None => {
+                let (min_db, max_db) = match self.deployment {
+                    DeploymentSpec::UniformLossGrid { min_db, max_db } => (min_db, max_db),
+                    _ => unreachable!("geometry() is None only for the uniform grid"),
+                };
+                let population = UniformPathLossPopulation::new(Db::new(min_db), Db::new(max_db));
+                let grid = population.grid(self.nodes_per_channel);
+                vec![grid; self.channels]
+            }
+            Some((losses, deployment)) => self
+                .geometric_partition(&deployment)
+                .iter()
+                .map(|part| part.iter().map(|&i| losses[i]).collect())
+                .collect(),
         };
-        parts
-            .iter()
-            .map(|part| part.iter().map(|&i| losses[i]).collect())
-            .collect()
+        for (c, losses) in per_channel.iter_mut().enumerate() {
+            let offset = self.channel_loss_offset(c);
+            if offset.db() != 0.0 {
+                for loss in losses.iter_mut() {
+                    *loss = *loss + offset;
+                }
+            }
+        }
+        per_channel
+    }
+
+    /// The whole population's path losses in node-index order, **without**
+    /// per-channel offsets (those depend on which channel a node lands on
+    /// — [`compile_assignment`](Self::compile_assignment) applies them).
+    ///
+    /// For geometric deployments this is the same loss vector
+    /// [`channel_losses`](Self::channel_losses) partitions; for the
+    /// geometry-free uniform grid it is the deterministic midpoint grid
+    /// over the *total* node count, so an assignment-driven experiment
+    /// still spans the full 55–95 dB band.
+    pub fn population_losses(&self) -> Vec<Db> {
+        match self.geometry() {
+            Some((losses, _)) => losses,
+            None => {
+                let (min_db, max_db) = match self.deployment {
+                    DeploymentSpec::UniformLossGrid { min_db, max_db } => (min_db, max_db),
+                    _ => unreachable!("geometry() is None only for the uniform grid"),
+                };
+                UniformPathLossPopulation::new(Db::new(min_db), Db::new(max_db))
+                    .grid(self.total_nodes())
+            }
+        }
+    }
+
+    /// The node→channel assignment the scenario's [`ChannelAllocation`]
+    /// implies — the starting point of every adaptive re-allocation loop.
+    ///
+    /// For geometric deployments the partition methods of the deployment
+    /// are inverted into per-node labels. For the uniform grid (sorted
+    /// ascending in loss) `RoundRobin` interleaves the band across
+    /// channels while `Contiguous`/`RingStratified` both stratify it into
+    /// consecutive loss bands.
+    pub fn initial_assignment(&self) -> Vec<usize> {
+        let n = self.total_nodes();
+        let parts = match self.geometry() {
+            Some((_, deployment)) => self.geometric_partition(&deployment),
+            None => match self.allocation {
+                ChannelAllocation::RoundRobin => {
+                    let mut parts = vec![Vec::new(); self.channels];
+                    for i in 0..n {
+                        parts[i % self.channels].push(i);
+                    }
+                    parts
+                }
+                // The grid is sorted ascending in loss, so contiguous
+                // blocks are loss bands — the stratified reading.
+                ChannelAllocation::Contiguous | ChannelAllocation::RingStratified => {
+                    let base = n / self.channels;
+                    let extra = n % self.channels;
+                    let mut parts = Vec::with_capacity(self.channels);
+                    let mut next = 0usize;
+                    for c in 0..self.channels {
+                        let take = base + usize::from(c < extra);
+                        parts.push((next..next + take).collect());
+                        next += take;
+                    }
+                    parts
+                }
+            },
+        };
+        let mut assignment = vec![0usize; n];
+        for (c, part) in parts.iter().enumerate() {
+            for &i in part {
+                assignment[i] = c;
+            }
+        }
+        assignment
     }
 
     fn losses_for(
@@ -453,35 +701,216 @@ impl Scenario {
             .collect()
     }
 
+    /// Compiles the scenario for an explicit node→channel `assignment`
+    /// over [`population_losses`](Self::population_losses) — the seam the
+    /// adaptive [`policy`](crate::policy) loop re-compiles through every
+    /// round. Channel `c`'s node count, path-loss slice (with its
+    /// [loss offset](Self::channel_loss_offset)) and load all follow the
+    /// assignment rather than the static `nodes_per_channel`.
+    ///
+    /// Contention seeds derive from `(master, salt, channel)`: pass a
+    /// distinct `salt` per round so rounds observe independent contention
+    /// noise while staying bit-deterministic. Nodes keep their identity
+    /// (their path loss travels with them), so only channel membership —
+    /// and hence per-channel load and BER — changes between rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length differs from the total node count,
+    /// any channel ends up empty, or a channel load leaves `(0, 1)`.
+    pub fn compile_assignment(&self, assignment: &[usize], salt: u64) -> Vec<NetworkConfig> {
+        self.compile_assignment_with_losses(&self.population_losses(), assignment, salt)
+    }
+
+    /// [`compile_assignment`](Self::compile_assignment) over precomputed
+    /// [`population_losses`](Self::population_losses), so round loops pay
+    /// for the deployment geometry once instead of once per round.
+    ///
+    /// # Panics
+    ///
+    /// As [`compile_assignment`](Self::compile_assignment), plus if
+    /// `losses` is not one per node.
+    pub fn compile_assignment_with_losses(
+        &self,
+        losses: &[Db],
+        assignment: &[usize],
+        salt: u64,
+    ) -> Vec<NetworkConfig> {
+        assert_eq!(
+            assignment.len(),
+            self.total_nodes(),
+            "one channel per node required"
+        );
+        assert_eq!(losses.len(), assignment.len(), "one path loss per node");
+        let parts = assignment_partition(assignment, self.channels);
+        let salted = replication_seed(self.seed, 0xAD00_0000 + salt);
+        parts
+            .iter()
+            .enumerate()
+            .map(|(c, part)| {
+                assert!(
+                    !part.is_empty(),
+                    "channel {c} has no nodes — policies must keep every channel populated"
+                );
+                let offset = self.channel_loss_offset(c);
+                let packet = self.channel_packet(c);
+                let load = self.load_for(c, part.len());
+                assert!(
+                    load > 0.0 && load < 1.0,
+                    "channel {c} load {load:.3} outside (0,1) — the assignment overloads it"
+                );
+                NetworkConfig {
+                    channel: ChannelSimConfig {
+                        nodes: part.len(),
+                        packet,
+                        load,
+                        csma: self.csma,
+                        retries: self.retries,
+                        superframes: self.superframes,
+                        seed: replication_seed(salted, c as u64),
+                        synchronized_arrivals: self.synchronized_arrivals,
+                    },
+                    radio: self.radio.clone(),
+                    path_losses: part.iter().map(|&i| losses[i] + offset).collect(),
+                    tx_policy: self.tx_policy.clone(),
+                    coordinator_tx: self.coordinator_tx,
+                    wakeup_margin: self.wakeup_margin,
+                }
+            })
+            .collect()
+    }
+
     /// Compiles and runs the scenario on `runner` with the configured BER
-    /// model.
+    /// model(s).
     pub fn run(&self, runner: &Runner) -> ScenarioOutcome {
         let configs = self.compile();
         self.run_compiled(runner, &configs)
     }
 
     /// Runs pre-compiled (possibly caller-adjusted) channel configs with
-    /// the scenario's BER choice — e.g. after swapping per-node
-    /// link-adapted transmit levels onto each config.
+    /// the scenario's BER choice(s) — e.g. after swapping per-node
+    /// link-adapted transmit levels onto each config. Per-channel BER
+    /// overrides ([`with_channel_ber`](Self::with_channel_ber)) apply
+    /// here: config `c` runs against [`channel_ber(c)`](Self::channel_ber).
     pub fn run_compiled(&self, runner: &Runner, configs: &[NetworkConfig]) -> ScenarioOutcome {
-        match self.ber {
-            BerChoice::EmpiricalCc2420 => {
-                self.run_with(runner, configs, &EmpiricalCc2420Ber::paper())
-            }
-            BerChoice::HardDecisionDsss { noise_figure_db } => {
-                self.run_with(runner, configs, &HardDecisionDsssBer::new(Db::new(noise_figure_db)))
-            }
-            BerChoice::StandardOqpsk { noise_figure_db } => {
-                self.run_with(runner, configs, &StandardOqpskBer::new(Db::new(noise_figure_db)))
-            }
-        }
+        self.run_compiled_timed(runner, configs).outcome
     }
 
-    /// Runs pre-compiled configs with an explicit BER model.
+    /// [`run_compiled`](Self::run_compiled) with per-channel wall-clock
+    /// instrumentation for the benchmark emitters.
+    pub fn run_compiled_timed(
+        &self,
+        runner: &Runner,
+        configs: &[NetworkConfig],
+    ) -> TimedScenarioRun {
+        let bers: Vec<ResolvedBer> = (0..configs.len()).map(|c| self.channel_ber(c).model()).collect();
+        self.run_grid(runner, configs, &bers)
+    }
+
+    /// Runs pre-compiled configs with an explicit BER model shared by all
+    /// channels.
     ///
     /// The full channels × replications grid is one flat job list on the
     /// runner, so a 16-channel study with 4 replications exposes 64-way
-    /// parallelism. Reductions are serial and fixed-order:
+    /// parallelism; the reduction is
+    /// [`ScenarioOutcome::reduce`]. Bit-identical for every thread count.
+    pub fn run_with<B: BerModel + Sync>(
+        &self,
+        runner: &Runner,
+        configs: &[NetworkConfig],
+        ber: &B,
+    ) -> ScenarioOutcome {
+        self.run_with_timed(runner, configs, ber).outcome
+    }
+
+    /// [`run_with`](Self::run_with) with per-channel wall-clock
+    /// instrumentation for the benchmark emitters.
+    pub fn run_with_timed<B: BerModel + Sync>(
+        &self,
+        runner: &Runner,
+        configs: &[NetworkConfig],
+        ber: &B,
+    ) -> TimedScenarioRun {
+        let bers: Vec<&B> = (0..configs.len()).map(|_| ber).collect();
+        self.run_grid(runner, configs, &bers)
+    }
+
+    /// The shared grid executor: one BER model per channel, flat
+    /// channels × replications job list, fixed-order reduction, per-job
+    /// timing. Timing never feeds back into results, so the statistics are
+    /// bit-identical for every thread count.
+    fn run_grid<B: BerModel + Sync>(
+        &self,
+        runner: &Runner,
+        configs: &[NetworkConfig],
+        bers: &[B],
+    ) -> TimedScenarioRun {
+        assert_eq!(
+            bers.len(),
+            configs.len(),
+            "one BER model per channel config required"
+        );
+        let t0 = Instant::now();
+        let shards = runner.map_replicated(configs, self.replications.max(1), |i, cfg, r| {
+            let t = Instant::now();
+            let mut cfg = cfg.clone();
+            cfg.channel.seed = replication_seed(cfg.channel.seed, r);
+            let acc = NetworkSimulator::new(cfg).run_accumulate(&bers[i]);
+            (acc, t.elapsed().as_secs_f64() * 1e3)
+        });
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut accs = Vec::with_capacity(shards.len());
+        let mut channel_wall_ms = Vec::with_capacity(shards.len());
+        for channel_reps in shards {
+            let mut reps = Vec::with_capacity(channel_reps.len());
+            let mut ms = 0.0;
+            for (acc, shard_ms) in channel_reps {
+                reps.push(acc);
+                ms += shard_ms;
+            }
+            accs.push(reps);
+            channel_wall_ms.push(ms);
+        }
+
+        TimedScenarioRun {
+            outcome: ScenarioOutcome::reduce(self.name.clone(), &accs),
+            channel_wall_ms,
+            wall_ms,
+        }
+    }
+}
+
+/// A scenario run plus its wall-clock instrumentation, for the
+/// `BENCH_network.json` emitters.
+#[derive(Debug, Clone)]
+pub struct TimedScenarioRun {
+    /// The reduced outcome (identical to the untimed run).
+    pub outcome: ScenarioOutcome,
+    /// Per-channel wall-clock in milliseconds, summed over that channel's
+    /// replications (CPU cost, not elapsed time, under parallelism).
+    pub channel_wall_ms: Vec<f64>,
+    /// Total elapsed wall-clock of the grid in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Results of a scenario run: one summary per channel plus the
+/// network-wide reduction.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario's name (echoed for experiment logs).
+    pub name: String,
+    /// Per-channel summaries, in channel order.
+    pub per_channel: Vec<NetworkSummary>,
+    /// All channels and replications merged.
+    pub overall: NetworkSummary,
+}
+
+impl ScenarioOutcome {
+    /// Reduces a channels × replications grid of unsealed accumulators
+    /// (`accs[c][r]` = channel `c`, replication `r`) into per-channel and
+    /// overall summaries. Serial and fixed-order, so the result is
+    /// bit-identical no matter how the grid was produced:
     ///
     /// * **per channel** — its replications merge in replication order,
     ///   each sealed, so per-channel standard errors are
@@ -491,19 +920,18 @@ impl Scenario {
     ///   sealed; the sealed replications merge in order, so the overall
     ///   standard errors are replication-based too.
     ///
-    /// Bit-identical for every thread count.
-    pub fn run_with<B: BerModel + Sync>(
-        &self,
-        runner: &Runner,
-        configs: &[NetworkConfig],
-        ber: &B,
+    /// # Panics
+    ///
+    /// Panics if channels disagree on their replication count.
+    pub fn reduce(
+        name: impl Into<String>,
+        accs: &[Vec<NetworkAccumulator>],
     ) -> ScenarioOutcome {
-        let reps = self.replications.max(1) as usize;
-        let accs = runner.map_replicated(configs, self.replications.max(1), |_, cfg, r| {
-            let mut cfg = cfg.clone();
-            cfg.channel.seed = replication_seed(cfg.channel.seed, r);
-            NetworkSimulator::new(cfg).run_accumulate(ber)
-        });
+        let reps = accs.first().map_or(0, Vec::len);
+        assert!(
+            accs.iter().all(|channel_reps| channel_reps.len() == reps),
+            "every channel needs the same replication count"
+        );
 
         let per_channel = accs
             .iter()
@@ -521,7 +949,7 @@ impl Scenario {
         let mut overall = NetworkAccumulator::new();
         for r in 0..reps {
             let mut rep_acc = NetworkAccumulator::new();
-            for channel_reps in &accs {
+            for channel_reps in accs {
                 rep_acc.merge(&channel_reps[r]);
             }
             rep_acc.seal_replication();
@@ -529,26 +957,12 @@ impl Scenario {
         }
 
         ScenarioOutcome {
-            name: self.name.clone(),
+            name: name.into(),
             per_channel,
             overall: overall.summary(),
         }
     }
-}
 
-/// Results of a scenario run: one summary per channel plus the
-/// network-wide reduction.
-#[derive(Debug, Clone)]
-pub struct ScenarioOutcome {
-    /// The scenario's name (echoed for experiment logs).
-    pub name: String,
-    /// Per-channel summaries, in channel order.
-    pub per_channel: Vec<NetworkSummary>,
-    /// All channels and replications merged.
-    pub overall: NetworkSummary,
-}
-
-impl ScenarioOutcome {
     /// Index and summary of the channel with the highest failure ratio.
     ///
     /// # Panics

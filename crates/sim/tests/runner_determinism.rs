@@ -9,7 +9,8 @@ use wsn_phy::ber::EmpiricalCc2420Ber;
 use wsn_radio::RadioModel;
 use wsn_sim::contention::run_channel_sim;
 use wsn_sim::network::{NetworkConfig, NetworkSummary, TxPowerPolicy};
-use wsn_sim::scenario::{ChannelAllocation, DeploymentSpec, Scenario, TrafficSpec};
+use wsn_sim::policy::{GreedyRebalance, PolicyEngine, ProportionalFair};
+use wsn_sim::scenario::{BerChoice, ChannelAllocation, DeploymentSpec, Scenario, TrafficSpec};
 use wsn_sim::{simulate_contention, ChannelSimConfig, NetworkSimulator, Runner, StatsSink};
 use wsn_units::{DBm, Db, Seconds};
 
@@ -41,6 +42,7 @@ fn network_point(nodes: usize, seed: u64) -> NetworkConfig {
 fn assert_summaries_identical(a: &NetworkSummary, b: &NetworkSummary, context: &str) {
     assert_eq!(a.mean_node_power, b.mean_node_power, "{context}: power");
     assert_eq!(a.failure_ratio, b.failure_ratio, "{context}: failures");
+    assert_eq!(a.transactions, b.transactions, "{context}: transactions");
     assert_eq!(a.mean_delay, b.mean_delay, "{context}: delay");
     assert_eq!(a.mean_attempts, b.mean_attempts, "{context}: attempts");
     assert_eq!(
@@ -180,4 +182,156 @@ fn scenario_runs_are_bit_identical_across_1_2_4_threads() {
         }
     }
     assert_eq!(serial.overall.replications, 3);
+}
+
+/// The closed policy loop is a round-by-round composition of runner
+/// reductions and pure policy decisions, so its entire trace — the
+/// assignments chosen, nodes moved, convergence round and every round's
+/// summaries — must be bit-identical for 1, 2 and 4 worker threads.
+#[test]
+fn policy_loop_is_bit_identical_across_1_2_4_threads() {
+    let scenario = Scenario::new(
+        "policy determinism probe",
+        3,
+        12,
+        DeploymentSpec::Disc {
+            radius_m: 55.0,
+            exponent: 3.0,
+            shadowing_db: 3.0,
+        },
+    )
+    .with_allocation(ChannelAllocation::RingStratified)
+    .with_channel_ber(vec![
+        BerChoice::EmpiricalCc2420,
+        BerChoice::HardDecisionDsss {
+            noise_figure_db: 24.0,
+        },
+        BerChoice::HardDecisionDsss {
+            noise_figure_db: 27.0,
+        },
+    ])
+    .with_superframes(4)
+    .with_replications(2);
+    let engine = PolicyEngine::new(scenario).with_rounds(4).run_all_rounds();
+
+    let serial = engine.run(&Runner::with_threads(1), &mut GreedyRebalance::new(2));
+    for threads in [2, 4] {
+        let parallel = engine.run(
+            &Runner::with_threads(threads),
+            &mut GreedyRebalance::new(2),
+        );
+        assert_eq!(
+            serial.converged_at, parallel.converged_at,
+            "threads={threads}: convergence round"
+        );
+        assert_eq!(serial.rounds.len(), parallel.rounds.len());
+        for (a, b) in serial.rounds.iter().zip(&parallel.rounds) {
+            let context = format!("threads={threads} round={}", a.round);
+            assert_eq!(a.assignment, b.assignment, "{context}: assignment");
+            assert_eq!(a.moved, b.moved, "{context}: moved");
+            assert_summaries_identical(
+                &a.outcome.overall,
+                &b.outcome.overall,
+                &format!("{context} overall"),
+            );
+            for (c, (x, y)) in a
+                .outcome
+                .per_channel
+                .iter()
+                .zip(&b.outcome.per_channel)
+                .enumerate()
+            {
+                assert_summaries_identical(x, y, &format!("{context} ch{c}"));
+            }
+        }
+    }
+    // The rebalancer actually acted in this configuration — the guarantee
+    // above is not vacuous.
+    assert!(serial.rounds.iter().any(|r| r.moved > 0));
+}
+
+/// ProportionalFair reshuffles many nodes at once; pin its loop too.
+#[test]
+fn proportional_fair_loop_is_bit_identical_across_threads() {
+    let scenario = Scenario::new(
+        "pf determinism probe",
+        3,
+        10,
+        DeploymentSpec::UniformLossGrid {
+            min_db: 60.0,
+            max_db: 92.0,
+        },
+    )
+    .with_allocation(ChannelAllocation::RingStratified)
+    .with_superframes(4)
+    .with_replications(2);
+    let engine = PolicyEngine::new(scenario).with_rounds(3).run_all_rounds();
+
+    let serial = engine.run(&Runner::with_threads(1), &mut ProportionalFair::default());
+    for threads in [2, 4] {
+        let parallel = engine.run(
+            &Runner::with_threads(threads),
+            &mut ProportionalFair::default(),
+        );
+        assert_eq!(serial.rounds.len(), parallel.rounds.len());
+        for (a, b) in serial.rounds.iter().zip(&parallel.rounds) {
+            assert_eq!(a.assignment, b.assignment, "threads={threads}");
+            assert_eq!(a.moved, b.moved, "threads={threads}");
+        }
+        assert_eq!(
+            serial.worst_failure_trajectory(),
+            parallel.worst_failure_trajectory(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            serial.energy_trajectory_j(),
+            parallel.energy_trajectory_j(),
+            "threads={threads}"
+        );
+    }
+}
+
+/// On the ring-stratified deployment the outer channel saturates first —
+/// the paper's dense-network prediction. GreedyRebalance must strictly
+/// lower that worst-channel failure relative to the static baseline
+/// within the 8-round budget (the PR's acceptance criterion).
+#[test]
+fn greedy_rebalance_beats_static_on_ring_stratified_scenario() {
+    let scenario = Scenario::new(
+        "ring-stratified convergence",
+        4,
+        16,
+        DeploymentSpec::Disc {
+            radius_m: 60.0,
+            exponent: 3.0,
+            shadowing_db: 0.0,
+        },
+    )
+    .with_allocation(ChannelAllocation::RingStratified)
+    .with_beacon_order(wsn_mac::BeaconOrder::new(3).expect("BO 3 valid"))
+    .with_superframes(6)
+    .with_replications(2);
+    let engine = PolicyEngine::new(scenario).with_rounds(8).run_all_rounds();
+    let runner = Runner::from_env();
+
+    let static_trace = engine.run(&runner, &mut wsn_sim::StaticAllocation);
+    let greedy_trace = engine.run(&runner, &mut GreedyRebalance::new(3));
+
+    // Same per-round seeds: round r differs between the traces only by
+    // the assignment, so the comparison isolates the policy's effect.
+    assert_eq!(static_trace.rounds.len(), 8);
+    assert_eq!(greedy_trace.rounds.len(), 8);
+    assert_eq!(
+        static_trace.rounds[0].worst_failure(),
+        greedy_trace.rounds[0].worst_failure(),
+        "round 0 runs the identical initial assignment"
+    );
+    assert!(greedy_trace.rounds.iter().any(|r| r.moved > 0));
+
+    let static_final = static_trace.final_round().worst_failure();
+    let greedy_final = greedy_trace.final_round().worst_failure();
+    assert!(
+        greedy_final < static_final,
+        "greedy {greedy_final:.3} must beat static {static_final:.3} by round 8"
+    );
 }

@@ -4,15 +4,20 @@
 //! parallel replicated simulations with replication-based standard
 //! errors.
 //!
-//! Run with: `cargo run --release --example scenario_sweep`
+//! Accepts the figure binaries' flags: `[superframes] [--threads N]
+//! [--reps N]`.
+//!
+//! Run with: `cargo run --release --example scenario_sweep -- [superframes] [--threads N] [--reps N]`
 
 use ieee802154_energy::sim::scenario::{
     ChannelAllocation, DeploymentSpec, Scenario, TrafficSpec,
 };
-use ieee802154_energy::sim::Runner;
+use wsn_bench::RunArgs;
 
 fn main() {
-    let runner = Runner::from_env();
+    let args = RunArgs::parse(12);
+    let runner = args.runner();
+    let reps = args.reps_or(4);
     let scenarios = [
         Scenario::new(
             "uniform 55-95 dB population",
@@ -52,13 +57,14 @@ fn main() {
     ];
 
     println!(
-        "scenario sweep — 4 channels × 50 nodes, 12 superframes × 4 replications ({} threads)\n",
+        "scenario sweep — 4 channels × 50 nodes, {} superframes × {reps} replications ({} threads)\n",
+        args.superframes,
         runner.threads()
     );
     for scenario in scenarios {
         let outcome = scenario
-            .with_superframes(12)
-            .with_replications(4)
+            .with_superframes(args.superframes)
+            .with_replications(reps)
             .run(&runner);
         let o = &outcome.overall;
         println!("{}", outcome.name);
