@@ -179,7 +179,13 @@ fn main() {
         // wall-clock summed per channel across rounds, and the
         // convergence trajectory.
         let greedy = &results[0].1[1];
-        let serial_wall_ms = (runner.threads() > 1).then(|| {
+        // Always run the serial reference — even when the measured run was
+        // itself single-threaded — so `serial_wall_ms`/`speedup_vs_serial`
+        // are real numbers on every host and the policy-loop speedup
+        // trajectory stays comparable across PRs (fig6 only skips the
+        // reference when it would literally repeat the measured run; here
+        // the dedicated pass also sidesteps warm-up skew).
+        let serial_wall_ms = Some({
             let engine = PolicyEngine::new(
                 scenarios(args.superframes, reps)[0].clone(),
             )

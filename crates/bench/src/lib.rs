@@ -126,6 +126,11 @@ pub fn elapsed_ms(start: Instant) -> f64 {
 /// `case_study --json` and `adaptive --json`.
 pub const BENCH_NETWORK_PATH: &str = "BENCH_network.json";
 
+/// Canonical output path of the event-core hot-loop benchmark emitted by
+/// `bench_core --json`; CI diffs its `events_per_sec` against the
+/// committed baseline (warn-only).
+pub const BENCH_CORE_PATH: &str = "BENCH_core.json";
+
 /// Builds the `BENCH_network.json` document, mirroring
 /// `BENCH_contention.json`'s schema: per-point (here: per-channel)
 /// wall-clock, a serial-reference speedup and `host_cpus`, plus the

@@ -271,9 +271,16 @@ enum Ev {
     TxEnd { node: u32, end_us: u64 },
 }
 
-const PRIO_CHANNEL: u8 = 0; // Beacon, TxEnd: update channel state first
-const PRIO_CCA: u8 = 1;
-const PRIO_ARRIVAL: u8 = 2;
+// Priority classes resolve same-slot ties; the order reproduces the
+// original heap-based engine exactly. That engine pre-pushed every beacon
+// before the run began, so at equal `(slot, priority)` a beacon's sequence
+// number always preceded any runtime TxEnd — beacons now get their own
+// class above TxEnd, which encodes the same order without a sequence
+// counter (and keeps it correct under lazy beacon scheduling).
+const PRIO_BEACON: u8 = 0; // channel state: beacon first …
+const PRIO_TXEND: u8 = 1; // … then transmission endings
+const PRIO_CCA: u8 = 2;
+const PRIO_ARRIVAL: u8 = 3;
 
 #[derive(Debug)]
 struct NodeState {
@@ -285,27 +292,81 @@ struct NodeState {
     carry_packet: bool,
     active: bool,
     recording: bool,
+    /// Start slot of this node's in-flight transmission (valid between
+    /// its Transmit decision and its TxEnd) — the per-node half of the
+    /// collision-cohort bookkeeping.
+    tx_start_slot: u64,
     /// Attempt measured at transmission start, committed to the trace when
     /// its outcome is known at TxEnd (so attempts cut off by the horizon
     /// are never recorded with a fabricated outcome).
     pending_attempt: Option<AttemptRecord>,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Inflight {
-    node: u32,
-    start_slot: u64,
-    collided: bool,
+/// Reusable per-thread scratch of the contention engine: the calendar
+/// queue, the node array, the arrival offsets and the network layer's
+/// corruption-probability buffer.
+///
+/// A workspace is pure scratch — [`run_channel_sim_into_ws`] fully
+/// reinitializes every field from the configuration, so reusing one across
+/// runs (of *any* mix of configurations) is bit-identical to fresh
+/// allocation; it merely skips the allocations. The `workspace_reuse`
+/// integration suite pins that equivalence. Most callers never construct
+/// one: [`run_channel_sim_into`] borrows the calling thread's implicit
+/// workspace via [`with_workspace`], which is how the parallel
+/// [`Runner`](crate::runner::Runner) gives each worker thread its own.
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    queue: EventQueue<Ev>,
+    nodes: Vec<NodeState>,
+    offsets: Vec<u64>,
+    /// Per-node packet/ACK corruption probabilities — the network
+    /// simulator's oracle scratch (see `NetworkSimulator::drive`).
+    pub(crate) corrupt_probs: Vec<f64>,
+}
+
+impl SimWorkspace {
+    /// Creates an empty workspace; buffers grow to the largest
+    /// configuration run through it and are then reused.
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
+}
+
+thread_local! {
+    static WORKSPACE: std::cell::RefCell<SimWorkspace> =
+        std::cell::RefCell::new(SimWorkspace::new());
+}
+
+/// Runs `f` with the calling thread's implicit [`SimWorkspace`].
+///
+/// Every thread owns exactly one. The serial path runs on the caller's
+/// thread, so its workspace persists across entire sweeps and policy
+/// loops; each of the [`Runner`](crate::runner::Runner)'s workers reuses
+/// its own across all jobs it steals within one `map` call — a channels ×
+/// replications grid allocates simulation scratch once per worker, not
+/// once per job. (Workers are scoped threads, so their workspaces live
+/// per `map` invocation: a multi-threaded policy loop pays one workspace
+/// per worker per round.)
+///
+/// # Panics
+///
+/// Panics if called reentrantly (the workspace is exclusively borrowed
+/// while `f` runs; trace sinks must not start nested simulations).
+pub fn with_workspace<R>(f: impl FnOnce(&mut SimWorkspace) -> R) -> R {
+    WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
 }
 
 /// Runs the channel simulation with a per-attempt corruption oracle,
-/// streaming every finalized record into `sink`.
+/// streaming every finalized record into `sink`; returns the number of
+/// events the discrete-event loop processed (the benchmark denominator).
 ///
 /// This is the engine underneath [`run_channel_sim`] (which collects a
 /// [`SimTrace`]) and [`simulate_contention`] (which reduces online via
 /// [`StatsSink`]). `timings` must come from [`ChannelSimConfig::timings`]
 /// for the same configuration; passing it in lets replication sweeps
-/// compute the frame arithmetic once.
+/// compute the frame arithmetic once. Scratch comes from the calling
+/// thread's implicit workspace ([`with_workspace`]); use
+/// [`run_channel_sim_into_ws`] to manage the workspace explicitly.
 ///
 /// # Panics
 ///
@@ -314,9 +375,32 @@ struct Inflight {
 pub fn run_channel_sim_into<F, S>(
     config: &ChannelSimConfig,
     timings: &SlotTimings,
+    corrupt: F,
+    sink: &mut S,
+) -> u64
+where
+    F: FnMut(u32) -> bool,
+    S: TraceSink,
+{
+    with_workspace(|ws| run_channel_sim_into_ws(config, timings, corrupt, sink, ws))
+}
+
+/// [`run_channel_sim_into`] over an explicit reusable [`SimWorkspace`]:
+/// the zero-allocation fast path. The workspace is scratch only — results
+/// are bit-identical whether it is fresh or reused, and regardless of what
+/// configuration it last ran.
+///
+/// # Panics
+///
+/// As [`run_channel_sim_into`].
+pub fn run_channel_sim_into_ws<F, S>(
+    config: &ChannelSimConfig,
+    timings: &SlotTimings,
     mut corrupt: F,
     sink: &mut S,
-) where
+    ws: &mut SimWorkspace,
+) -> u64
+where
     F: FnMut(u32) -> bool,
     S: TraceSink,
 {
@@ -335,71 +419,90 @@ pub fn run_channel_sim_into<F, S>(
     let ack_timeout_us = timings.ack_timeout_us;
 
     let root = Xoshiro256StarStar::seed_from_u64(config.seed);
-    let mut nodes: Vec<NodeState> = (0..config.nodes)
-        .map(|i| NodeState {
-            rng: root.split(i as u64),
-            csma: None,
-            attempt: 0,
-            cont_start_slot: 0,
-            superframes_waited: 0,
-            carry_packet: false,
-            active: false,
-            recording: false,
-            pending_attempt: None,
-        })
-        .collect();
+    ws.nodes.clear();
+    ws.nodes.extend((0..config.nodes).map(|i| NodeState {
+        rng: root.split(i as u64),
+        csma: None,
+        attempt: 0,
+        cont_start_slot: 0,
+        superframes_waited: 0,
+        carry_packet: false,
+        active: false,
+        recording: false,
+        tx_start_slot: 0,
+        pending_attempt: None,
+    }));
     let mut offsets_rng = root.split(u64::MAX);
 
     // Fixed per-node arrival offsets (slots after the beacon).
     let beacon_slots = timings.beacon_slots;
-    let offsets: Vec<u64> = (0..config.nodes)
-        .map(|_| {
-            if config.synchronized_arrivals {
-                beacon_slots
-            } else {
-                let span = sf_slots.saturating_sub(beacon_slots).max(1);
-                beacon_slots + (offsets_rng.next_f64() * span as f64) as u64
-            }
-        })
-        .collect();
-
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    for sf in 0..config.superframes as u64 {
-        queue.push(sf * sf_slots, PRIO_CHANNEL, Ev::Beacon);
-        for (i, &off) in offsets.iter().enumerate() {
-            queue.push(
-                sf * sf_slots + off,
-                PRIO_ARRIVAL,
-                Ev::Arrival { node: i as u32 },
-            );
+    ws.offsets.clear();
+    ws.offsets.extend((0..config.nodes).map(|_| {
+        if config.synchronized_arrivals {
+            beacon_slots
+        } else {
+            let span = sf_slots.saturating_sub(beacon_slots).max(1);
+            beacon_slots + (offsets_rng.next_f64() * span as f64) as u64
         }
-    }
+    }));
+
+    let SimWorkspace {
+        queue,
+        nodes,
+        offsets,
+        ..
+    } = ws;
+    queue.clear();
+    // Beacons and arrivals are scheduled lazily, one superframe ahead (the
+    // farthest lookahead of any push), so the ring only ever needs to span
+    // one superframe plus the worst CSMA backoff/airtime tail; the queue
+    // holds O(active nodes) events instead of O(superframes × nodes).
+    queue.reserve_window(sf_slots + 300);
+    queue.push(0, PRIO_BEACON, Ev::Beacon);
+    let mut beacons_left = config.superframes as u64 - 1;
 
     let mut busy_until_us: u64 = 0;
-    // Transmissions that have been *decided* but whose start slot lies in
-    // the future; folded into `busy_until_us` once the clock reaches them
-    // so that same-slot CCA decisions never see a transmission that has
-    // not started yet.
-    let mut pending_air: std::collections::VecDeque<(u64, u64)> = std::collections::VecDeque::new();
-    let mut inflight: Vec<Inflight> = Vec::new();
+    // The one transmission cohort that has been *decided* but whose start
+    // slot lies in the future; folded into `busy_until_us` once the clock
+    // reaches it so that same-slot CCA decisions never see a transmission
+    // that has not started yet.
+    let mut pending_air: Option<(u64, u64)> = None;
+    // Collision cohort: transmissions overlap in the air only when they
+    // start in the same backoff slot (a CCA during any other airtime reads
+    // busy), so all in-flight transmissions share one start slot. Same-slot
+    // collision detection is therefore a counter over the current cohort —
+    // no in-flight scan — and each TxEnd reads its verdict from the cohort
+    // size, which is final before the first TxEnd fires.
+    let mut cohort_slot = u64::MAX;
+    let mut cohort_size: u32 = 0;
     let horizon_slot = config.superframes as u64 * sf_slots;
+    let mut events: u64 = 0;
 
     while let Some((slot, ev)) = queue.pop() {
         if slot >= horizon_slot {
             break;
         }
-        while let Some(&(start_slot, end_us)) = pending_air.front() {
+        events += 1;
+        if let Some((start_slot, end_us)) = pending_air {
             if start_slot <= slot {
                 busy_until_us = busy_until_us.max(end_us);
-                pending_air.pop_front();
-            } else {
-                break;
+                pending_air = None;
             }
         }
         let slot_us = slot * SLOT_US;
         match ev {
             Ev::Beacon => {
                 busy_until_us = busy_until_us.max(slot_us + beacon_us);
+                // Lazy scheduling: this superframe's arrivals (in node
+                // order, preserving the FIFO tie-break of the eager
+                // pre-push) and the next beacon.
+                for (i, &off) in offsets.iter().enumerate() {
+                    queue.push(slot + off, PRIO_ARRIVAL, Ev::Arrival { node: i as u32 });
+                }
+                if beacons_left > 0 {
+                    beacons_left -= 1;
+                    queue.push(slot + sf_slots, PRIO_BEACON, Ev::Beacon);
+                }
             }
             Ev::Arrival { node } => {
                 let in_warmup = slot < sf_slots;
@@ -449,23 +552,24 @@ pub fn run_channel_sim_into<F, S>(
                                 outcome: AttemptOutcome::Delivered, // finalized at TxEnd
                             });
                         }
-                        // Same-slot starters collide with each other.
-                        let mut collided = false;
-                        for other in inflight.iter_mut() {
-                            if other.start_slot == start_slot {
-                                other.collided = true;
-                                collided = true;
-                            }
+                        // Same-slot starters collide with each other:
+                        // joining the current cohort (or opening a new
+                        // one) is the whole collision bookkeeping.
+                        if cohort_slot == start_slot {
+                            cohort_size += 1;
+                        } else {
+                            cohort_slot = start_slot;
+                            cohort_size = 1;
                         }
-                        inflight.push(Inflight {
-                            node,
-                            start_slot,
-                            collided,
-                        });
-                        pending_air.push_back((start_slot, end_us));
+                        n.tx_start_slot = start_slot;
+                        debug_assert!(
+                            pending_air.map_or(true, |(s, _)| s == start_slot),
+                            "at most one undecided cohort can be pending"
+                        );
+                        pending_air = Some((start_slot, end_us));
                         queue.push(
                             end_us.div_ceil(SLOT_US),
-                            PRIO_CHANNEL,
+                            PRIO_TXEND,
                             Ev::TxEnd { node, end_us },
                         );
                     }
@@ -494,13 +598,12 @@ pub fn run_channel_sim_into<F, S>(
             Ev::TxEnd { node, end_us } => {
                 // The transmission itself kept the channel busy.
                 busy_until_us = busy_until_us.max(end_us);
-                let idx = inflight
-                    .iter()
-                    .position(|f| f.node == node)
-                    .expect("TxEnd without inflight entry");
-                let fl = inflight.remove(idx);
-
-                let outcome = if fl.collided {
+                let n = &mut nodes[node as usize];
+                debug_assert_eq!(
+                    n.tx_start_slot, cohort_slot,
+                    "TxEnd must belong to the current cohort"
+                );
+                let outcome = if cohort_size >= 2 {
                     AttemptOutcome::Collided
                 } else if corrupt(node) {
                     AttemptOutcome::Corrupted
@@ -508,7 +611,6 @@ pub fn run_channel_sim_into<F, S>(
                     AttemptOutcome::Delivered
                 };
 
-                let n = &mut nodes[node as usize];
                 if let Some(mut pending) = n.pending_attempt.take() {
                     pending.outcome = outcome;
                     sink.on_attempt(&pending);
@@ -555,6 +657,7 @@ pub fn run_channel_sim_into<F, S>(
             }
         }
     }
+    events
 }
 
 /// Runs the channel simulation with a per-attempt corruption oracle and

@@ -1,26 +1,83 @@
-//! A deterministic discrete-event queue.
+//! A deterministic calendar (bucket) event queue.
 //!
-//! Events are ordered by `(time, priority, insertion sequence)`: ties at the
-//! same instant resolve first by an explicit priority class (e.g. process
-//! transmission endings before new channel assessments), then by insertion
-//! order — never by allocation addresses or hash order, so runs are
-//! bit-reproducible.
+//! This is the hot core of both simulators: every beacon, arrival, CCA and
+//! transmission ending flows through one queue, so its constant factors
+//! dominate the Monte-Carlo throughput. The queue exploits what a slot-grid
+//! simulator guarantees — integer times on a bounded grid, a small fixed
+//! set of priority classes, and near-monotone scheduling — to make both
+//! `push` and `pop` O(1):
+//!
+//! * **Bucket layout.** Time is hashed into a power-of-two ring of slots
+//!   (`time & mask`); each ring slot holds [`PRIORITY_CLASSES`]
+//!   singly-linked FIFO buckets (slot-major, so one pop scans adjacent
+//!   cells). Events live in a free-listed arena, so steady-state push/pop
+//!   churn allocates nothing.
+//! * **Window invariant.** All pending times span less than the ring size,
+//!   so a ring cell never holds two distinct times and the pop cursor can
+//!   assign the time from its own position. The ring grows (doubling,
+//!   amortized O(1)) whenever a push would violate the span — simulators
+//!   that schedule at most one superframe ahead never grow after warm-up.
+//! * **Pop is a cursor scan.** `pop` walks the ring from the last popped
+//!   time to the next occupied cell. The cursor never rewinds while events
+//!   are pending, so the total scan cost over a run is O(time horizon) —
+//!   a few adjacent loads per event for the simulators' event densities —
+//!   plus O(1) per event.
+//!
+//! # Determinism contract
+//!
+//! Pop order is **part of the simulators' reproducibility guarantee**:
+//! events pop ordered by `(time, priority class, insertion order)`, exactly
+//! the order the previous binary-heap implementation produced with its
+//! explicit `(time, priority, sequence)` keys. FIFO-within-bucket realizes
+//! the insertion-order tiebreak *by construction* — appending to a bucket
+//! tail needs no sequence counter — and never depends on allocation
+//! addresses or hash order, so runs are bit-reproducible. The
+//! `calendar_queue_equiv` integration suite pins this queue against a
+//! reference binary heap over randomized interleaved workloads.
+//!
+//! # Contract narrowings vs. the old heap
+//!
+//! * Priorities must be `< PRIORITY_CLASSES` (the simulators use exactly
+//!   four classes; the heap accepted any `u8`).
+//! * The span of pending times is bounded by [`MAX_WINDOW`] slots
+//!   (reached only by pushing two events ~2²⁸ slots apart — no slot-grid
+//!   simulation does; the heap accepted any spread).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+/// Sentinel "no entry" index for bucket heads/tails and the free list.
+const NIL: u32 = u32::MAX;
 
-/// A scheduled entry (internal ordering wrapper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
-    time: u64,
-    priority: u8,
-    seq: u64,
+/// Number of priority classes `push` accepts (`0..PRIORITY_CLASSES`;
+/// lower runs first among same-time events).
+pub const PRIORITY_CLASSES: usize = 4;
+
+/// Hard ceiling on the ring window, in slots. The window only needs to
+/// cover the *span* of simultaneously pending times (one superframe for
+/// the simulators), not the whole horizon; 2²⁸ slots is ~23 simulated
+/// hours on the 320 µs grid.
+pub const MAX_WINDOW: u64 = 1 << 28;
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    head: u32,
+    tail: u32,
 }
 
-/// Deterministic event queue over an arbitrary event payload `E`.
+const EMPTY_BUCKET: Bucket = Bucket {
+    head: NIL,
+    tail: NIL,
+};
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    /// `Some` while queued; `None` on the free list.
+    payload: Option<E>,
+    /// Next entry in the same bucket, or next free slot.
+    next: u32,
+}
+
+/// Deterministic calendar queue over an arbitrary event payload `E`.
 ///
-/// Time is an opaque `u64` (the simulators use backoff slots or
-/// nanoseconds).
+/// Time is an opaque `u64` (the simulators use backoff slots).
 ///
 /// # Examples
 ///
@@ -38,14 +95,21 @@ struct Key {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Key, usize)>>,
-    payloads: Vec<Option<E>>,
-    /// Indices of vacated `payloads` slots, reused by the next push. The
-    /// previous tail-only reclamation let storage grow without bound under
-    /// interleaved push/pop (a popped slot below a live tail was never
-    /// reused); the free list bounds storage by the peak queue length.
-    free: Vec<usize>,
-    seq: u64,
+    /// `ring_slots × PRIORITY_CLASSES` bucket cells, slot-major.
+    buckets: Vec<Bucket>,
+    /// Entry arena; vacated entries chain through `free` and are reused by
+    /// the next push, so storage is bounded by the peak queue length.
+    arena: Vec<Entry<E>>,
+    /// Head of the arena free list.
+    free: u32,
+    /// Pending event count.
+    len: usize,
+    /// Ring size − 1 (ring size is a power of two).
+    mask: u64,
+    /// Scan position: every pending event has `time ≥ cursor`.
+    cursor: u64,
+    /// Largest pending time (meaningful only while `len > 0`).
+    max_pending: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -55,61 +119,216 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default 256-slot window (grown on
+    /// demand).
     pub fn new() -> Self {
+        EventQueue::with_window(256)
+    }
+
+    /// Creates an empty queue whose ring covers at least `window` slots,
+    /// so pushes spanning up to `window` need never grow the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` exceeds [`MAX_WINDOW`].
+    pub fn with_window(window: u64) -> Self {
+        let ring = window.max(2).next_power_of_two();
+        assert!(
+            ring <= MAX_WINDOW,
+            "event window {window} slots exceeds the {MAX_WINDOW}-slot ceiling"
+        );
         EventQueue {
-            heap: BinaryHeap::new(),
-            payloads: Vec::new(),
-            free: Vec::new(),
-            seq: 0,
+            buckets: vec![EMPTY_BUCKET; ring as usize * PRIORITY_CLASSES],
+            arena: Vec::new(),
+            free: NIL,
+            len: 0,
+            mask: ring - 1,
+            cursor: 0,
+            max_pending: 0,
         }
+    }
+
+    /// Grows the ring so pushes spanning up to `window` slots need not
+    /// grow it again. Cheap when already satisfied; intended for workspace
+    /// reuse, where the expected span is known up front.
+    pub fn reserve_window(&mut self, window: u64) {
+        self.ensure_window(window);
+    }
+
+    /// Ring size in slots.
+    fn ring(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Bucket cell index of `(time, priority)`.
+    fn cell(&self, time: u64, priority: u8) -> usize {
+        (time & self.mask) as usize * PRIORITY_CLASSES + priority as usize
+    }
+
+    /// Grows the ring to cover at least `needed` slots, relinking pending
+    /// buckets (chains move wholesale, preserving FIFO order).
+    fn ensure_window(&mut self, needed: u64) {
+        if needed <= self.ring() {
+            return;
+        }
+        assert!(
+            needed <= MAX_WINDOW,
+            "event span {needed} slots exceeds the {MAX_WINDOW}-slot ceiling"
+        );
+        let new_ring = needed.next_power_of_two();
+        let new_mask = new_ring - 1;
+        let mut buckets = vec![EMPTY_BUCKET; new_ring as usize * PRIORITY_CLASSES];
+        if self.len > 0 {
+            // The old window invariant (span < old ring) makes every old
+            // cell hold exactly one time value, so scanning the pending
+            // time range visits each occupied cell exactly once.
+            for t in self.cursor..=self.max_pending {
+                for p in 0..PRIORITY_CLASSES {
+                    let old = self.buckets[(t & self.mask) as usize * PRIORITY_CLASSES + p];
+                    if old.head != NIL {
+                        buckets[(t & new_mask) as usize * PRIORITY_CLASSES + p] = old;
+                    }
+                }
+            }
+        }
+        self.buckets = buckets;
+        self.mask = new_mask;
     }
 
     /// Schedules `event` at `time` with a priority class (lower runs
     /// first among same-time events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priority ≥` [`PRIORITY_CLASSES`], or if the pending-time
+    /// span would exceed [`MAX_WINDOW`].
     pub fn push(&mut self, time: u64, priority: u8, event: E) {
-        let key = Key {
-            time,
-            priority,
-            seq: self.seq,
+        assert!(
+            (priority as usize) < PRIORITY_CLASSES,
+            "priority {priority} out of range (< {PRIORITY_CLASSES})"
+        );
+        if self.len == 0 {
+            self.cursor = time;
+            self.max_pending = time;
+        } else if time < self.cursor {
+            // Sliding the window down is legal as long as the widened span
+            // still fits the ring (grow first: the rebuild scan needs the
+            // old cursor/max_pending to still describe the pending set).
+            self.ensure_window(self.max_pending - time + 1);
+            self.cursor = time;
+        } else if time > self.max_pending {
+            self.ensure_window(time - self.cursor + 1);
+            self.max_pending = time;
+        }
+
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            let entry = &mut self.arena[idx as usize];
+            self.free = entry.next;
+            entry.payload = Some(event);
+            entry.next = NIL;
+            idx
+        } else {
+            assert!(
+                self.arena.len() < NIL as usize,
+                "event arena exhausted (u32 index space)"
+            );
+            self.arena.push(Entry {
+                payload: Some(event),
+                next: NIL,
+            });
+            (self.arena.len() - 1) as u32
         };
-        self.seq += 1;
-        let slot = match self.free.pop() {
-            Some(slot) => {
-                self.payloads[slot] = Some(event);
-                slot
-            }
-            None => {
-                self.payloads.push(Some(event));
-                self.payloads.len() - 1
-            }
-        };
-        self.heap.push(Reverse((key, slot)));
+
+        let cell = self.cell(time, priority);
+        let bucket = &mut self.buckets[cell];
+        if bucket.tail == NIL {
+            bucket.head = idx;
+        } else {
+            self.arena[bucket.tail as usize].next = idx;
+        }
+        bucket.tail = idx;
+        self.len += 1;
     }
 
-    /// Removes and returns the earliest event.
+    /// Removes and returns the earliest event (ties: lowest priority
+    /// class first, then insertion order).
     pub fn pop(&mut self) -> Option<(u64, E)> {
-        let Reverse((key, slot)) = self.heap.pop()?;
-        let event = self.payloads[slot]
-            .take()
-            .expect("payload already taken — queue invariant broken");
-        self.free.push(slot);
-        Some((key.time, event))
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let base = (self.cursor & self.mask) as usize * PRIORITY_CLASSES;
+            for p in 0..PRIORITY_CLASSES {
+                let bucket = &mut self.buckets[base + p];
+                if bucket.head == NIL {
+                    continue;
+                }
+                let idx = bucket.head;
+                let entry = &mut self.arena[idx as usize];
+                bucket.head = entry.next;
+                if bucket.head == NIL {
+                    bucket.tail = NIL;
+                }
+                let event = entry
+                    .payload
+                    .take()
+                    .expect("queued entry has a payload — queue invariant broken");
+                entry.next = self.free;
+                self.free = idx;
+                self.len -= 1;
+                return Some((self.cursor, event));
+            }
+            debug_assert!(
+                self.cursor < self.max_pending,
+                "pending events must lie within [cursor, max_pending]"
+            );
+            self.cursor += 1;
+        }
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<u64> {
-        self.heap.peek().map(|Reverse((key, _))| key.time)
+        if self.len == 0 {
+            return None;
+        }
+        (self.cursor..=self.max_pending).find(|&t| {
+            let base = (t & self.mask) as usize * PRIORITY_CLASSES;
+            self.buckets[base..base + PRIORITY_CLASSES]
+                .iter()
+                .any(|b| b.head != NIL)
+        })
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` when nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Drops all pending events, keeping the ring and arena capacity for
+    /// reuse (the workspace path: one clear per simulation run).
+    ///
+    /// O(pending span), not O(ring): `pop` already resets every bucket it
+    /// drains, so only cells in `[cursor, max_pending]` can be occupied —
+    /// a small run reusing a workspace whose ring was grown by a large
+    /// one does not pay a full-ring memset.
+    pub fn clear(&mut self) {
+        if self.len > 0 {
+            for t in self.cursor..=self.max_pending {
+                let base = (t & self.mask) as usize * PRIORITY_CLASSES;
+                self.buckets[base..base + PRIORITY_CLASSES].fill(EMPTY_BUCKET);
+            }
+        }
+        self.arena.clear();
+        self.free = NIL;
+        self.len = 0;
+        self.cursor = 0;
+        self.max_pending = 0;
     }
 }
 
@@ -142,11 +361,13 @@ mod tests {
     #[test]
     fn priority_classes_break_ties() {
         let mut q = EventQueue::new();
-        q.push(5, 2, "last");
+        q.push(5, 2, "later");
         q.push(5, 0, "first");
-        q.push(5, 1, "middle");
+        q.push(5, 3, "last");
+        q.push(5, 1, "second");
         assert_eq!(q.pop().unwrap().1, "first");
-        assert_eq!(q.pop().unwrap().1, "middle");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "later");
         assert_eq!(q.pop().unwrap().1, "last");
     }
 
@@ -177,6 +398,60 @@ mod tests {
     }
 
     #[test]
+    fn window_grows_on_demand() {
+        // Default ring is 256 slots; a 10_000-slot spread must grow it
+        // transparently without disturbing order.
+        let mut q = EventQueue::new();
+        q.push(10_000, 0, "far");
+        q.push(0, 0, "near");
+        q.push(5_000, 1, "mid");
+        assert_eq!(q.pop(), Some((0, "near")));
+        assert_eq!(q.pop(), Some((5_000, "mid")));
+        assert_eq!(q.pop(), Some((10_000, "far")));
+    }
+
+    #[test]
+    fn window_growth_preserves_fifo_within_buckets() {
+        let mut q = EventQueue::new();
+        for i in 0..8 {
+            q.push(100, 0, i);
+        }
+        // Trigger a rebuild while the bucket chain is populated.
+        q.push(100_000, 0, 99);
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some((100, i)));
+        }
+        assert_eq!(q.pop(), Some((100_000, 99)));
+    }
+
+    #[test]
+    fn empty_queue_accepts_any_new_epoch() {
+        // Draining resets the window origin: a fresh push far below the
+        // previous cursor is fine once the queue is empty.
+        let mut q = EventQueue::new();
+        q.push(1 << 40, 0, "late-epoch");
+        assert_eq!(q.pop(), Some((1 << 40, "late-epoch")));
+        q.push(3, 0, "early-epoch");
+        assert_eq!(q.pop(), Some((3, "early-epoch")));
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.push(i, (i % 4) as u8, i);
+        }
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(2, 0, 2u64);
+        q.push(1, 0, 1);
+        assert_eq!(q.pop(), Some((1, 1)));
+        assert_eq!(q.pop(), Some((2, 2)));
+    }
+
+    #[test]
     fn storage_is_reclaimed() {
         let mut q = EventQueue::new();
         for round in 0..100u64 {
@@ -189,20 +464,19 @@ mod tests {
         }
         assert!(q.is_empty());
         assert!(
-            q.payloads.len() < 200,
-            "payload storage grew unboundedly: {}",
-            q.payloads.len()
+            q.arena.len() < 200,
+            "arena storage grew unboundedly: {}",
+            q.arena.len()
         );
     }
 
     #[test]
     fn storage_is_reclaimed_under_interleaved_push_pop() {
-        // One long-lived event pins a low slot while short-lived events
-        // churn through. Tail-only reclamation never reused the popped
-        // slots below the pinned tail, so storage grew by one slot per
-        // iteration; with the free list it stays at the peak live count.
+        // One long-lived event pins the window top while short-lived
+        // events churn through below it; the free list must bound arena
+        // storage at the peak live count.
         let mut q = EventQueue::new();
-        q.push(u64::MAX, 0, 0); // pinned: never popped during the churn
+        q.push(50_000, 0, 0); // pinned: never popped during the churn
         for i in 0..10_000u64 {
             q.push(i, 0, i);
             q.push(i, 1, i);
@@ -211,9 +485,25 @@ mod tests {
         }
         assert_eq!(q.len(), 1);
         assert!(
-            q.payloads.len() <= 4,
+            q.arena.len() <= 4,
             "interleaved churn grew storage to {} slots",
-            q.payloads.len()
+            q.arena.len()
         );
+        assert_eq!(q.pop(), Some((50_000, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "priority")]
+    fn out_of_range_priority_rejected() {
+        let mut q = EventQueue::new();
+        q.push(0, PRIORITY_CLASSES as u8, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "ceiling")]
+    fn absurd_window_rejected() {
+        let mut q = EventQueue::new();
+        q.push(0, 0, ());
+        q.push(MAX_WINDOW + 1, 0, ());
     }
 }

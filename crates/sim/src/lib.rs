@@ -15,11 +15,16 @@
 //!   breakdowns, failure probability and delay).
 //!
 //! Support modules: [`rng`] (seedable xoshiro256★★), [`events`] (a
-//! deterministic event queue), [`stats`] (mergeable accumulators and the
+//! deterministic calendar queue with O(1) push/pop and a pinned pop-order
+//! contract), [`stats`] (mergeable accumulators and the
 //! [`stats::ContentionStats`] exchange type), [`sink`] (streaming trace
 //! reduction — the engine pushes records into a [`sink::TraceSink`]
 //! instead of materializing `Vec`s), and [`runner`] (the deterministic
-//! parallel replication/sweep runner).
+//! parallel replication/sweep runner). The engine's scratch — queue ring,
+//! node array, corruption buffer — lives in a reusable per-thread
+//! [`SimWorkspace`] ([`with_workspace`]): serial runs reuse one workspace
+//! across entire sweeps and policy loops, and each parallel worker
+//! allocates its scratch once per grid rather than once per job.
 //!
 //! ## The experiment pipeline: scenario → config → runner → accumulator
 //!
@@ -67,7 +72,10 @@ pub mod scenario;
 pub mod sink;
 pub mod stats;
 
-pub use contention::{simulate_contention, ChannelSimConfig, SimTrace, SlotTimings};
+pub use contention::{
+    run_channel_sim_into, run_channel_sim_into_ws, simulate_contention, with_workspace,
+    ChannelSimConfig, SimTrace, SimWorkspace, SlotTimings,
+};
 pub use network::{
     NetworkAccumulator, NetworkConfig, NetworkReport, NetworkSimulator, NetworkSummary,
 };

@@ -26,8 +26,8 @@ use wsn_radio::{RadioModel, RadioState, TxPowerLevel};
 use wsn_units::{DBm, Db, Power, Probability, Seconds};
 
 use crate::contention::{
-    run_channel_sim_into, AttemptOutcome, AttemptRecord, ChannelSimConfig, SimTrace,
-    TransactionRecord,
+    run_channel_sim_into_ws, with_workspace, AttemptOutcome, AttemptRecord, ChannelSimConfig,
+    SimTrace, TransactionRecord,
 };
 use crate::rng::Xoshiro256StarStar;
 use crate::sink::{StatsSink, TeeSink, TraceCollector, TraceSink};
@@ -312,40 +312,54 @@ impl NetworkSimulator {
         NetworkSimulator { config }
     }
 
-    /// Pre-computes per-node packet-or-ACK corruption probabilities.
-    fn corruption_probabilities<B: BerModel>(&self, ber: &B, levels: &[TxPowerLevel]) -> Vec<f64> {
+    /// Pre-computes per-node packet-or-ACK corruption probabilities into a
+    /// reusable buffer (the workspace's scratch on the hot path).
+    fn corruption_probabilities_into<B: BerModel>(
+        &self,
+        ber: &B,
+        levels: &[TxPowerLevel],
+        out: &mut Vec<f64>,
+    ) {
         let cfg = &self.config;
         let packet = cfg.channel.packet;
         let ack_exposed_bits = 8.0 * (11.0 - 4.0);
-        cfg.path_losses
-            .iter()
-            .zip(levels)
-            .map(|(a, lvl)| {
-                let p_rx = received_power(lvl.output_power(), *a);
-                let pr_packet = ber.packet_error_probability(p_rx, packet).value();
-                let p_rx_ack = received_power(cfg.coordinator_tx, *a);
-                let pr_bit_ack = ber.bit_error_probability(p_rx_ack).value();
-                let pr_ack = 1.0 - (1.0 - pr_bit_ack).powf(ack_exposed_bits);
-                // Either direction failing costs the acknowledgement.
-                1.0 - (1.0 - pr_packet) * (1.0 - pr_ack)
-            })
-            .collect()
+        out.clear();
+        out.extend(cfg.path_losses.iter().zip(levels).map(|(a, lvl)| {
+            let p_rx = received_power(lvl.output_power(), *a);
+            let pr_packet = ber.packet_error_probability(p_rx, packet).value();
+            let p_rx_ack = received_power(cfg.coordinator_tx, *a);
+            let pr_bit_ack = ber.bit_error_probability(p_rx_ack).value();
+            let pr_ack = 1.0 - (1.0 - pr_bit_ack).powf(ack_exposed_bits);
+            // Either direction failing costs the acknowledgement.
+            1.0 - (1.0 - pr_packet) * (1.0 - pr_ack)
+        }));
     }
 
     /// Drives the contention engine into `sink` with the BER-driven
-    /// corruption oracle attached.
+    /// corruption oracle attached, on the calling thread's reusable
+    /// [`SimWorkspace`] — queue, node array and corruption buffer all come
+    /// from (and return to) the workspace, so repeated drives allocate
+    /// nothing.
     fn drive<B: BerModel, S: TraceSink>(&self, ber: &B, levels: &[TxPowerLevel], sink: &mut S) {
         let cfg = &self.config;
-        let per_node_corrupt = self.corruption_probabilities(ber, levels);
         let timings = cfg.channel.timings();
         let mut noise_rng =
             Xoshiro256StarStar::seed_from_u64(cfg.channel.seed ^ 0x5EED_CAFE_F00D_u64);
-        run_channel_sim_into(
-            &cfg.channel,
-            &timings,
-            |node| noise_rng.bernoulli(per_node_corrupt[node as usize]),
-            sink,
-        );
+        with_workspace(|ws| {
+            // The oracle closure borrows the probability buffer while the
+            // engine borrows the rest of the workspace: take it out for
+            // the run, hand it back after.
+            let mut probs = std::mem::take(&mut ws.corrupt_probs);
+            self.corruption_probabilities_into(ber, levels, &mut probs);
+            run_channel_sim_into_ws(
+                &cfg.channel,
+                &timings,
+                |node| noise_rng.bernoulli(probs[node as usize]),
+                sink,
+                ws,
+            );
+            ws.corrupt_probs = probs;
+        });
     }
 
     /// Runs the simulation against a BER model, keeping the raw trace.

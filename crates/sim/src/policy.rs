@@ -561,9 +561,13 @@ impl PolicyEngine {
     ) -> PolicyTrace {
         assert!(self.rounds > 0, "at least one round required");
         let scenario = &self.scenario;
-        // The physical population is fixed across rounds; pay for the
-        // deployment geometry once, not once per round.
+        // The physical population and the per-channel BER models are fixed
+        // across rounds; pay for the deployment geometry and the model
+        // resolution once, not once per round.
         let losses = scenario.population_losses();
+        let bers: Vec<_> = (0..scenario.channels)
+            .map(|c| scenario.channel_ber(c).model())
+            .collect();
         let mut assignment = scenario.initial_assignment();
         // Floor each capacity at the initial allocation: a scenario whose
         // static split already exceeds the load cap must still run (the
@@ -583,7 +587,7 @@ impl PolicyEngine {
         for round in 0..self.rounds {
             let configs =
                 scenario.compile_assignment_with_losses(&losses, &assignment, round as u64);
-            let timed = scenario.run_compiled_timed(runner, &configs);
+            let timed = scenario.run_grid(runner, &configs, &bers);
             // The last budgeted round has no successor to run a new
             // assignment in — don't consult the policy, and record no
             // (phantom) moves.

@@ -33,6 +33,21 @@
 //! `WSN_SIM_THREADS` environment variable (CI pins single-threaded runs
 //! with `WSN_SIM_THREADS=1`); the figure binaries additionally accept
 //! `--threads N`, which takes precedence.
+//!
+//! ## Per-worker simulation workspaces
+//!
+//! The contention engine draws its scratch (calendar-queue ring, node
+//! array, offsets, corruption buffer) from a thread-local
+//! [`SimWorkspace`](crate::contention::SimWorkspace). Each worker spawned
+//! by [`Runner::map`] therefore allocates that scratch once — on the first
+//! job it steals — and reuses it for every further job, so a channels ×
+//! replications grid pays O(workers) allocations instead of O(jobs).
+//! Workers are scoped threads, so their workspaces live for one `map`
+//! call; only the serial path (and the single-threaded fast path, which
+//! runs jobs inline) carries its workspace across calls. The workspace is
+//! pure scratch (fully reinitialized per run), so this reuse cannot
+//! perturb the determinism guarantee; the `workspace_reuse` suite pins
+//! that.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

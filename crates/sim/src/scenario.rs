@@ -838,8 +838,9 @@ impl Scenario {
     /// The shared grid executor: one BER model per channel, flat
     /// channels × replications job list, fixed-order reduction, per-job
     /// timing. Timing never feeds back into results, so the statistics are
-    /// bit-identical for every thread count.
-    fn run_grid<B: BerModel + Sync>(
+    /// bit-identical for every thread count. `pub(crate)` so the policy
+    /// loop can resolve its BER models once and reuse them across rounds.
+    pub(crate) fn run_grid<B: BerModel + Sync>(
         &self,
         runner: &Runner,
         configs: &[NetworkConfig],

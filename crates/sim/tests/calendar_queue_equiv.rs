@@ -1,0 +1,176 @@
+//! Randomized equivalence suite: the calendar queue must reproduce the
+//! old `BinaryHeap<Reverse<(time, priority, seq)>>` pop order exactly —
+//! the determinism contract every simulator result rests on.
+//!
+//! A reference heap queue (the pre-calendar implementation's semantics,
+//! kept here verbatim as a model) runs side by side with the calendar
+//! queue over randomized interleaved push/pop workloads: arbitrary
+//! priorities, same-slot storms, drain-and-refill cycles, below-cursor
+//! pushes and window growth. Every pop must agree on `(time, payload)`,
+//! which pins FIFO order within equal `(slot, priority)` because payloads
+//! are unique push indices.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use wsn_phy::noise::UniformSource;
+use wsn_sim::events::EventQueue;
+use wsn_sim::Xoshiro256StarStar;
+
+/// The old implementation's ordering semantics: a binary heap over
+/// explicit `(time, priority, insertion-sequence)` keys.
+#[derive(Default)]
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(u64, u8, u64, u64)>>,
+    seq: u64,
+}
+
+impl HeapQueue {
+    fn push(&mut self, time: u64, priority: u8, payload: u64) {
+        self.heap.push(Reverse((time, priority, self.seq, payload)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap
+            .pop()
+            .map(|Reverse((time, _, _, payload))| (time, payload))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Drives both queues through an identical randomized workload and
+/// asserts pop-for-pop equality. `backdate_bias` pushes a fraction of
+/// events *below* the highest time pushed so far — while the queue is
+/// non-empty — exercising the calendar's slide-the-window-down branch
+/// (and its grow-before-slide rebuild when the widened span overflows
+/// the ring).
+fn drive_equivalence(seed: u64, ops: usize, window: u64, pop_bias: f64, backdate_bias: f64) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut calendar: EventQueue<u64> = EventQueue::new();
+    let mut reference = HeapQueue::default();
+    let mut payload = 0u64;
+    // The simulators never schedule before the current time; mirror that
+    // by keying pushes off the last popped time. `high` tracks the top of
+    // the pushed range so backdated pushes land below the cursor.
+    let mut now = 0u64;
+    let mut high = 0u64;
+
+    for op in 0..ops {
+        let do_pop = reference.len() > 0 && rng.next_f64() < pop_bias;
+        if do_pop {
+            let a = calendar.pop();
+            let b = reference.pop();
+            assert_eq!(a, b, "seed={seed} op={op}: pop divergence");
+            if let Some((t, _)) = a {
+                now = t;
+            }
+        } else {
+            // Cluster times to force same-slot ties (FIFO coverage) while
+            // still exercising the whole window.
+            let spread = if rng.next_u64() % 4 == 0 {
+                rng.next_u64() % window
+            } else {
+                rng.next_u64() % 4
+            };
+            let time = if reference.len() > 0 && rng.next_f64() < backdate_bias {
+                // Below everything pending (often below the calendar's
+                // cursor): pops must still come out min-first.
+                high.saturating_sub(1 + rng.next_u64() % window)
+            } else {
+                now + spread
+            };
+            let priority = (rng.next_u64() % 4) as u8;
+            calendar.push(time, priority, payload);
+            reference.push(time, priority, payload);
+            payload += 1;
+            high = high.max(time);
+        }
+        assert_eq!(calendar.len(), reference.len(), "seed={seed} op={op}");
+    }
+    // Drain both completely.
+    loop {
+        let a = calendar.pop();
+        let b = reference.pop();
+        assert_eq!(a, b, "seed={seed}: drain divergence");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn pop_order_matches_heap_for_interleaved_workloads() {
+    for seed in 0..16u64 {
+        drive_equivalence(0xCA1E_0000 + seed, 4_000, 200, 0.45, 0.0);
+    }
+}
+
+#[test]
+fn pop_order_matches_heap_under_window_growth() {
+    // Spreads far beyond the 256-slot default ring force ring growth while
+    // buckets are populated.
+    for seed in 0..8u64 {
+        drive_equivalence(0x60_0000 + seed, 2_000, 50_000, 0.40, 0.0);
+    }
+}
+
+#[test]
+fn pop_order_matches_heap_under_drain_refill_cycles() {
+    // A pop-heavy mix keeps emptying the queue, resetting the window
+    // origin to arbitrary new epochs.
+    for seed in 0..8u64 {
+        drive_equivalence(0xD8A1_0000 + seed, 3_000, 1_000, 0.75, 0.0);
+    }
+}
+
+#[test]
+fn pop_order_matches_heap_for_same_slot_storms() {
+    // Every push lands within 4 slots of the cursor: maximal tie density,
+    // the FIFO-within-bucket stress case.
+    for seed in 0..8u64 {
+        drive_equivalence(0x5707_0000 + seed, 4_000, 1, 0.5, 0.0);
+    }
+}
+
+#[test]
+fn pop_order_matches_heap_with_below_cursor_pushes() {
+    // A fifth of the pushes land below everything pending while the queue
+    // is non-empty, driving the calendar's slide-the-window-down branch;
+    // the wide spread also forces grow-before-slide rebuilds.
+    for seed in 0..8u64 {
+        drive_equivalence(0xBAC_0000 + seed, 3_000, 2_000, 0.45, 0.2);
+    }
+    // Narrow spread: backdating without growth (pure cursor slides).
+    for seed in 0..8u64 {
+        drive_equivalence(0xBAC_1000 + seed, 3_000, 100, 0.45, 0.3);
+    }
+}
+
+#[test]
+fn pop_order_matches_heap_for_all_pushes_then_all_pops() {
+    // Arbitrary (time, priority) pushed up front — including pushes below
+    // earlier times while the queue is non-empty — then drained.
+    for seed in 0..8u64 {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xA11_0000 + seed);
+        let mut calendar: EventQueue<u64> = EventQueue::new();
+        let mut reference = HeapQueue::default();
+        for payload in 0..1_500u64 {
+            let time = rng.next_u64() % 10_000;
+            let priority = (rng.next_u64() % 4) as u8;
+            calendar.push(time, priority, payload);
+            reference.push(time, priority, payload);
+        }
+        loop {
+            let a = calendar.pop();
+            let b = reference.pop();
+            assert_eq!(a, b, "seed={seed}");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
