@@ -14,6 +14,11 @@
 //!    per-channel receiver noise figures
 //!    ([`Scenario::with_channel_ber`]), the channel-quality seam promoted
 //!    from scenario-wide to per-channel;
+//! 4. **ring-stratified + GTS/downlink** — the same saturating outer
+//!    rings, but with contention-free traffic in play: seven nodes per
+//!    channel hold GTS uplinks and a quarter of the superframes poll
+//!    each node for a downlink frame, so policies observe (and their
+//!    moves perturb) CFP load alongside CAP contention;
 //!
 //! — and compares three [`AllocationPolicy`]s on each: the `static`
 //! baseline, `greedy-rebalance` (move nodes off the worst-failure
@@ -34,7 +39,7 @@ use wsn_sim::policy::{
     AllocationPolicy, GreedyRebalance, PolicyEngine, PolicyTrace, ProportionalFair,
     StaticAllocation,
 };
-use wsn_sim::scenario::{BerChoice, ChannelAllocation, DeploymentSpec, Scenario};
+use wsn_sim::scenario::{BerChoice, ChannelAllocation, DeploymentSpec, Scenario, TrafficSpec};
 use wsn_sim::{Runner, TimedScenarioRun};
 
 fn scenarios(superframes: u32, reps: u32) -> Vec<Scenario> {
@@ -86,6 +91,21 @@ fn scenarios(superframes: u32, reps: u32) -> Vec<Scenario> {
                 })
                 .collect(),
         ),
+        Scenario::new(
+            "ring-stratified + GTS/downlink",
+            channels,
+            nodes,
+            DeploymentSpec::Disc {
+                radius_m: 60.0,
+                exponent: 3.0,
+                shadowing_db: 4.0,
+            },
+        )
+        .with_allocation(ChannelAllocation::RingStratified)
+        // Seven of each channel's hundred nodes win a GTS (the registry
+        // denies the rest — the paper's scaling limit) and downlink
+        // polling loads the CAP with data requests on top of the uplink.
+        .with_traffic(TrafficSpec::uniform(120).with_gts(1).with_downlink(0.25)),
     ]
     .into_iter()
     .map(|s| s.with_superframes(superframes).with_replications(reps))
@@ -106,11 +126,12 @@ fn policies() -> Vec<Box<dyn AllocationPolicy>> {
 fn print_trace(scenario: &str, trace: &PolicyTrace) {
     for round in &trace.rounds {
         println!(
-            "{scenario},{},{},{:.2},{:.1},{:.4},{}",
+            "{scenario},{},{},{:.2},{:.1},{:.1},{:.4},{}",
             trace.policy,
             round.round,
             round.worst_failure() * 100.0,
             round.outcome.overall.mean_node_power.microwatts(),
+            round.outcome.overall.cfp_power.microwatts(),
             round.outcome.overall.ledger.total_energy().joules(),
             round.moved
         );
@@ -130,7 +151,7 @@ fn main() {
         runner.threads()
     );
     println!("\n## per-round trajectories");
-    println!("scenario,policy,round,worst_fail_pct,power_uW,energy_J,moved");
+    println!("scenario,policy,round,worst_fail_pct,power_uW,cfp_uW,energy_J,moved");
 
     // (scenario, policy) → trace, every policy on every scenario. Rounds
     // align across policies (no early stop), so per-round columns compare

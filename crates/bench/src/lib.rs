@@ -131,6 +131,11 @@ pub const BENCH_NETWORK_PATH: &str = "BENCH_network.json";
 /// committed baseline (warn-only).
 pub const BENCH_CORE_PATH: &str = "BENCH_core.json";
 
+/// Canonical output path of the CFP (GTS + downlink) study emitted by
+/// `gts_study --json`, mirroring `BENCH_network.json`'s schema with one
+/// point per swept `(gts_nodes, downlink_rate)` cell.
+pub const BENCH_CFP_PATH: &str = "BENCH_cfp.json";
+
 /// Builds the `BENCH_network.json` document, mirroring
 /// `BENCH_contention.json`'s schema: per-point (here: per-channel)
 /// wall-clock, a serial-reference speedup and `host_cpus`, plus the

@@ -121,9 +121,7 @@ impl CaseStudy {
                 max_db: self.population.max().db(),
             },
         )
-        .with_traffic(TrafficSpec::Uniform {
-            payload_bytes: self.packet.payload_bytes(),
-        })
+        .with_traffic(TrafficSpec::uniform(self.packet.payload_bytes()))
         .with_beacon_order(self.beacon_order)
     }
 

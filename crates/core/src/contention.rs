@@ -145,6 +145,7 @@ impl MonteCarloContention {
             superframes: self.superframes,
             seed: self.seed ^ key.0 ^ (key.1 as u64) << 40,
             synchronized_arrivals: false,
+            cfp: wsn_sim::CfpPlan::inert(),
         }
     }
 

@@ -118,8 +118,10 @@ pub fn downlink_average_power(
     cost.total() * downlink_rate / beacon_interval
 }
 
-/// Bookkeeping tag for downlink energy in merged ledgers.
-pub const DOWNLINK_PHASE: PhaseTag = PhaseTag::Other;
+/// Bookkeeping tag for downlink energy in merged ledgers — the same
+/// phase the discrete-event simulator's accountant charges, so analytical
+/// and simulated ledgers merge onto one axis.
+pub const DOWNLINK_PHASE: PhaseTag = PhaseTag::Downlink;
 
 #[cfg(test)]
 mod tests {
@@ -196,6 +198,49 @@ mod tests {
     #[test]
     fn response_time_constant_matches_standard() {
         assert!((max_frame_response_time().millis() - 19.52).abs() < 1e-9);
+    }
+
+    #[test]
+    fn air_bytes_agree_with_the_simulator() {
+        // `wsn_sim::cfp` redeclares the data-request airtime constant
+        // (the dependency points this way); the two must never drift.
+        assert_eq!(DATA_REQUEST_AIR_BYTES, wsn_sim::cfp::DATA_REQUEST_AIR_BYTES);
+    }
+
+    #[test]
+    fn analytical_cost_tracks_the_simulated_downlink_exchange() {
+        // The discrete-event accountant charges a delivered poll:
+        // contention + request + request-ACK + prompt frame + frame-ACK.
+        // The analytical `downlink_cost` with a prompt coordinator
+        // (response wait = one turnaround) must agree on the
+        // contention-free part of the budget to first order — the
+        // cross-validation that makes this module and the simulator two
+        // views of one model.
+        let (radio, payload, stats) = setup();
+        let cost = downlink_cost(
+            &radio,
+            payload,
+            &stats,
+            TxPowerLevel::Neg5,
+            Some(Seconds::from_micros(192.0)),
+        );
+        // Reproduce the accountant's ledger arithmetic for one delivered
+        // poll with zero contention (the `ideal` stats used here).
+        let p_rx = radio.state_power(wsn_radio::RadioState::Rx);
+        let p_tx = radio.state_power(wsn_radio::RadioState::Tx(TxPowerLevel::Neg5));
+        let turn = Seconds::from_micros(192.0);
+        let t_ack = wsn_phy::frame::ack_duration();
+        let sim_like = p_tx * wsn_phy::consts::bytes(DATA_REQUEST_AIR_BYTES)
+            + p_rx * (turn + t_ack)
+            + p_rx * (turn + payload.duration())
+            + p_tx * (turn + t_ack);
+        let analytical = cost.total().joules();
+        let simulated = sim_like.joules();
+        let rel = (analytical - simulated).abs() / analytical;
+        assert!(
+            rel < 0.25,
+            "analytical {analytical:.2e} J vs simulated-style {simulated:.2e} J (rel {rel:.2})"
+        );
     }
 
     #[test]

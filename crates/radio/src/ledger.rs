@@ -32,19 +32,30 @@ pub enum PhaseTag {
     AckWait,
     /// Inter-frame spacing.
     Ifs,
+    /// Guaranteed time slot traffic: contention-free uplink transmissions
+    /// in the superframe's CFP.
+    Gts,
+    /// Indirect (downlink) traffic: data-request polling, downlink frame
+    /// reception and its acknowledgement.
+    Downlink,
     /// Anything else (association, diagnostics, …).
     Other,
 }
 
+/// Number of distinct [`PhaseTag`]s (the ledger's phase-axis length).
+pub const PHASE_COUNT: usize = 9;
+
 impl PhaseTag {
     /// All phases in display order.
-    pub const ALL: [PhaseTag; 7] = [
+    pub const ALL: [PhaseTag; PHASE_COUNT] = [
         PhaseTag::Sleep,
         PhaseTag::Beacon,
         PhaseTag::Contention,
         PhaseTag::Transmit,
         PhaseTag::AckWait,
         PhaseTag::Ifs,
+        PhaseTag::Gts,
+        PhaseTag::Downlink,
         PhaseTag::Other,
     ];
 
@@ -56,7 +67,9 @@ impl PhaseTag {
             PhaseTag::Transmit => 3,
             PhaseTag::AckWait => 4,
             PhaseTag::Ifs => 5,
-            PhaseTag::Other => 6,
+            PhaseTag::Gts => 6,
+            PhaseTag::Downlink => 7,
+            PhaseTag::Other => 8,
         }
     }
 }
@@ -70,6 +83,8 @@ impl fmt::Display for PhaseTag {
             PhaseTag::Transmit => "transmit",
             PhaseTag::AckWait => "ack",
             PhaseTag::Ifs => "ifs",
+            PhaseTag::Gts => "gts",
+            PhaseTag::Downlink => "downlink",
             PhaseTag::Other => "other",
         };
         f.write_str(s)
@@ -104,8 +119,8 @@ fn state_index(kind: StateKind) -> usize {
 pub struct EnergyLedger {
     state_time: [Seconds; 4],
     state_energy: [Energy; 4],
-    phase_time: [Seconds; 7],
-    phase_energy: [Energy; 7],
+    phase_time: [Seconds; PHASE_COUNT],
+    phase_energy: [Energy; PHASE_COUNT],
 }
 
 impl EnergyLedger {
@@ -226,7 +241,7 @@ impl EnergyLedger {
     }
 
     /// `(phase, fraction-of-total-energy)` for all phases — Figure 9a.
-    pub fn phase_energy_fractions(&self) -> [(PhaseTag, f64); 7] {
+    pub fn phase_energy_fractions(&self) -> [(PhaseTag, f64); PHASE_COUNT] {
         let total = self.total_energy().joules();
         core::array::from_fn(|i| {
             let phase = PhaseTag::ALL[i];
@@ -252,7 +267,7 @@ impl EnergyLedger {
             self.state_time[i] += other.state_time[i];
             self.state_energy[i] += other.state_energy[i];
         }
-        for i in 0..7 {
+        for i in 0..PHASE_COUNT {
             self.phase_time[i] += other.phase_time[i];
             self.phase_energy[i] += other.phase_energy[i];
         }

@@ -17,7 +17,7 @@ fn arb_state() -> impl Strategy<Value = RadioState> {
 }
 
 fn arb_phase() -> impl Strategy<Value = PhaseTag> {
-    (0usize..7).prop_map(|i| PhaseTag::ALL[i])
+    (0usize..PhaseTag::ALL.len()).prop_map(|i| PhaseTag::ALL[i])
 }
 
 proptest! {

@@ -38,7 +38,7 @@
 //! # Contract narrowings vs. the old heap
 //!
 //! * Priorities must be `< PRIORITY_CLASSES` (the simulators use exactly
-//!   four classes; the heap accepted any `u8`).
+//!   five classes; the heap accepted any `u8`).
 //! * The span of pending times is bounded by [`MAX_WINDOW`] slots
 //!   (reached only by pushing two events ~2²⁸ slots apart — no slot-grid
 //!   simulation does; the heap accepted any spread).
@@ -47,8 +47,11 @@
 const NIL: u32 = u32::MAX;
 
 /// Number of priority classes `push` accepts (`0..PRIORITY_CLASSES`;
-/// lower runs first among same-time events).
-pub const PRIORITY_CLASSES: usize = 4;
+/// lower runs first among same-time events). The simulators use five:
+/// beacon, transmission-end, CCA, arrival, and the CFP class (GTS
+/// transmissions, which never contend and therefore order after every
+/// CAP event in their slot).
+pub const PRIORITY_CLASSES: usize = 5;
 
 /// Hard ceiling on the ring window, in slots. The window only needs to
 /// cover the *span* of simultaneously pending times (one superframe for

@@ -8,11 +8,20 @@
 //!   `N̄_CCA`, residual collision probability `Pr_col` and channel access
 //!   failure probability `Pr_cf`, as functions of the network load λ and
 //!   the packet duration.
-//! * [`network`] — a full uplink energy simulation: the contention engine
-//!   plus the paper's radio activation policy, per-node energy ledgers,
-//!   BER-driven packet corruption and application-level retries. Used to
-//!   cross-validate the analytical model (average power, Figure 9
+//! * [`network`] — a full network energy simulation: the contention
+//!   engine plus the paper's radio activation policy, per-node energy
+//!   ledgers, BER-driven packet corruption and application-level retries.
+//!   Used to cross-validate the analytical model (average power, Figure 9
 //!   breakdowns, failure probability and delay).
+//!
+//! The engine models both superframe regimes: the contention access
+//! period (slotted CSMA/CA) and, through [`cfp`], the contention-free
+//! period — GTS holders transmitting in dedicated tail slots (allocated
+//! through the real `wsn_mac` [`GtsRegistry`](wsn_mac::gts::GtsRegistry))
+//! and indirect downlink traffic polled with CAP data requests. CFP
+//! configuration rides on a [`CfpPlan`]; an inert plan is provably
+//! invisible, and energy splits into CAP vs CFP components in every
+//! [`NetworkSummary`].
 //!
 //! Support modules: [`rng`] (seedable xoshiro256★★), [`events`] (a
 //! deterministic calendar queue with O(1) push/pop and a pinned pop-order
@@ -62,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cfp;
 pub mod contention;
 pub mod events;
 pub mod network;
@@ -72,6 +82,7 @@ pub mod scenario;
 pub mod sink;
 pub mod stats;
 
+pub use cfp::{plan_channel_cfp, CfpPlan, DownlinkOutcome, DownlinkRecord, GtsRecord};
 pub use contention::{
     run_channel_sim_into, run_channel_sim_into_ws, simulate_contention, with_workspace,
     ChannelSimConfig, SimTrace, SimWorkspace, SlotTimings,

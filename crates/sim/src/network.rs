@@ -25,6 +25,7 @@ use wsn_radio::ledger::{EnergyLedger, PhaseTag};
 use wsn_radio::{RadioModel, RadioState, TxPowerLevel};
 use wsn_units::{DBm, Db, Power, Probability, Seconds};
 
+use crate::cfp::{DownlinkOutcome, DownlinkRecord, GtsRecord, DATA_REQUEST_AIR_BYTES};
 use crate::contention::{
     run_channel_sim_into_ws, with_workspace, AttemptOutcome, AttemptRecord, ChannelSimConfig,
     SimTrace, TransactionRecord,
@@ -148,6 +149,32 @@ pub struct NetworkSummary {
     /// replications when available, otherwise across delivered
     /// transactions.
     pub delay_standard_error: Seconds,
+    /// Mean per-node power spent on CAP traffic (contention, uplink
+    /// transmission, acknowledgement wait, interframe spacing).
+    pub cap_power: Power,
+    /// Mean per-node power spent on contention-free traffic (GTS
+    /// transmissions plus downlink polling).
+    pub cfp_power: Power,
+    /// Standard error of [`cap_power`](Self::cap_power): across
+    /// replication means when `replications ≥ 2`, otherwise across the
+    /// node population.
+    pub cap_power_standard_error: Power,
+    /// Standard error of [`cfp_power`](Self::cfp_power), like
+    /// [`cap_power_standard_error`](Self::cap_power_standard_error).
+    pub cfp_power_standard_error: Power,
+    /// GTS transmissions observed (CFP transactions).
+    pub gts_transactions: u64,
+    /// Fraction of GTS transmissions that failed (channel noise only —
+    /// GTS never collides).
+    pub gts_failure_ratio: Probability,
+    /// GTS requests denied at compile time, summed over merged runs.
+    pub gts_denied: u64,
+    /// Downlink polls that ran a data request (deferred polls excluded).
+    pub downlink_polls: u64,
+    /// Fraction of those polls that failed to deliver the frame.
+    pub downlink_failure_ratio: Probability,
+    /// Downlink polls deferred because the node was busy.
+    pub downlink_deferred: u64,
 }
 
 /// Mergeable sufficient statistics of one or more network simulation runs.
@@ -191,6 +218,24 @@ pub struct NetworkAccumulator {
     pub rep_failure: Accumulator,
     /// Replication mean delays (s); one sample per sealed replication.
     pub rep_delay_secs: Accumulator,
+    /// Per-node CAP power in µW (contention + transmit + ACK + IFS).
+    pub cap_uw: Accumulator,
+    /// Per-node CFP power in µW (GTS + downlink phases).
+    pub cfp_uw: Accumulator,
+    /// Replication means of the per-node CAP power; one per sealed
+    /// replication.
+    pub rep_cap_uw: Accumulator,
+    /// Replication means of the per-node CFP power; one per sealed
+    /// replication.
+    pub rep_cfp_uw: Accumulator,
+    /// Failed GTS transmissions over GTS transmissions.
+    pub gts_failures: Counter,
+    /// GTS requests denied at compile time, summed over merged runs.
+    pub gts_denied: u64,
+    /// Undelivered downlink polls over non-deferred polls.
+    pub downlink_failures: Counter,
+    /// Downlink polls deferred because the node was busy.
+    pub downlink_deferred: u64,
 }
 
 impl NetworkAccumulator {
@@ -213,6 +258,14 @@ impl NetworkAccumulator {
         self.rep_power_uw.merge(&other.rep_power_uw);
         self.rep_failure.merge(&other.rep_failure);
         self.rep_delay_secs.merge(&other.rep_delay_secs);
+        self.cap_uw.merge(&other.cap_uw);
+        self.cfp_uw.merge(&other.cfp_uw);
+        self.rep_cap_uw.merge(&other.rep_cap_uw);
+        self.rep_cfp_uw.merge(&other.rep_cfp_uw);
+        self.gts_failures.merge(&other.gts_failures);
+        self.gts_denied += other.gts_denied;
+        self.downlink_failures.merge(&other.downlink_failures);
+        self.downlink_deferred += other.downlink_deferred;
     }
 
     /// Records the current aggregate scalars as one replication sample.
@@ -224,6 +277,8 @@ impl NetworkAccumulator {
         self.rep_power_uw.push(self.node_power_uw.mean());
         self.rep_failure.push(self.failures.ratio().value());
         self.rep_delay_secs.push(self.delay_secs.mean());
+        self.rep_cap_uw.push(self.cap_uw.mean());
+        self.rep_cfp_uw.push(self.cfp_uw.mean());
     }
 
     /// Number of sealed replications.
@@ -239,17 +294,22 @@ impl NetworkAccumulator {
     /// transactions for failures, delivered transactions for delay).
     pub fn summary(&self) -> NetworkSummary {
         let replications = self.replications();
-        let (power_se_uw, failure_se, delay_se_secs) = if replications >= 2 {
+        let (power_se_uw, failure_se, delay_se_secs, cap_se_uw, cfp_se_uw) = if replications >= 2
+        {
             (
                 self.rep_power_uw.standard_error(),
                 self.rep_failure.standard_error(),
                 self.rep_delay_secs.standard_error(),
+                self.rep_cap_uw.standard_error(),
+                self.rep_cfp_uw.standard_error(),
             )
         } else {
             (
                 self.node_power_uw.standard_error(),
                 self.failures.standard_error(),
                 self.delay_secs.standard_error(),
+                self.cap_uw.standard_error(),
+                self.cfp_uw.standard_error(),
             )
         };
         let energy_per_bit_nj = if self.delivered_payload_bits > 0.0 {
@@ -270,6 +330,16 @@ impl NetworkAccumulator {
             power_standard_error: Power::from_microwatts(power_se_uw),
             failure_standard_error: failure_se,
             delay_standard_error: Seconds::from_secs(delay_se_secs),
+            cap_power: Power::from_microwatts(self.cap_uw.mean()),
+            cfp_power: Power::from_microwatts(self.cfp_uw.mean()),
+            cap_power_standard_error: Power::from_microwatts(cap_se_uw),
+            cfp_power_standard_error: Power::from_microwatts(cfp_se_uw),
+            gts_transactions: self.gts_failures.trials(),
+            gts_failure_ratio: self.gts_failures.ratio(),
+            gts_denied: self.gts_denied,
+            downlink_polls: self.downlink_failures.trials(),
+            downlink_failure_ratio: self.downlink_failures.ratio(),
+            downlink_deferred: self.downlink_deferred,
         }
     }
 }
@@ -431,6 +501,8 @@ struct EnergyAccountant<'a> {
     noack_listen: Seconds,
     ifs: Seconds,
     turn_on: Seconds,
+    turnaround: Seconds,
+    dl_request_air: Seconds,
 }
 
 impl<'a> EnergyAccountant<'a> {
@@ -447,6 +519,8 @@ impl<'a> EnergyAccountant<'a> {
             noack_listen: Seconds::from_micros(864.0 - 192.0),
             ifs: Seconds::from_micros(640.0),
             turn_on: cfg.radio.turn_on_time(),
+            turnaround: Seconds::from_micros(192.0),
+            dl_request_air: wsn_phy::consts::bytes(DATA_REQUEST_AIR_BYTES),
         }
     }
 
@@ -463,22 +537,34 @@ impl<'a> EnergyAccountant<'a> {
 
         let mut acc = NetworkAccumulator::new();
         acc.node_powers.reserve(n_nodes);
+        // Fixed per-superframe beacon overhead — preemptive wake-up (the
+        // shutdown→idle transition plus any margin spent in idle),
+        // receiver turn-on, beacon reception — is identical for every
+        // node, so the per-superframe accrual loop runs **once** into a
+        // prototype ledger that every node then merges: `finish` is
+        // O(nodes + superframes) instead of O(nodes × superframes). The
+        // beacon-phase cells of every per-node ledger start at zero, so
+        // the merged values are the very sums the per-node loop produced.
+        let mut beacon_ledger = EnergyLedger::new();
+        for _ in 0..recorded_superframes as usize {
+            beacon_ledger.accrue_transition(
+                radio,
+                RadioState::Shutdown,
+                RadioState::Idle,
+                PhaseTag::Beacon,
+            );
+            let margin = (cfg.wakeup_margin - radio.wakeup_time()).max(Seconds::ZERO);
+            beacon_ledger.accrue(radio, RadioState::Idle, PhaseTag::Beacon, margin);
+            beacon_ledger.accrue_transition(
+                radio,
+                RadioState::Idle,
+                RadioState::Rx,
+                PhaseTag::Beacon,
+            );
+            beacon_ledger.accrue(radio, RadioState::Rx, PhaseTag::Beacon, t_beacon);
+        }
         for ledger in &mut self.ledgers {
-            // Fixed per-superframe beacon overhead for every node:
-            // preemptive wake-up (the shutdown→idle transition plus any
-            // margin spent in idle), receiver turn-on, beacon reception.
-            for _ in 0..recorded_superframes as usize {
-                ledger.accrue_transition(
-                    radio,
-                    RadioState::Shutdown,
-                    RadioState::Idle,
-                    PhaseTag::Beacon,
-                );
-                let margin = (cfg.wakeup_margin - radio.wakeup_time()).max(Seconds::ZERO);
-                ledger.accrue(radio, RadioState::Idle, PhaseTag::Beacon, margin);
-                ledger.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Beacon);
-                ledger.accrue(radio, RadioState::Rx, PhaseTag::Beacon, t_beacon);
-            }
+            ledger.merge(&beacon_ledger);
             // Sleep is the remainder of the window.
             let active = ledger.total_time();
             let sleep = (window - active).max(Seconds::ZERO);
@@ -486,6 +572,16 @@ impl<'a> EnergyAccountant<'a> {
             let power = ledger.average_power(window);
             acc.node_power_uw.push(power.microwatts());
             acc.node_powers.push(power);
+            // CAP vs CFP split: what this node spent contending and
+            // uplinking in the CAP versus its contention-free traffic.
+            let cap_energy = ledger.energy_in_phase(PhaseTag::Contention)
+                + ledger.energy_in_phase(PhaseTag::Transmit)
+                + ledger.energy_in_phase(PhaseTag::AckWait)
+                + ledger.energy_in_phase(PhaseTag::Ifs);
+            let cfp_energy = ledger.energy_in_phase(PhaseTag::Gts)
+                + ledger.energy_in_phase(PhaseTag::Downlink);
+            acc.cap_uw.push((cap_energy / window).microwatts());
+            acc.cfp_uw.push((cfp_energy / window).microwatts());
             acc.ledger.merge(ledger);
         }
 
@@ -498,6 +594,10 @@ impl<'a> EnergyAccountant<'a> {
         // intervals merge in common units.
         acc.delay_secs = self.stats.delivery_superframes.scaled(t_ib.secs());
         acc.overruns = self.stats.overruns;
+        acc.gts_failures = self.stats.gts_failures;
+        acc.gts_denied = cfg.channel.cfp.gts_denied as u64;
+        acc.downlink_failures = self.stats.downlink_failures;
+        acc.downlink_deferred = self.stats.downlink_deferred;
         acc
     }
 }
@@ -566,6 +666,112 @@ impl TraceSink for EnergyAccountant<'_> {
 
     fn on_overrun(&mut self) {
         self.stats.on_overrun();
+    }
+
+    fn on_gts(&mut self, r: &GtsRecord) {
+        self.stats.on_gts(r);
+        let radio = &self.cfg.radio;
+        let node = r.node as usize;
+        let ledger = &mut self.ledgers[node];
+        let level = self.levels[node];
+        // Wake for the dedicated slot, transmit without any contention,
+        // listen for the acknowledgement, observe the interframe spacing.
+        // Everything is attributed to the GTS phase, so the CFP energy
+        // split is exact.
+        ledger.accrue_transition(radio, RadioState::Shutdown, RadioState::Idle, PhaseTag::Gts);
+        ledger.accrue_transition(radio, RadioState::Idle, RadioState::Tx(level), PhaseTag::Gts);
+        ledger.accrue(radio, RadioState::Tx(level), PhaseTag::Gts, self.packet_airtime);
+        ledger.accrue_transition(radio, RadioState::Tx(level), RadioState::Rx, PhaseTag::Gts);
+        let listen = if r.delivered {
+            self.t_ack
+        } else {
+            self.noack_listen
+        };
+        ledger.accrue_listen(radio, PhaseTag::Gts, listen);
+        ledger.accrue(radio, RadioState::Idle, PhaseTag::Gts, self.ifs);
+    }
+
+    fn on_downlink(&mut self, r: &DownlinkRecord) {
+        self.stats.on_downlink(r);
+        if r.outcome == DownlinkOutcome::Deferred {
+            // The node was mid-uplink; its radio time is already billed.
+            return;
+        }
+        let radio = &self.cfg.radio;
+        let node = r.node as usize;
+        let ledger = &mut self.ledgers[node];
+        let level = self.levels[node];
+        // One wake-up per poll (the downlink analogue of the
+        // per-transaction wake `on_transaction` charges to Contention),
+        // then data-request contention: idle between the CCA turn-ons,
+        // the uplink attempt pattern attributed to the downlink phase.
+        ledger.accrue_transition(
+            radio,
+            RadioState::Shutdown,
+            RadioState::Idle,
+            PhaseTag::Downlink,
+        );
+        let wall = self.slot * r.contention_slots as f64;
+        let cca_active = (self.turn_on + self.cca_sense) * r.ccas as f64;
+        ledger.accrue(
+            radio,
+            RadioState::Idle,
+            PhaseTag::Downlink,
+            (wall - cca_active).max(Seconds::ZERO),
+        );
+        for _ in 0..r.ccas {
+            ledger.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Downlink);
+            ledger.accrue_listen(radio, PhaseTag::Downlink, self.cca_sense);
+        }
+        if r.outcome == DownlinkOutcome::AccessFailure {
+            return;
+        }
+        // Transmit the data request.
+        ledger.accrue_transition(
+            radio,
+            RadioState::Idle,
+            RadioState::Tx(level),
+            PhaseTag::Downlink,
+        );
+        ledger.accrue(
+            radio,
+            RadioState::Tx(level),
+            PhaseTag::Downlink,
+            self.dl_request_air,
+        );
+        ledger.accrue_transition(radio, RadioState::Tx(level), RadioState::Rx, PhaseTag::Downlink);
+        if r.outcome == DownlinkOutcome::Collided {
+            // No acknowledgement ever comes: wait out t_ack⁺.
+            ledger.accrue_listen(radio, PhaseTag::Downlink, self.noack_listen);
+            ledger.accrue(radio, RadioState::Idle, PhaseTag::Downlink, self.ifs);
+            return;
+        }
+        // Request acknowledgement, then the (promptly answered) downlink
+        // frame — the receiver stays on throughout, as in the analytical
+        // `downlink_cost` with a prompt coordinator.
+        ledger.accrue(
+            radio,
+            RadioState::Rx,
+            PhaseTag::Downlink,
+            self.turnaround + self.t_ack,
+        );
+        ledger.accrue(
+            radio,
+            RadioState::Rx,
+            PhaseTag::Downlink,
+            self.turnaround + self.packet_airtime,
+        );
+        if r.outcome == DownlinkOutcome::Delivered {
+            // Acknowledge the frame (turnaround + ACK airtime at TX
+            // power, the analytical model's `acknowledge` term).
+            ledger.accrue(
+                radio,
+                RadioState::Tx(level),
+                PhaseTag::Downlink,
+                self.turnaround + self.t_ack,
+            );
+        }
+        ledger.accrue(radio, RadioState::Idle, PhaseTag::Downlink, self.ifs);
     }
 }
 
@@ -686,5 +892,89 @@ mod tests {
         let mut cfg = small_config(0.4, 70.0, 1);
         cfg.path_losses.pop();
         let _ = NetworkSimulator::new(cfg);
+    }
+
+    // --- CFP accounting --------------------------------------------------
+
+    use crate::cfp::plan_channel_cfp;
+
+    #[test]
+    fn cap_only_runs_report_zero_cfp_power() {
+        let summary = NetworkSimulator::new(small_config(0.4, 70.0, 21))
+            .run_streaming(&EmpiricalCc2420Ber::paper());
+        assert_eq!(summary.cfp_power.microwatts(), 0.0);
+        assert!(summary.cap_power.microwatts() > 0.0);
+        assert_eq!(summary.gts_transactions, 0);
+        assert_eq!(summary.downlink_polls, 0);
+        assert_eq!(summary.gts_denied, 0);
+    }
+
+    #[test]
+    fn gts_offload_shifts_energy_from_cap_to_cfp() {
+        let ber = EmpiricalCc2420Ber::paper();
+        let base = small_config(0.4, 70.0, 22);
+        let mut gts = base.clone();
+        gts.channel.cfp = plan_channel_cfp(gts.channel.nodes as u32, 7, 1, 8, 0.0);
+        let cap_only = NetworkSimulator::new(base).run_streaming(&ber);
+        let offloaded = NetworkSimulator::new(gts).run_streaming(&ber);
+        assert!(offloaded.cfp_power.microwatts() > 0.0);
+        assert!(offloaded.cap_power < cap_only.cap_power);
+        assert!(offloaded.gts_transactions > 0);
+        // GTS holders skip contention entirely, so their traffic is
+        // cheaper than a CSMA transaction: total power must not rise.
+        assert!(offloaded.mean_node_power < cap_only.mean_node_power);
+        // The ledger's GTS phase carries the CFP energy.
+        assert!(offloaded.ledger.energy_in_phase(PhaseTag::Gts).joules() > 0.0);
+        assert_eq!(cap_only.ledger.energy_in_phase(PhaseTag::Gts).joules(), 0.0);
+    }
+
+    #[test]
+    fn downlink_polling_charges_the_downlink_phase() {
+        let ber = EmpiricalCc2420Ber::paper();
+        let base = small_config(0.3, 65.0, 23);
+        let mut polled = base.clone();
+        polled.channel.cfp = plan_channel_cfp(polled.channel.nodes as u32, 0, 1, 8, 0.8);
+        let quiet = NetworkSimulator::new(base).run_streaming(&ber);
+        let busy = NetworkSimulator::new(polled).run_streaming(&ber);
+        assert!(busy.downlink_polls > 0);
+        assert!(busy.cfp_power.microwatts() > 0.0);
+        assert!(busy.ledger.energy_in_phase(PhaseTag::Downlink).joules() > 0.0);
+        // Bidirectional traffic costs strictly more than uplink alone.
+        assert!(busy.mean_node_power > quiet.mean_node_power);
+        assert!(busy.downlink_failure_ratio.value() < 0.5);
+        assert_eq!(quiet.downlink_polls, 0);
+    }
+
+    #[test]
+    fn cfp_ledger_views_still_agree() {
+        let mut cfg = small_config(0.4, 75.0, 24);
+        cfg.channel.cfp = plan_channel_cfp(cfg.channel.nodes as u32, 5, 1, 8, 0.5);
+        let summary = NetworkSimulator::new(cfg).run_streaming(&EmpiricalCc2420Ber::paper());
+        let by_state: f64 = StateKind::ALL
+            .iter()
+            .map(|&k| summary.ledger.energy_in(k).joules())
+            .sum();
+        let by_phase: f64 = PhaseTag::ALL
+            .iter()
+            .map(|&p| summary.ledger.energy_in_phase(p).joules())
+            .sum();
+        assert!((by_state - by_phase).abs() < 1e-12);
+        // cap + cfp + beacon + sleep ≈ total mean power.
+        let split = summary.cap_power + summary.cfp_power;
+        assert!(split < summary.mean_node_power);
+    }
+
+    #[test]
+    fn gts_denied_count_survives_merge_and_summary() {
+        let mut cfg = small_config(0.4, 70.0, 25);
+        // 20 nodes all want a slot; 7 granted, 13 denied.
+        cfg.channel.cfp = plan_channel_cfp(cfg.channel.nodes as u32, 20, 1, 8, 0.0);
+        let ber = EmpiricalCc2420Ber::paper();
+        let sim = NetworkSimulator::new(cfg);
+        let mut a = sim.run_accumulate(&ber);
+        a.seal_replication();
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.summary().gts_denied, 26, "13 denied per merged run");
     }
 }

@@ -86,6 +86,37 @@ impl RoundObservation<'_> {
         self.per_channel[c].failure_ratio.value()
     }
 
+    /// Mean per-node power channel `c` spent on contention-free traffic
+    /// (GTS + downlink), in µW — the CFP load signal energy-aware
+    /// policies can react to.
+    pub fn cfp_power_uw(&self, c: usize) -> f64 {
+        self.per_channel[c].cfp_power.microwatts()
+    }
+
+    /// Mean per-node power channel `c` spent on CAP traffic, in µW.
+    pub fn cap_power_uw(&self, c: usize) -> f64 {
+        self.per_channel[c].cap_power.microwatts()
+    }
+
+    /// Fraction of channel `c`'s traffic power that is contention-free —
+    /// 0 for CAP-only channels, approaching 1 when GTS and downlink
+    /// dominate.
+    pub fn cfp_share(&self, c: usize) -> f64 {
+        let cap = self.cap_power_uw(c);
+        let cfp = self.cfp_power_uw(c);
+        if cap + cfp > 0.0 {
+            cfp / (cap + cfp)
+        } else {
+            0.0
+        }
+    }
+
+    /// GTS requests channel `c` denied at compile time (nodes that fell
+    /// back to CAP), summed over the round's merged runs.
+    pub fn gts_denied(&self, c: usize) -> u64 {
+        self.per_channel[c].gts_denied
+    }
+
     /// Channel with the highest failure ratio (lowest index on ties).
     pub fn worst_channel(&self) -> usize {
         (0..self.channels)
@@ -149,6 +180,15 @@ pub struct GreedyRebalance {
     /// Minimum worst-to-best failure gap that still triggers a move;
     /// below it the policy declares itself stable.
     pub tolerance: f64,
+    /// Hysteresis cost per executed move: every round the policy moves
+    /// nodes, the acting tolerance grows by `move_cost`, so late, noisy
+    /// worst↔best churn needs an ever-larger failure gap to keep going —
+    /// the ε-damping that makes greedy settle near convergence instead
+    /// of trading nodes between the two best channels forever. Zero (the
+    /// default) reproduces the undamped policy exactly.
+    pub move_cost: f64,
+    /// Accumulated hysteresis (`move_cost` × executed move rounds).
+    damping: f64,
 }
 
 impl GreedyRebalance {
@@ -158,7 +198,27 @@ impl GreedyRebalance {
         GreedyRebalance {
             max_moves,
             tolerance: 0.02,
+            move_cost: 0.0,
+            damping: 0.0,
         }
+    }
+
+    /// Overrides the failure-gap tolerance below which the policy
+    /// declares itself stable.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Adds a per-move hysteresis cost: after `k` rounds that moved
+    /// nodes, a further move must beat `tolerance + k·move_cost`. Early
+    /// rounds (large failure gaps) rebalance freely; the growing margin
+    /// then damps the residual worst↔best oscillation driven by
+    /// round-to-round contention noise, so the loop actually stabilizes
+    /// (the `tolerance` seam, ε-damped).
+    pub fn with_move_cost(mut self, move_cost: f64) -> Self {
+        self.move_cost = move_cost;
+        self
     }
 }
 
@@ -177,7 +237,11 @@ impl AllocationPolicy for GreedyRebalance {
         let mut next = obs.assignment.to_vec();
         let worst = obs.worst_channel();
         let best = obs.best_channel();
-        if worst == best || obs.failure(worst) - obs.failure(best) <= self.tolerance {
+        // Every executed move raised the bar: near convergence the
+        // worst/best gap is contention noise, and without the growing
+        // margin greedy trades the same nodes back and forth forever.
+        let threshold = self.tolerance + self.damping;
+        if worst == best || obs.failure(worst) - obs.failure(best) <= threshold {
             return next;
         }
         let counts = obs.counts();
@@ -195,6 +259,9 @@ impl AllocationPolicy for GreedyRebalance {
                 *c = best;
                 remaining -= 1;
             }
+        }
+        if moves > 0 {
+            self.damping += self.move_cost;
         }
         next
     }
@@ -695,6 +762,16 @@ mod tests {
             power_standard_error: Power::from_microwatts(0.0),
             failure_standard_error: 0.0,
             delay_standard_error: Seconds::ZERO,
+            cap_power: Power::from_microwatts(180.0),
+            cfp_power: Power::from_microwatts(0.0),
+            cap_power_standard_error: Power::from_microwatts(0.0),
+            cfp_power_standard_error: Power::from_microwatts(0.0),
+            gts_transactions: 0,
+            gts_failure_ratio: Probability::ZERO,
+            gts_denied: 0,
+            downlink_polls: 0,
+            downlink_failure_ratio: Probability::ZERO,
+            downlink_deferred: 0,
         }
     }
 
@@ -762,6 +839,56 @@ mod tests {
         let next =
             policy.next_assignment(&observation(&assignment, &capacity, &summaries));
         assert_eq!(next, assignment, "a 1 % gap is inside the 2 % tolerance");
+    }
+
+    #[test]
+    fn move_cost_damps_oscillation_near_convergence() {
+        let capacity = [10, 10];
+        // Round 1: channel 0 fails worse → move one node 0 → 1.
+        let a1 = [0, 0, 0, 1, 1];
+        let s1: Vec<NetworkSummary> =
+            [0.30, 0.20].map(|f| summary_with_failure(f, 100)).into();
+        // Round 2: the move overshot slightly — channel 1 now looks worse
+        // by a small (noise-level) gap. Undamped greedy churns back;
+        // damped greedy has raised its bar and holds.
+        let a2 = [0, 0, 1, 1, 1];
+        let s2: Vec<NetworkSummary> =
+            [0.20, 0.24].map(|f| summary_with_failure(f, 100)).into();
+
+        let mut undamped = GreedyRebalance::new(1).with_tolerance(0.0);
+        let mut damped = undamped.with_move_cost(0.1);
+
+        let n1 = undamped.next_assignment(&observation(&a1, &capacity, &s1));
+        assert_eq!(n1, a2, "round 1 moves the highest-index donor node");
+        let n1d = damped.next_assignment(&observation(&a1, &capacity, &s1));
+        assert_eq!(n1d, a2, "damping never blocks the first move");
+
+        let n2 = undamped.next_assignment(&observation(&a2, &capacity, &s2));
+        assert_eq!(n2, [0, 0, 1, 1, 0], "undamped greedy churns on noise");
+        let n2d = damped.next_assignment(&observation(&a2, &capacity, &s2));
+        assert_eq!(n2d, a2, "a noise-level gap fails the raised bar");
+
+        // A gap that clears tolerance + accumulated damping still moves.
+        let s3: Vec<NetworkSummary> =
+            [0.10, 0.40].map(|f| summary_with_failure(f, 100)).into();
+        let n3d = damped.next_assignment(&observation(&a2, &capacity, &s3));
+        assert_eq!(n3d, [0, 0, 1, 1, 0], "a real gap overrides the damping");
+    }
+
+    #[test]
+    fn zero_move_cost_reproduces_the_undamped_policy() {
+        let capacity = [10, 10, 10];
+        let assignment = [0, 0, 0, 0, 1, 1, 2, 2];
+        let summaries: Vec<NetworkSummary> =
+            [0.8, 0.05, 0.3].map(|f| summary_with_failure(f, 100)).into();
+        let mut plain = GreedyRebalance::new(2);
+        let mut zero = GreedyRebalance::new(2).with_move_cost(0.0);
+        for _ in 0..3 {
+            assert_eq!(
+                plain.next_assignment(&observation(&assignment, &capacity, &summaries)),
+                zero.next_assignment(&observation(&assignment, &capacity, &summaries))
+            );
+        }
     }
 
     #[test]

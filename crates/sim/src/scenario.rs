@@ -34,6 +34,7 @@ use wsn_phy::noise::SplitMix64;
 use wsn_radio::RadioModel;
 use wsn_units::{DBm, Db, Meters, Seconds};
 
+use crate::cfp::{plan_channel_cfp, CfpPlan};
 use crate::contention::ChannelSimConfig;
 use crate::network::{
     NetworkAccumulator, NetworkConfig, NetworkSimulator, NetworkSummary, TxPowerPolicy,
@@ -106,9 +107,9 @@ pub enum ChannelAllocation {
     RingStratified,
 }
 
-/// Per-channel traffic: what each node buffers and uplinks per superframe.
+/// Per-channel uplink payloads.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TrafficSpec {
+pub enum PayloadSpec {
     /// Every channel carries the same payload.
     Uniform {
         /// Uplink payload in bytes (≤ 123).
@@ -119,6 +120,102 @@ pub enum TrafficSpec {
         /// One payload per channel.
         payload_bytes: Vec<usize>,
     },
+}
+
+/// Per-channel traffic: what each node buffers and uplinks per
+/// superframe, plus the channel's contention-free demand — GTS slots and
+/// downlink polling ([`crate::cfp`]).
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::scenario::TrafficSpec;
+///
+/// // CAP-only (the default everywhere):
+/// let cap = TrafficSpec::uniform(120);
+/// assert!(cap.is_cap_only());
+/// // Every node requests a one-slot GTS; the coordinator grants seven.
+/// let gts = TrafficSpec::uniform(120).with_gts(1);
+/// // Half the superframes deliver one downlink frame per node.
+/// let bidi = TrafficSpec::uniform(120).with_downlink(0.5);
+/// assert!(!gts.is_cap_only() && !bidi.is_cap_only());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// Uplink payload per channel.
+    pub payloads: PayloadSpec,
+    /// GTS slots each requesting node asks for (0 = CAP-only uplink).
+    /// Requests resolve through a real [`wsn_mac::gts::GtsRegistry`] at
+    /// compile time: at most seven descriptors, and the CAP never
+    /// shrinks below the scenario's
+    /// [`min_cap_slots`](Scenario::min_cap_slots); overflow falls back
+    /// to CAP and is reported as a typed count.
+    pub gts_slots_per_node: u8,
+    /// Nodes per channel requesting a GTS, in node order; `None` means
+    /// every node asks (the paper's dense-network reading, where the
+    /// seven-descriptor table is the binding constraint).
+    pub gts_demand: Option<u32>,
+    /// Fraction of superframes in which the coordinator holds one
+    /// pending downlink frame per node.
+    pub downlink_rate: f64,
+}
+
+impl TrafficSpec {
+    /// Uniform CAP-only traffic: every channel carries `payload_bytes`.
+    pub fn uniform(payload_bytes: usize) -> Self {
+        TrafficSpec {
+            payloads: PayloadSpec::Uniform { payload_bytes },
+            gts_slots_per_node: 0,
+            gts_demand: None,
+            downlink_rate: 0.0,
+        }
+    }
+
+    /// Heterogeneous CAP-only traffic: channel `c` carries
+    /// `payload_bytes[c]`.
+    pub fn per_channel(payload_bytes: Vec<usize>) -> Self {
+        TrafficSpec {
+            payloads: PayloadSpec::PerChannel { payload_bytes },
+            gts_slots_per_node: 0,
+            gts_demand: None,
+            downlink_rate: 0.0,
+        }
+    }
+
+    /// Every node requests a GTS of `slots_per_node` superframe slots.
+    pub fn with_gts(mut self, slots_per_node: u8) -> Self {
+        self.gts_slots_per_node = slots_per_node;
+        self
+    }
+
+    /// Caps the per-channel GTS demand at `nodes` requesting nodes
+    /// (combine with [`with_gts`](Self::with_gts) for the slot length).
+    pub fn with_gts_demand(mut self, nodes: u32) -> Self {
+        self.gts_demand = Some(nodes);
+        self
+    }
+
+    /// A fraction `frames_per_superframe` of superframes delivers one
+    /// pending downlink frame per node.
+    pub fn with_downlink(mut self, frames_per_superframe: f64) -> Self {
+        self.downlink_rate = frames_per_superframe;
+        self
+    }
+
+    /// `true` when the spec schedules no contention-free traffic — the
+    /// compiled channels carry a provably inert [`CfpPlan`].
+    pub fn is_cap_only(&self) -> bool {
+        (self.gts_slots_per_node == 0 || self.gts_demand == Some(0))
+            && self.downlink_rate == 0.0
+    }
+
+    /// The GTS demand for a channel holding `nodes` nodes.
+    fn demand_for(&self, nodes: usize) -> u32 {
+        if self.gts_slots_per_node == 0 {
+            return 0;
+        }
+        self.gts_demand.unwrap_or(nodes as u32).min(nodes as u32)
+    }
 }
 
 /// Which bit-error-rate model corrupts packets and acknowledgements.
@@ -260,6 +357,11 @@ pub struct Scenario {
     /// compiled onto that channel (e.g. interference raising a channel's
     /// effective noise floor). `None` means all channels are clean.
     pub channel_loss_offsets_db: Option<Vec<f64>>,
+    /// Minimum contention-access-period slots every channel's GTS
+    /// allocation must preserve (the standard mandates a minimum CAP;
+    /// [`GtsRegistry`](wsn_mac::gts::GtsRegistry) enforces it at compile
+    /// time).
+    pub min_cap_slots: u8,
     /// `true` to start all contentions at the beacon (ablation).
     pub synchronized_arrivals: bool,
 }
@@ -280,7 +382,7 @@ impl Scenario {
             nodes_per_channel,
             deployment,
             allocation: ChannelAllocation::RoundRobin,
-            traffic: TrafficSpec::Uniform { payload_bytes: 120 },
+            traffic: TrafficSpec::uniform(120),
             beacon_order: BeaconOrder::new(6).expect("BO 6 valid"),
             csma: CsmaParams::standard_2003(),
             retries: RetryPolicy::paper(),
@@ -296,6 +398,7 @@ impl Scenario {
             ber: BerChoice::EmpiricalCc2420,
             channel_ber: None,
             channel_loss_offsets_db: None,
+            min_cap_slots: 8,
             synchronized_arrivals: false,
         }
     }
@@ -354,6 +457,12 @@ impl Scenario {
     /// Overrides the transmit-power policy.
     pub fn with_tx_policy(mut self, tx_policy: TxPowerPolicy) -> Self {
         self.tx_policy = tx_policy;
+        self
+    }
+
+    /// Overrides the minimum CAP slots GTS allocations must preserve.
+    pub fn with_min_cap_slots(mut self, min_cap_slots: u8) -> Self {
+        self.min_cap_slots = min_cap_slots;
         self
     }
 
@@ -431,9 +540,9 @@ impl Scenario {
     /// Panics if a per-channel payload list is shorter than the channel
     /// count or a payload exceeds the 123-byte maximum.
     pub fn channel_packet(&self, c: usize) -> PacketLayout {
-        let bytes = match &self.traffic {
-            TrafficSpec::Uniform { payload_bytes } => *payload_bytes,
-            TrafficSpec::PerChannel { payload_bytes } => {
+        let bytes = match &self.traffic.payloads {
+            PayloadSpec::Uniform { payload_bytes } => *payload_bytes,
+            PayloadSpec::PerChannel { payload_bytes } => {
                 assert!(
                     payload_bytes.len() >= self.channels,
                     "one payload per channel required ({} < {})",
@@ -444,6 +553,25 @@ impl Scenario {
             }
         };
         PacketLayout::with_payload(bytes).expect("payload within the 123-byte maximum")
+    }
+
+    /// The contention-free plan of a channel holding `nodes` nodes: the
+    /// traffic's GTS demand resolved through a real
+    /// [`GtsRegistry`](wsn_mac::gts::GtsRegistry) (seven descriptors,
+    /// [`min_cap_slots`](Self::min_cap_slots) preserved; overflow is
+    /// counted in [`CfpPlan::gts_denied`] and falls back to CAP), plus
+    /// the downlink polling rate.
+    pub fn channel_cfp(&self, nodes: usize) -> CfpPlan {
+        if self.traffic.is_cap_only() {
+            return CfpPlan::inert();
+        }
+        plan_channel_cfp(
+            nodes as u32,
+            self.traffic.demand_for(nodes),
+            self.traffic.gts_slots_per_node.max(1),
+            self.min_cap_slots,
+            self.traffic.downlink_rate,
+        )
     }
 
     /// The network load λ of channel `c` implied by its traffic and the
@@ -690,6 +818,7 @@ impl Scenario {
                         superframes: self.superframes,
                         seed: replication_seed(self.seed, c as u64),
                         synchronized_arrivals: self.synchronized_arrivals,
+                        cfp: self.channel_cfp(self.nodes_per_channel),
                     },
                     radio: self.radio.clone(),
                     path_losses: losses[c].clone(),
@@ -769,6 +898,7 @@ impl Scenario {
                         superframes: self.superframes,
                         seed: replication_seed(salted, c as u64),
                         synchronized_arrivals: self.synchronized_arrivals,
+                        cfp: self.channel_cfp(part.len()),
                     },
                     radio: self.radio.clone(),
                     path_losses: part.iter().map(|&i| losses[i] + offset).collect(),
@@ -874,8 +1004,13 @@ impl Scenario {
             channel_wall_ms.push(ms);
         }
 
+        let mut outcome = ScenarioOutcome::reduce(self.name.clone(), &accs);
+        // Compile-time CFP bookkeeping rides on the configs, not the
+        // accumulators: surface each channel's denied GTS requests as the
+        // typed overflow signal.
+        outcome.gts_denied = configs.iter().map(|c| c.channel.cfp.gts_denied).collect();
         TimedScenarioRun {
-            outcome: ScenarioOutcome::reduce(self.name.clone(), &accs),
+            outcome,
             channel_wall_ms,
             wall_ms,
         }
@@ -905,6 +1040,10 @@ pub struct ScenarioOutcome {
     pub per_channel: Vec<NetworkSummary>,
     /// All channels and replications merged.
     pub overall: NetworkSummary,
+    /// GTS requests denied per channel at compile time (descriptor table
+    /// exhausted or minimum CAP reached) — those nodes fell back to CAP.
+    /// Empty when the outcome was reduced outside the scenario run path.
+    pub gts_denied: Vec<u32>,
 }
 
 impl ScenarioOutcome {
@@ -961,7 +1100,13 @@ impl ScenarioOutcome {
             name: name.into(),
             per_channel,
             overall: overall.summary(),
+            gts_denied: Vec::new(),
         }
+    }
+
+    /// Total GTS requests denied across all channels.
+    pub fn total_gts_denied(&self) -> u32 {
+        self.gts_denied.iter().sum()
     }
 
     /// Index and summary of the channel with the highest failure ratio.
@@ -1090,9 +1235,7 @@ mod tests {
             min_db: 60.0,
             max_db: 80.0,
         })
-        .with_traffic(TrafficSpec::PerChannel {
-            payload_bytes: vec![40, 80, 120, 123],
-        });
+        .with_traffic(TrafficSpec::per_channel(vec![40, 80, 120, 123]));
         let configs = s.compile();
         let loads: Vec<f64> = configs.iter().map(|c| c.channel.load).collect();
         assert!(loads.windows(2).all(|w| w[0] < w[1]));
@@ -1139,6 +1282,89 @@ mod tests {
         }
         assert_eq!(serial.overall.replications, 3);
         assert_eq!(serial.per_channel[0].replications, 3);
+    }
+
+    #[test]
+    fn cap_only_traffic_compiles_inert_plans() {
+        let configs = Scenario::paper_case_study().compile();
+        assert!(configs.iter().all(|c| c.channel.cfp.is_inert()));
+    }
+
+    #[test]
+    fn gts_traffic_resolves_through_the_registry() {
+        let s = tiny(DeploymentSpec::UniformLossGrid {
+            min_db: 60.0,
+            max_db: 85.0,
+        })
+        .with_traffic(TrafficSpec::uniform(80).with_gts(1).with_downlink(0.25));
+        let configs = s.compile();
+        for cfg in &configs {
+            // All 10 nodes asked; 7 descriptors exist.
+            assert_eq!(cfg.channel.cfp.gts_nodes, 7);
+            assert_eq!(cfg.channel.cfp.gts_denied, 3);
+            assert_eq!(cfg.channel.cfp.cfp_start_slot, 9);
+            assert_eq!(cfg.channel.cfp.downlink_rate, 0.25);
+        }
+        let outcome = s.with_superframes(4).run(&Runner::serial());
+        assert_eq!(outcome.gts_denied, vec![3, 3, 3, 3]);
+        assert_eq!(outcome.total_gts_denied(), 12);
+        assert!(outcome.overall.cfp_power.microwatts() > 0.0);
+        assert!(outcome.overall.gts_transactions > 0);
+        assert!(outcome.overall.downlink_polls > 0);
+    }
+
+    #[test]
+    fn min_cap_floor_limits_gts_grants() {
+        let s = tiny(DeploymentSpec::UniformLossGrid {
+            min_db: 60.0,
+            max_db: 85.0,
+        })
+        .with_traffic(TrafficSpec::uniform(80).with_gts(2))
+        .with_min_cap_slots(10);
+        // Two-slot allocations above a 10-slot CAP: only 3 fit (slots
+        // 10..16).
+        let configs = s.compile();
+        assert_eq!(configs[0].channel.cfp.gts_nodes, 3);
+        assert_eq!(configs[0].channel.cfp.gts_denied, 7);
+        assert_eq!(configs[0].channel.cfp.cfp_start_slot, 10);
+    }
+
+    #[test]
+    fn gts_demand_caps_the_requesting_nodes() {
+        let s = tiny(DeploymentSpec::UniformLossGrid {
+            min_db: 60.0,
+            max_db: 85.0,
+        })
+        .with_traffic(TrafficSpec::uniform(80).with_gts(1).with_gts_demand(4));
+        let configs = s.compile();
+        assert_eq!(configs[0].channel.cfp.gts_nodes, 4);
+        assert_eq!(configs[0].channel.cfp.gts_denied, 0);
+    }
+
+    #[test]
+    fn cfp_scenario_runs_are_bit_identical_across_thread_counts() {
+        let s = tiny(DeploymentSpec::UniformLossGrid {
+            min_db: 60.0,
+            max_db: 85.0,
+        })
+        .with_traffic(TrafficSpec::uniform(100).with_gts(1).with_downlink(0.5))
+        .with_replications(2);
+        let serial = s.run(&Runner::serial());
+        for threads in [2, 4] {
+            let parallel = s.run(&Runner::with_threads(threads));
+            assert_eq!(serial.overall.mean_node_power, parallel.overall.mean_node_power);
+            assert_eq!(serial.overall.cap_power, parallel.overall.cap_power);
+            assert_eq!(serial.overall.cfp_power, parallel.overall.cfp_power);
+            assert_eq!(
+                serial.overall.cfp_power_standard_error,
+                parallel.overall.cfp_power_standard_error
+            );
+            assert_eq!(serial.gts_denied, parallel.gts_denied);
+            assert_eq!(
+                serial.overall.downlink_failure_ratio,
+                parallel.overall.downlink_failure_ratio
+            );
+        }
     }
 
     #[test]

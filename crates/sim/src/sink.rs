@@ -17,6 +17,7 @@
 
 use wsn_units::Probability;
 
+use crate::cfp::{DownlinkOutcome, DownlinkRecord, GtsRecord};
 use crate::contention::{AttemptOutcome, AttemptRecord, SimTrace, TransactionRecord, SLOT_US};
 use crate::stats::{Accumulator, ContentionAccumulator, ContentionStats, Counter};
 
@@ -33,6 +34,10 @@ pub trait TraceSink {
     fn on_transaction(&mut self, record: &TransactionRecord);
     /// An arrival was skipped because the node was still busy.
     fn on_overrun(&mut self) {}
+    /// One GTS (contention-free) transmission concluded.
+    fn on_gts(&mut self, _record: &GtsRecord) {}
+    /// One downlink poll concluded.
+    fn on_downlink(&mut self, _record: &DownlinkRecord) {}
 }
 
 impl<T: TraceSink + ?Sized> TraceSink for &mut T {
@@ -44,6 +49,12 @@ impl<T: TraceSink + ?Sized> TraceSink for &mut T {
     }
     fn on_overrun(&mut self) {
         (**self).on_overrun();
+    }
+    fn on_gts(&mut self, record: &GtsRecord) {
+        (**self).on_gts(record);
+    }
+    fn on_downlink(&mut self, record: &DownlinkRecord) {
+        (**self).on_downlink(record);
     }
 }
 
@@ -65,6 +76,14 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
         self.0.on_overrun();
         self.1.on_overrun();
     }
+    fn on_gts(&mut self, record: &GtsRecord) {
+        self.0.on_gts(record);
+        self.1.on_gts(record);
+    }
+    fn on_downlink(&mut self, record: &DownlinkRecord) {
+        self.0.on_downlink(record);
+        self.1.on_downlink(record);
+    }
 }
 
 /// Collects every record into a [`SimTrace`] — the pre-streaming
@@ -81,6 +100,8 @@ impl TraceCollector {
             trace: SimTrace {
                 attempts: Vec::new(),
                 transactions: Vec::new(),
+                gts: Vec::new(),
+                downlinks: Vec::new(),
                 overruns: 0,
                 superframe_slots,
             },
@@ -103,6 +124,12 @@ impl TraceSink for TraceCollector {
     fn on_overrun(&mut self) {
         self.trace.overruns += 1;
     }
+    fn on_gts(&mut self, record: &GtsRecord) {
+        self.trace.gts.push(*record);
+    }
+    fn on_downlink(&mut self, record: &DownlinkRecord) {
+        self.trace.downlinks.push(*record);
+    }
 }
 
 /// Online reducer: folds the event stream straight into the statistics the
@@ -119,6 +146,16 @@ pub struct StatsSink {
     pub delivery_superframes: Accumulator,
     /// Arrivals skipped because the node was still busy.
     pub overruns: u64,
+    /// Failed GTS transmissions over GTS transmissions (CFP traffic; GTS
+    /// deliveries also fold into [`failures`](Self::failures),
+    /// [`attempts`](Self::attempts) and
+    /// [`delivery_superframes`](Self::delivery_superframes) so CAP-only
+    /// and GTS scenarios compare on the same transaction statistics).
+    pub gts_failures: Counter,
+    /// Undelivered downlink polls over non-deferred polls.
+    pub downlink_failures: Counter,
+    /// Downlink polls deferred because the node was busy.
+    pub downlink_deferred: u64,
 }
 
 impl StatsSink {
@@ -135,6 +172,9 @@ impl StatsSink {
         self.attempts.merge(&other.attempts);
         self.delivery_superframes.merge(&other.delivery_superframes);
         self.overruns += other.overruns;
+        self.gts_failures.merge(&other.gts_failures);
+        self.downlink_failures.merge(&other.downlink_failures);
+        self.downlink_deferred += other.downlink_deferred;
     }
 
     /// The contention statistics (identical to
@@ -186,6 +226,27 @@ impl TraceSink for StatsSink {
 
     fn on_overrun(&mut self) {
         self.overruns += 1;
+    }
+
+    fn on_gts(&mut self, record: &GtsRecord) {
+        self.gts_failures.observe(!record.delivered);
+        // A GTS transmission is a one-attempt transaction: fold it into
+        // the shared transaction statistics too.
+        self.failures.observe(!record.delivered);
+        self.attempts.push(1.0);
+        if record.delivered {
+            self.delivery_superframes
+                .push(record.superframes_waited as f64 + 1.0);
+        }
+    }
+
+    fn on_downlink(&mut self, record: &DownlinkRecord) {
+        if record.outcome == DownlinkOutcome::Deferred {
+            self.downlink_deferred += 1;
+        } else {
+            self.downlink_failures
+                .observe(record.outcome != DownlinkOutcome::Delivered);
+        }
     }
 }
 

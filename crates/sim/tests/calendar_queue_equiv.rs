@@ -14,7 +14,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use wsn_phy::noise::UniformSource;
-use wsn_sim::events::EventQueue;
+use wsn_sim::events::{EventQueue, PRIORITY_CLASSES};
 use wsn_sim::Xoshiro256StarStar;
 
 /// The old implementation's ordering semantics: a binary heap over
@@ -83,7 +83,7 @@ fn drive_equivalence(seed: u64, ops: usize, window: u64, pop_bias: f64, backdate
             } else {
                 now + spread
             };
-            let priority = (rng.next_u64() % 4) as u8;
+            let priority = (rng.next_u64() % PRIORITY_CLASSES as u64) as u8;
             calendar.push(time, priority, payload);
             reference.push(time, priority, payload);
             payload += 1;
@@ -150,6 +150,51 @@ fn pop_order_matches_heap_with_below_cursor_pushes() {
     }
 }
 
+/// The CFP priority class (the fifth, added for GTS transmissions) must
+/// obey the same `(time, class, insertion)` contract as the original
+/// four: class-4-heavy workloads mixing CFP events with same-slot CAP
+/// storms pop in reference-heap order.
+#[test]
+fn pop_order_matches_heap_for_cfp_class_storms() {
+    for seed in 0..8u64 {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xCF9_0000 + seed);
+        let mut calendar: EventQueue<u64> = EventQueue::new();
+        let mut reference = HeapQueue::default();
+        let mut payload = 0u64;
+        let mut now = 0u64;
+        for _ in 0..3_000 {
+            if reference.len() > 0 && rng.next_f64() < 0.45 {
+                let a = calendar.pop();
+                let b = reference.pop();
+                assert_eq!(a, b, "seed={seed}");
+                if let Some((t, _)) = a {
+                    now = t;
+                }
+            } else {
+                let time = now + rng.next_u64() % 3;
+                // Half the pushes land in the CFP class, the rest spread
+                // over the CAP classes — maximal cross-class tie density.
+                let priority = if rng.next_u64() % 2 == 0 {
+                    (PRIORITY_CLASSES - 1) as u8
+                } else {
+                    (rng.next_u64() % (PRIORITY_CLASSES as u64 - 1)) as u8
+                };
+                calendar.push(time, priority, payload);
+                reference.push(time, priority, payload);
+                payload += 1;
+            }
+        }
+        loop {
+            let a = calendar.pop();
+            let b = reference.pop();
+            assert_eq!(a, b, "seed={seed}: drain");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
 #[test]
 fn pop_order_matches_heap_for_all_pushes_then_all_pops() {
     // Arbitrary (time, priority) pushed up front — including pushes below
@@ -160,7 +205,7 @@ fn pop_order_matches_heap_for_all_pushes_then_all_pops() {
         let mut reference = HeapQueue::default();
         for payload in 0..1_500u64 {
             let time = rng.next_u64() % 10_000;
-            let priority = (rng.next_u64() % 4) as u8;
+            let priority = (rng.next_u64() % PRIORITY_CLASSES as u64) as u8;
             calendar.push(time, priority, payload);
             reference.push(time, priority, payload);
         }

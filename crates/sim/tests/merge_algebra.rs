@@ -259,6 +259,54 @@ fn network_accumulator_merge_is_split_invariant() {
 }
 
 #[test]
+fn cfp_counters_merge_exactly() {
+    // CFP-carrying accumulators: GTS/downlink counters, denied counts and
+    // the CAP/CFP power splits all pool exactly across shards.
+    let ber = EmpiricalCc2420Ber::paper();
+    let accs: Vec<NetworkAccumulator> = (0..3u64)
+        .map(|c| {
+            let mut cfg = small_network(12, 0xCF9 + c);
+            cfg.channel.cfp =
+                wsn_sim::plan_channel_cfp(cfg.channel.nodes as u32, 12, 1, 8, 0.5);
+            NetworkSimulator::new(cfg).run_accumulate(&ber)
+        })
+        .collect();
+    let mut merged = NetworkAccumulator::new();
+    for a in &accs {
+        merged.merge(a);
+    }
+    assert_eq!(
+        merged.gts_failures.trials(),
+        accs.iter().map(|a| a.gts_failures.trials()).sum::<u64>()
+    );
+    assert!(merged.gts_failures.trials() > 0, "the probe carried GTS traffic");
+    assert_eq!(merged.gts_denied, 15, "5 denied per shard, summed");
+    assert_eq!(
+        merged.downlink_failures.trials(),
+        accs.iter().map(|a| a.downlink_failures.trials()).sum::<u64>()
+    );
+    assert_eq!(
+        merged.downlink_deferred,
+        accs.iter().map(|a| a.downlink_deferred).sum::<u64>()
+    );
+    assert_eq!(
+        merged.cap_uw.count(),
+        accs.iter().map(|a| a.cap_uw.count()).sum::<u64>()
+    );
+    assert_eq!(
+        merged.cfp_uw.count(),
+        accs.iter().map(|a| a.cfp_uw.count()).sum::<u64>()
+    );
+    // Sealing after the merge records one replication over the pooled
+    // splits.
+    merged.seal_replication();
+    let summary = merged.summary();
+    assert_eq!(summary.gts_denied, 15);
+    assert!(summary.cfp_power.microwatts() > 0.0);
+    assert!(summary.cap_power.microwatts() > 0.0);
+}
+
+#[test]
 fn sealed_replications_drive_the_standard_errors() {
     let ber = EmpiricalCc2420Ber::paper();
     let mut total = NetworkAccumulator::new();

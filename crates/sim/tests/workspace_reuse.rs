@@ -31,6 +31,8 @@ fn collect(config: &ChannelSimConfig, ws: &mut SimWorkspace) -> (SimTrace, u64) 
 fn assert_traces_identical(a: &SimTrace, b: &SimTrace, context: &str) {
     assert_eq!(a.attempts, b.attempts, "{context}: attempts");
     assert_eq!(a.transactions, b.transactions, "{context}: transactions");
+    assert_eq!(a.gts, b.gts, "{context}: gts");
+    assert_eq!(a.downlinks, b.downlinks, "{context}: downlinks");
     assert_eq!(a.overruns, b.overruns, "{context}: overruns");
     assert_eq!(a.superframe_slots, b.superframe_slots, "{context}: slots");
 }
@@ -39,9 +41,14 @@ fn assert_traces_identical(a: &SimTrace, b: &SimTrace, context: &str) {
 fn reused_workspace_matches_fresh_allocation_across_mixed_configs() {
     // Big → small → big again: shrinking configurations must not leak
     // stale nodes, offsets or queue entries into later runs.
+    let mut cfp = cfg(80, 20, 0.4, 0xDDD);
+    cfp.cfp = wsn_sim::plan_channel_cfp(20, 7, 1, 8, 0.5);
     let configs = [
         cfg(100, 60, 0.7, 0xAAA),
         cfg(20, 5, 0.1, 0xBBB),
+        // A CFP run in the middle: its downlink-offset buffer must not
+        // leak into the CAP-only runs around it (and vice versa).
+        cfp,
         cfg(100, 60, 0.7, 0xAAA),
         cfg(50, 30, 0.45, 0xCCC),
     ];

@@ -51,9 +51,7 @@ fn main() {
             },
         )
         .with_allocation(ChannelAllocation::Contiguous)
-        .with_traffic(TrafficSpec::PerChannel {
-            payload_bytes: vec![40, 80, 120, 123],
-        }),
+        .with_traffic(TrafficSpec::per_channel(vec![40, 80, 120, 123])),
     ];
 
     println!(
