@@ -1,0 +1,248 @@
+//! Experiment FAULTS — graceful degradation under node churn and
+//! coordinator outages.
+//!
+//! The paper's energy model assumes a static association: every node
+//! joined once, before time zero, and the coordinator never misses a
+//! beacon. Deployed 802.15.4 networks see neither — batteries die, nodes
+//! are replaced, and the coordinator itself browns out. This experiment
+//! sweeps the fault plan (`wsn_sim::faults`) on two axes:
+//!
+//! * **churn rate** — per-node, per-superframe death probability; dead
+//!   nodes rejoin through the real association machine (orphan scan,
+//!   bounded retries, dormancy on exhaustion), every joule of it billed
+//!   to the `Association` ledger phase;
+//! * **outage duration** — superframes of coordinator silence per outage
+//!   event, during which alive nodes burn orphan-scan listens and GTS
+//!   holders lose their descriptors to the reallocation pass.
+//!
+//! The headline is the **degradation curve**: delivery ratio and µJ per
+//! *delivered* packet versus churn. A robust stack degrades smoothly —
+//! delivery falls with churn, unit energy rises as orphan scans and
+//! re-association exchanges are amortized over fewer deliveries — with
+//! no cliff and no livelock (retries are bounded, so the dormant count
+//! caps the join traffic).
+//!
+//! With `--json`, the sweep is written to `BENCH_faults.json` — per-point
+//! wall-clock, a serial-reference speedup and `host_cpus` — mirroring
+//! `BENCH_cfp.json`'s schema.
+//!
+//! Usage: `cargo run --release -p wsn-bench --bin churn_study [superframes] [--threads N] [--reps N] [--json]`
+
+use wsn_bench::{elapsed_ms, Json, RunArgs, BENCH_FAULTS_PATH};
+use wsn_sim::scenario::{DeploymentSpec, Scenario, TrafficSpec};
+use wsn_sim::{FaultPlan, Runner, ScenarioOutcome};
+
+const CHANNELS: usize = 3;
+const NODES_PER_CHANNEL: usize = 12;
+/// Per-node, per-superframe death probability.
+const DEATH_RATES: [f64; 5] = [0.0, 0.01, 0.03, 0.06, 0.10];
+/// Coordinator-outage duration in superframes (0 = outages disabled).
+const OUTAGE_SF: [u32; 2] = [0, 2];
+/// Per-superframe outage probability whenever outages are enabled.
+const OUTAGE_RATE: f64 = 0.10;
+/// Superframes a dead node stays down before its first rejoin attempt.
+const REJOIN_DELAY: u32 = 1;
+/// Join attempts before a node gives up and goes dormant.
+const MAX_JOIN_RETRIES: u32 = 3;
+
+fn scenario(death_rate: f64, outage_sf: u32, superframes: u32, reps: u32) -> Scenario {
+    let mut faults = FaultPlan::inert();
+    if death_rate > 0.0 {
+        faults = faults.with_churn(death_rate, REJOIN_DELAY, MAX_JOIN_RETRIES);
+    }
+    if outage_sf > 0 {
+        faults = faults.with_outages(OUTAGE_RATE, outage_sf);
+    }
+    Scenario::new(
+        format!("churn{death_rate}-out{outage_sf}"),
+        CHANNELS,
+        NODES_PER_CHANNEL,
+        DeploymentSpec::UniformLossGrid {
+            min_db: 55.0,
+            max_db: 90.0,
+        },
+    )
+    // GTS + downlink traffic so churn also exercises descriptor
+    // reallocation and poll scheduling, not just the CAP.
+    .with_traffic(TrafficSpec::uniform(120).with_gts(1).with_downlink(0.3))
+    .with_beacon_order(wsn_mac::BeaconOrder::new(3).expect("BO 3 valid"))
+    .with_faults(faults)
+    .with_superframes(superframes)
+    .with_replications(reps)
+}
+
+struct SweepPoint {
+    death_rate: f64,
+    outage_sf: u32,
+    outcome: ScenarioOutcome,
+    wall_ms: f64,
+}
+
+impl SweepPoint {
+    fn delivery_ratio(&self) -> f64 {
+        1.0 - self.outcome.overall.failure_ratio.value()
+    }
+}
+
+fn run_sweep(runner: &Runner, superframes: u32, reps: u32) -> (Vec<SweepPoint>, f64) {
+    let t0 = std::time::Instant::now();
+    let mut points = Vec::new();
+    for &out_sf in &OUTAGE_SF {
+        for &death in &DEATH_RATES {
+            let s = scenario(death, out_sf, superframes, reps);
+            let timed = s.run_compiled_timed(runner, &s.compile());
+            points.push(SweepPoint {
+                death_rate: death,
+                outage_sf: out_sf,
+                outcome: timed.outcome,
+                wall_ms: timed.wall_ms,
+            });
+        }
+    }
+    (points, elapsed_ms(t0))
+}
+
+fn main() {
+    let args = RunArgs::parse(20);
+    let reps = args.reps_or(3);
+    let runner = args.runner();
+
+    println!(
+        "# churn / outage study — {CHANNELS} channels × {NODES_PER_CHANNEL} nodes, \
+         BO 3, {} superframes × {reps} reps ({} threads)",
+        args.superframes,
+        runner.threads()
+    );
+    let (points, wall_ms) = run_sweep(&runner, args.superframes, reps);
+
+    println!(
+        "\ndeath_rate,outage_sf,delivery_pct,power_uW,uj_per_pkt,deaths,orphan_scans,\
+         join_attempts,join_fail_pct,reassoc_s,dormant"
+    );
+    for p in &points {
+        let o = &p.outcome.overall;
+        println!(
+            "{:.2},{},{:.1},{:.1},{:.2},{},{},{},{:.1},{:.3},{}",
+            p.death_rate,
+            p.outage_sf,
+            p.delivery_ratio() * 100.0,
+            o.mean_node_power.microwatts(),
+            o.energy_per_delivered_packet_uj,
+            o.deaths,
+            o.orphan_scans,
+            o.join_attempts,
+            o.join_failure_ratio.value() * 100.0,
+            o.mean_reassociation_delay.secs(),
+            o.dormant_nodes,
+        );
+    }
+
+    println!("\n## readings");
+    for &out_sf in &OUTAGE_SF {
+        let curve: Vec<&SweepPoint> =
+            points.iter().filter(|p| p.outage_sf == out_sf).collect();
+        let clean = curve.first().expect("sweep covers death_rate 0");
+        let worst = curve.last().expect("sweep covers the max churn rate");
+        println!(
+            "outage={out_sf} sf: delivery {:.1} % → {:.1} % and {:.2} → {:.2} µJ/pkt \
+             as churn rises 0 → {:.0} %/sf ({} deaths, {} dormant at the top)",
+            clean.delivery_ratio() * 100.0,
+            worst.delivery_ratio() * 100.0,
+            clean.outcome.overall.energy_per_delivered_packet_uj,
+            worst.outcome.overall.energy_per_delivered_packet_uj,
+            worst.death_rate * 100.0,
+            worst.outcome.overall.deaths,
+            worst.outcome.overall.dormant_nodes,
+        );
+        let monotone_deaths = curve.windows(2).all(|w| {
+            w[0].outcome.overall.deaths <= w[1].outcome.overall.deaths
+        });
+        let bounded_joins = curve.iter().all(|p| {
+            p.outcome.overall.join_attempts
+                <= p.outcome.overall.deaths * (MAX_JOIN_RETRIES as u64 + 1)
+        });
+        println!(
+            "  deaths monotone in churn: {monotone_deaths}; join attempts bounded by \
+             deaths × (retries+1): {bounded_joins}"
+        );
+    }
+
+    if args.json {
+        // Serial reference pass (always real, as in `gts_study`): the
+        // sweep is small, so the recorded speedup stays comparable
+        // across hosts.
+        let serial_wall_ms = {
+            let (_, ms) = run_sweep(&Runner::serial(), args.superframes, reps);
+            ms
+        };
+        let json_points: Vec<Json> = points
+            .iter()
+            .map(|p| {
+                let o = &p.outcome.overall;
+                Json::Obj(vec![
+                    ("death_rate", Json::Num(p.death_rate)),
+                    ("outage_superframes", Json::Int(p.outage_sf as i64)),
+                    ("wall_ms", Json::Num(p.wall_ms)),
+                    ("delivery_ratio", Json::Num(p.delivery_ratio())),
+                    ("power_uw", Json::Num(o.mean_node_power.microwatts())),
+                    (
+                        "power_se_uw",
+                        Json::Num(o.power_standard_error.microwatts()),
+                    ),
+                    (
+                        "uj_per_delivered_packet",
+                        Json::Num(o.energy_per_delivered_packet_uj),
+                    ),
+                    ("deaths", Json::Int(o.deaths as i64)),
+                    ("orphan_scans", Json::Int(o.orphan_scans as i64)),
+                    ("join_attempts", Json::Int(o.join_attempts as i64)),
+                    (
+                        "join_failure_ratio",
+                        Json::Num(o.join_failure_ratio.value()),
+                    ),
+                    (
+                        "reassociation_delay_s",
+                        Json::Num(o.mean_reassociation_delay.secs()),
+                    ),
+                    ("dormant_nodes", Json::Int(o.dormant_nodes as i64)),
+                    ("gts_transactions", Json::Int(o.gts_transactions as i64)),
+                    ("downlink_polls", Json::Int(o.downlink_polls as i64)),
+                ])
+            })
+            .collect();
+        let baseline = &points[0];
+        let doc = Json::Obj(vec![
+            ("benchmark", Json::Str("churn_study_faults".into())),
+            ("superframes", Json::Int(args.superframes as i64)),
+            ("replications", Json::Int(reps as i64)),
+            ("threads", Json::Int(runner.threads() as i64)),
+            (
+                "host_cpus",
+                Json::Int(
+                    std::thread::available_parallelism()
+                        .map(|n| n.get() as i64)
+                        .unwrap_or(1),
+                ),
+            ),
+            ("channels", Json::Int(CHANNELS as i64)),
+            ("nodes_per_channel", Json::Int(NODES_PER_CHANNEL as i64)),
+            ("outage_rate", Json::Num(OUTAGE_RATE)),
+            ("rejoin_delay_superframes", Json::Int(REJOIN_DELAY as i64)),
+            ("max_join_retries", Json::Int(MAX_JOIN_RETRIES as i64)),
+            ("wall_ms", Json::Num(wall_ms)),
+            ("serial_wall_ms", Json::Num(serial_wall_ms)),
+            ("speedup_vs_serial", Json::Num(serial_wall_ms / wall_ms)),
+            (
+                "baseline_delivery_ratio",
+                Json::Num(baseline.delivery_ratio()),
+            ),
+            (
+                "baseline_uj_per_packet",
+                Json::Num(baseline.outcome.overall.energy_per_delivered_packet_uj),
+            ),
+            ("points", Json::Arr(json_points)),
+        ]);
+        std::fs::write(BENCH_FAULTS_PATH, doc.render()).expect("write benchmark JSON");
+        eprintln!("wrote {BENCH_FAULTS_PATH}");
+    }
+}

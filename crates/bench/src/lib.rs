@@ -136,6 +136,12 @@ pub const BENCH_CORE_PATH: &str = "BENCH_core.json";
 /// point per swept `(gts_nodes, downlink_rate)` cell.
 pub const BENCH_CFP_PATH: &str = "BENCH_cfp.json";
 
+/// Canonical output path of the fault-injection study emitted by
+/// `churn_study --json`: one point per swept `(death_rate,
+/// outage_superframes)` cell, carrying the graceful-degradation curve
+/// (delivery ratio and µJ per delivered packet versus churn).
+pub const BENCH_FAULTS_PATH: &str = "BENCH_faults.json";
+
 /// Builds the `BENCH_network.json` document, mirroring
 /// `BENCH_contention.json`'s schema: per-point (here: per-channel)
 /// wall-clock, a serial-reference speedup and `host_cpus`, plus the

@@ -146,6 +146,7 @@ impl MonteCarloContention {
             seed: self.seed ^ key.0 ^ (key.1 as u64) << 40,
             synchronized_arrivals: false,
             cfp: wsn_sim::CfpPlan::inert(),
+            faults: wsn_sim::FaultPlan::inert(),
         }
     }
 

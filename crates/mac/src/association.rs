@@ -210,6 +210,176 @@ impl AddressAllocator {
     }
 }
 
+/// Device-side association lifecycle states.
+///
+/// The paper starts from an associated network, but under churn a node
+/// walks the full cycle: it joins, tracks its coordinator's beacons,
+/// declares itself orphaned after `aMaxLostBeacons`-style consecutive
+/// misses, scans and retries association a bounded number of times, and —
+/// rather than spinning forever on a dead coordinator — goes dormant once
+/// the retry budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Not yet part of the network (cold start).
+    Unassociated,
+    /// Association request sent; awaiting the coordinator's response.
+    AwaitingResponse,
+    /// Joined and tracking beacons.
+    Associated,
+    /// Coordinator lost; running the orphan scan procedure.
+    Orphaned,
+    /// Retry budget exhausted; radio off until an external reset.
+    Dormant,
+}
+
+/// Device-side association state machine with bounded retry.
+///
+/// Drives the join → orphan → re-associate cycle. Beacon tracking uses an
+/// `aMaxLostBeacons`-style threshold (the standard's default is 4): that
+/// many *consecutive* missed beacons orphan the node. Each orphan scan or
+/// failed association exchange consumes one unit of the retry budget;
+/// exhausting it parks the machine in [`LinkState::Dormant`].
+///
+/// # Examples
+///
+/// ```
+/// use wsn_mac::association::{AssociationMachine, AssociationStatus, LinkState};
+///
+/// let mut m = AssociationMachine::new(4, 3);
+/// m.request_sent();
+/// m.response(AssociationStatus::Successful);
+/// assert_eq!(m.state(), LinkState::Associated);
+/// for _ in 0..4 {
+///     m.beacon_missed();
+/// }
+/// assert_eq!(m.state(), LinkState::Orphaned);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssociationMachine {
+    state: LinkState,
+    lost_beacons: u32,
+    max_lost_beacons: u32,
+    retries: u32,
+    max_retries: u32,
+}
+
+impl AssociationMachine {
+    /// Creates a machine in [`LinkState::Unassociated`].
+    ///
+    /// `max_lost_beacons` consecutive missed beacons orphan an associated
+    /// node (use 4 for the standard's `aMaxLostBeacons`); after
+    /// `max_retries` failed scan/association rounds the node goes dormant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is zero — a zero threshold would orphan or
+    /// park the node before anything happened.
+    pub fn new(max_lost_beacons: u32, max_retries: u32) -> Self {
+        assert!(max_lost_beacons > 0, "max_lost_beacons must be positive");
+        assert!(max_retries > 0, "max_retries must be positive");
+        AssociationMachine {
+            state: LinkState::Unassociated,
+            lost_beacons: 0,
+            max_lost_beacons,
+            retries: 0,
+            max_retries,
+        }
+    }
+
+    /// Creates a machine already associated (the paper's warm start).
+    pub fn associated(max_lost_beacons: u32, max_retries: u32) -> Self {
+        let mut m = AssociationMachine::new(max_lost_beacons, max_retries);
+        m.state = LinkState::Associated;
+        m
+    }
+
+    /// Current state.
+    pub fn state(&self) -> LinkState {
+        self.state
+    }
+
+    /// Consecutive beacons missed while associated.
+    pub fn lost_beacons(&self) -> u32 {
+        self.lost_beacons
+    }
+
+    /// Scan/association retries consumed since the node last associated.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// True when the machine can carry traffic.
+    pub fn is_associated(&self) -> bool {
+        self.state == LinkState::Associated
+    }
+
+    /// True once the retry budget is exhausted.
+    pub fn is_dormant(&self) -> bool {
+        self.state == LinkState::Dormant
+    }
+
+    /// An association request went out (from cold start or an orphan
+    /// scan that located a coordinator). No-op unless the node is
+    /// unassociated or orphaned.
+    pub fn request_sent(&mut self) {
+        if matches!(self.state, LinkState::Unassociated | LinkState::Orphaned) {
+            self.state = LinkState::AwaitingResponse;
+        }
+    }
+
+    /// The coordinator's association response arrived. On success the node
+    /// associates and both counters reset; any other status consumes one
+    /// retry and sends the node back to scanning (or dormancy).
+    pub fn response(&mut self, status: AssociationStatus) {
+        if self.state != LinkState::AwaitingResponse {
+            return;
+        }
+        if status == AssociationStatus::Successful {
+            self.state = LinkState::Associated;
+            self.lost_beacons = 0;
+            self.retries = 0;
+        } else {
+            self.consume_retry();
+        }
+    }
+
+    /// A tracked beacon arrived; resets the consecutive-miss counter.
+    pub fn beacon_received(&mut self) {
+        if self.state == LinkState::Associated {
+            self.lost_beacons = 0;
+        }
+    }
+
+    /// A tracked beacon was missed. After `max_lost_beacons` consecutive
+    /// misses the node declares itself orphaned.
+    pub fn beacon_missed(&mut self) {
+        if self.state != LinkState::Associated {
+            return;
+        }
+        self.lost_beacons += 1;
+        if self.lost_beacons >= self.max_lost_beacons {
+            self.state = LinkState::Orphaned;
+        }
+    }
+
+    /// One orphan-scan round concluded without locating the coordinator
+    /// (or the subsequent exchange failed); consumes one retry.
+    pub fn scan_failed(&mut self) {
+        if self.state == LinkState::Orphaned {
+            self.consume_retry();
+        }
+    }
+
+    fn consume_retry(&mut self) {
+        self.retries += 1;
+        self.state = if self.retries >= self.max_retries {
+            LinkState::Dormant
+        } else {
+            LinkState::Orphaned
+        };
+    }
+}
+
 /// Serializes an association request command payload.
 pub fn association_request(capability: CapabilityInfo) -> Vec<u8> {
     vec![CommandId::AssociationRequest.byte(), capability.byte()]
@@ -314,5 +484,73 @@ mod tests {
         let wire = association_request(CapabilityInfo::microsensor());
         assert_eq!(wire.len(), 2);
         assert_eq!(wire[0], 0x01);
+    }
+
+    #[test]
+    fn full_join_orphan_reassociate_cycle() {
+        let mut m = AssociationMachine::new(4, 3);
+        assert_eq!(m.state(), LinkState::Unassociated);
+
+        // Cold start: request → successful response → associated.
+        m.request_sent();
+        assert_eq!(m.state(), LinkState::AwaitingResponse);
+        m.response(AssociationStatus::Successful);
+        assert!(m.is_associated());
+
+        // Three misses with a beacon in between never orphan the node —
+        // the threshold counts *consecutive* misses.
+        for _ in 0..3 {
+            m.beacon_missed();
+        }
+        m.beacon_received();
+        assert_eq!(m.lost_beacons(), 0);
+        assert!(m.is_associated());
+
+        // aMaxLostBeacons consecutive misses orphan it.
+        for _ in 0..4 {
+            m.beacon_missed();
+        }
+        assert_eq!(m.state(), LinkState::Orphaned);
+
+        // One failed scan, then a successful re-association.
+        m.scan_failed();
+        assert_eq!(m.state(), LinkState::Orphaned);
+        assert_eq!(m.retries(), 1);
+        m.request_sent();
+        m.response(AssociationStatus::Successful);
+        assert!(m.is_associated());
+        assert_eq!(m.retries(), 0, "re-association resets the retry budget");
+    }
+
+    #[test]
+    fn bounded_retry_exhaustion_goes_dormant() {
+        let mut m = AssociationMachine::associated(4, 3);
+        for _ in 0..4 {
+            m.beacon_missed();
+        }
+        assert_eq!(m.state(), LinkState::Orphaned);
+
+        // Two failed scans plus one denied exchange exhaust the budget.
+        m.scan_failed();
+        m.scan_failed();
+        assert_eq!(m.state(), LinkState::Orphaned);
+        m.request_sent();
+        m.response(AssociationStatus::Denied);
+        assert!(m.is_dormant());
+        assert_eq!(m.retries(), 3);
+
+        // Dormant is absorbing: no event revives the node.
+        m.request_sent();
+        m.beacon_received();
+        m.beacon_missed();
+        m.scan_failed();
+        m.response(AssociationStatus::Successful);
+        assert!(m.is_dormant(), "dormant node must not spin back up");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_retries must be positive")]
+    fn zero_retry_budget_rejected() {
+        let _ = AssociationMachine::new(4, 0);
     }
 }

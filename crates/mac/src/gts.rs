@@ -246,6 +246,31 @@ mod tests {
     }
 
     #[test]
+    fn freed_slots_are_immediately_reusable() {
+        // allocate → deallocate → reallocate: the freed space returns to
+        // the CAP and a later allocation reuses it — churned GTS holders
+        // must not leak descriptor slots for the rest of the run.
+        let mut r = GtsRegistry::new(12);
+        r.allocate(1, 2).unwrap(); // 14..16 — CAP floor reached
+        r.allocate(2, 2).unwrap(); // 12..14
+        assert!(matches!(
+            r.allocate(3, 1),
+            Err(GtsError::SlotUnavailable { .. })
+        ));
+        assert!(r.deallocate(1));
+        assert_eq!(r.cfp_start_slot(), 14, "freed tail slots return to CAP");
+        // The freed 2 slots service a new holder at the repacked tail.
+        let c = r.allocate(3, 2).unwrap();
+        assert_eq!(c.starting_slot, 12);
+        assert_eq!(r.cfp_start_slot(), 12);
+        assert_eq!(r.allocations().len(), 2);
+        // And a departed holder can itself rejoin after churn.
+        assert!(r.deallocate(2));
+        let back = r.allocate(2, 2).unwrap();
+        assert_eq!(back.starting_slot, 12);
+    }
+
+    #[test]
     fn error_display() {
         assert_eq!(
             GtsError::Exhausted.to_string(),

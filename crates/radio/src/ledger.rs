@@ -38,12 +38,15 @@ pub enum PhaseTag {
     /// Indirect (downlink) traffic: data-request polling, downlink frame
     /// reception and its acknowledgement.
     Downlink,
-    /// Anything else (association, diagnostics, …).
+    /// Association maintenance: orphan-scan listening after missed
+    /// beacons and the association request/response exchange on rejoin.
+    Association,
+    /// Anything else (diagnostics, …).
     Other,
 }
 
 /// Number of distinct [`PhaseTag`]s (the ledger's phase-axis length).
-pub const PHASE_COUNT: usize = 9;
+pub const PHASE_COUNT: usize = 10;
 
 impl PhaseTag {
     /// All phases in display order.
@@ -56,6 +59,7 @@ impl PhaseTag {
         PhaseTag::Ifs,
         PhaseTag::Gts,
         PhaseTag::Downlink,
+        PhaseTag::Association,
         PhaseTag::Other,
     ];
 
@@ -69,7 +73,8 @@ impl PhaseTag {
             PhaseTag::Ifs => 5,
             PhaseTag::Gts => 6,
             PhaseTag::Downlink => 7,
-            PhaseTag::Other => 8,
+            PhaseTag::Association => 8,
+            PhaseTag::Other => 9,
         }
     }
 }
@@ -85,6 +90,7 @@ impl fmt::Display for PhaseTag {
             PhaseTag::Ifs => "ifs",
             PhaseTag::Gts => "gts",
             PhaseTag::Downlink => "downlink",
+            PhaseTag::Association => "association",
             PhaseTag::Other => "other",
         };
         f.write_str(s)

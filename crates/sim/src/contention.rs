@@ -27,6 +27,7 @@
 //!   horizon is tracked in microseconds so packet airtimes stay exact.
 
 use wsn_mac::csma::{CsmaAction, CsmaParams, SlottedCsmaCa};
+use wsn_mac::gts::GtsRegistry;
 use wsn_mac::RetryPolicy;
 use wsn_phy::frame::{ack_duration, beacon_duration, PacketLayout};
 use wsn_phy::noise::UniformSource;
@@ -34,6 +35,7 @@ use wsn_units::{Probability, Seconds};
 
 use crate::cfp::{CfpPlan, DownlinkOutcome, DownlinkRecord, GtsRecord, DATA_REQUEST_AIR_BYTES};
 use crate::events::EventQueue;
+use crate::faults::{FaultKind, FaultPlan, FaultRecord};
 use crate::rng::Xoshiro256StarStar;
 use crate::sink::{StatsSink, TraceCollector, TraceSink};
 use crate::stats::ContentionStats;
@@ -68,6 +70,10 @@ pub struct ChannelSimConfig {
     /// [`CfpPlan::inert`] (the default everywhere CAP-only semantics are
     /// expected) provably leaves the engine untouched.
     pub cfp: CfpPlan,
+    /// Fault-injection plan: node churn and coordinator outages.
+    /// [`FaultPlan::inert`] (the default) provably leaves the engine
+    /// untouched; see [`crate::faults`] for the determinism contract.
+    pub faults: FaultPlan,
 }
 
 impl ChannelSimConfig {
@@ -93,6 +99,7 @@ impl ChannelSimConfig {
             seed,
             synchronized_arrivals: false,
             cfp: CfpPlan::inert(),
+            faults: FaultPlan::inert(),
         }
     }
 
@@ -210,6 +217,8 @@ pub struct SimTrace {
     pub gts: Vec<GtsRecord>,
     /// Downlink poll records (excluding warm-up).
     pub downlinks: Vec<DownlinkRecord>,
+    /// Fault events (excluding warm-up).
+    pub faults: Vec<FaultRecord>,
     /// Arrivals skipped because the node was still busy with the previous
     /// transaction.
     pub overruns: u64,
@@ -238,6 +247,9 @@ impl SimTrace {
         }
         for d in &self.downlinks {
             sink.on_downlink(d);
+        }
+        for f in &self.faults {
+            sink.on_fault(f);
         }
         for _ in 0..self.overruns {
             sink.on_overrun();
@@ -350,6 +362,18 @@ struct NodeState {
     /// its outcome is known at TxEnd (so attempts cut off by the horizon
     /// are never recorded with a fabricated outcome).
     pending_attempt: Option<AttemptRecord>,
+    /// Fault-plan state: `false` while the node's radio is off (dead or
+    /// dormant). Always `true` in fault-free runs.
+    alive: bool,
+    /// The node drew a death mid-procedure; it dies when the procedure
+    /// concludes (no calendar-queue surgery — see [`crate::faults`]).
+    death_pending: bool,
+    /// Retry budget exhausted: permanently off.
+    dormant: bool,
+    /// Superframes spent down since the node's death.
+    down_superframes: u32,
+    /// Failed re-association attempts since the node's death.
+    join_retries: u32,
 }
 
 /// Reusable per-thread scratch of the contention engine: the calendar
@@ -407,6 +431,34 @@ thread_local! {
 /// while `f` runs; trace sinks must not start nested simulations).
 pub fn with_workspace<R>(f: impl FnOnce(&mut SimWorkspace) -> R) -> R {
     WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+/// Applies a deferred death at the end of the procedure that was in
+/// flight when the node drew it. `death_pending` is only ever set when a
+/// fault plan is active, so this is a no-op branch on the inert path.
+fn resolve_pending_death<S: TraceSink>(
+    n: &mut NodeState,
+    node: u32,
+    in_warmup: bool,
+    gts_registry: &mut Option<GtsRegistry>,
+    sink: &mut S,
+) {
+    if !n.death_pending {
+        return;
+    }
+    n.death_pending = false;
+    n.alive = false;
+    n.down_superframes = 0;
+    n.join_retries = 0;
+    if let Some(reg) = gts_registry.as_mut() {
+        reg.deallocate(node as u16);
+    }
+    if !in_warmup {
+        sink.on_fault(&FaultRecord {
+            node,
+            kind: FaultKind::Death,
+        });
+    }
 }
 
 /// Runs the channel simulation with a per-attempt corruption oracle,
@@ -486,6 +538,11 @@ where
         pending_dl: None,
         tx_start_slot: 0,
         pending_attempt: None,
+        alive: true,
+        death_pending: false,
+        dormant: false,
+        down_superframes: 0,
+        join_retries: 0,
     }));
     let mut offsets_rng = root.split(u64::MAX);
 
@@ -531,6 +588,30 @@ where
             timings.beacon_slots + (dl_rng.next_f64() * span as f64) as u64
         }));
     }
+
+    // --- Fault plan ------------------------------------------------------
+    // Faults draw from their own stream and every branch is gated on
+    // `faults_active`, so an inert plan leaves the event stream, RNG
+    // consumption and record stream bit-identical to the fault-free
+    // engine (see `crate::faults` for the determinism contract).
+    let fplan = config.faults;
+    let faults_active = !fplan.is_engine_inert();
+    let mut fault_rng = root.split(u64::MAX - 2);
+    // Remaining superframes of the current coordinator outage window.
+    let mut outage_left: u32 = 0;
+    // Live GTS lease state: a dying holder releases its descriptor via
+    // the real registry and the freed slots re-resolve into the CFP at
+    // the next superframe boundary; a rejoining holder re-allocates.
+    let mut gts_registry = if faults_active && plan.has_gts() {
+        let mut reg = GtsRegistry::new(plan.cfp_start_slot);
+        for k in 0..gts_nodes {
+            reg.allocate(k as u16, plan.slots_per_gts)
+                .expect("plan allocations fit their own CFP envelope");
+        }
+        Some(reg)
+    } else {
+        None
+    };
 
     let SimWorkspace {
         queue,
@@ -579,28 +660,210 @@ where
         let slot_us = slot * SLOT_US;
         match ev {
             Ev::Beacon => {
-                busy_until_us = busy_until_us.max(slot_us + beacon_us);
-                // Lazy scheduling: this superframe's arrivals (in node
-                // order, preserving the FIFO tie-break of the eager
-                // pre-push) and the next beacon. GTS holders (the leading
-                // node indices) skip CSMA entirely: their packet
-                // transmits in their dedicated CFP slot instead.
-                for (i, &off) in offsets.iter().enumerate() {
-                    if (i as u32) < gts_nodes {
-                        let gts_off =
-                            plan.gts_start_slot(i as u32) as u64 * timings.mac_slot_backoffs;
-                        queue.push(slot + gts_off, PRIO_CFP, Ev::GtsTx { node: i as u32 });
-                    } else {
-                        queue.push(slot + off, PRIO_ARRIVAL, Ev::Arrival { node: i as u32 });
+                let in_warmup = slot < sf_slots;
+                let mut in_outage = false;
+                if faults_active {
+                    // Outage draw: consumed every superframe so the fault
+                    // stream's shape is independent of what the faults
+                    // did; a draw during a running window is discarded.
+                    if fplan.outage_rate > 0.0 {
+                        let start = fault_rng.bernoulli(fplan.outage_rate);
+                        if start && outage_left == 0 {
+                            outage_left = fplan.outage_superframes;
+                        }
+                    }
+                    in_outage = outage_left > 0;
+                    if in_outage {
+                        outage_left -= 1;
+                    }
+                    // Death draws: one per node per superframe in node
+                    // order, consumed regardless of the node's state.
+                    if fplan.death_rate > 0.0 {
+                        for i in 0..config.nodes {
+                            let dies = fault_rng.bernoulli(fplan.death_rate);
+                            let n = &mut nodes[i];
+                            if !dies || !n.alive {
+                                continue;
+                            }
+                            if n.active {
+                                // Mid-procedure: the death defers to the
+                                // procedure's natural end so no queued
+                                // event is ever cancelled.
+                                n.death_pending = true;
+                                continue;
+                            }
+                            n.alive = false;
+                            n.down_superframes = 0;
+                            n.join_retries = 0;
+                            if let Some(reg) = gts_registry.as_mut() {
+                                reg.deallocate(i as u16);
+                            }
+                            if !in_warmup {
+                                sink.on_fault(&FaultRecord {
+                                    node: i as u32,
+                                    kind: FaultKind::Death,
+                                });
+                            }
+                        }
+                    }
+                    // Beacon bookkeeping: missed beacons, orphan scans
+                    // and bounded-retry re-association.
+                    for i in 0..config.nodes {
+                        let n = &mut nodes[i];
+                        if n.alive {
+                            if in_outage && !in_warmup {
+                                // Idle nodes wake and listen the beacon
+                                // window in vain (an orphan-scan cost);
+                                // mid-procedure nodes never woke for it.
+                                sink.on_fault(&FaultRecord {
+                                    node: i as u32,
+                                    kind: FaultKind::MissedBeacon {
+                                        listened: !n.active,
+                                    },
+                                });
+                            }
+                            continue;
+                        }
+                        // Radio off (dead or dormant): the beacon goes
+                        // unheard — and its tracking cost unpaid.
+                        if !in_warmup {
+                            sink.on_fault(&FaultRecord {
+                                node: i as u32,
+                                kind: FaultKind::MissedBeacon { listened: false },
+                            });
+                        }
+                        if n.dormant {
+                            continue;
+                        }
+                        n.down_superframes += 1;
+                        if in_outage
+                            || n.down_superframes <= fplan.rejoin_delay
+                            || n.join_retries >= fplan.max_join_retries
+                        {
+                            // Still backing off, no coordinator to join,
+                            // or a zero-budget plan (permanent death).
+                            continue;
+                        }
+                        // Re-association exchange: the response gets
+                        // through iff the channel does not corrupt it.
+                        let success = !corrupt(i as u32);
+                        if !in_warmup {
+                            sink.on_fault(&FaultRecord {
+                                node: i as u32,
+                                kind: FaultKind::JoinAttempt { success },
+                            });
+                        }
+                        if success {
+                            n.alive = true;
+                            let latency_superframes = n.down_superframes;
+                            n.join_retries = 0;
+                            n.carry_packet = false;
+                            n.superframes_waited = 0;
+                            if !in_warmup {
+                                sink.on_fault(&FaultRecord {
+                                    node: i as u32,
+                                    kind: FaultKind::Reassociated {
+                                        latency_superframes,
+                                    },
+                                });
+                            }
+                            if (i as u32) < gts_nodes {
+                                if let Some(reg) = gts_registry.as_mut() {
+                                    // A former holder reclaims a
+                                    // descriptor; the envelope it left
+                                    // always has room (only original
+                                    // holders ever allocate).
+                                    let _ = reg.allocate(i as u16, plan.slots_per_gts);
+                                }
+                            }
+                        } else {
+                            n.join_retries += 1;
+                            if n.join_retries >= fplan.max_join_retries {
+                                n.dormant = true;
+                                if !in_warmup {
+                                    sink.on_fault(&FaultRecord {
+                                        node: i as u32,
+                                        kind: FaultKind::Dormant,
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
-                if polling {
-                    // One independent pending draw per node per superframe
-                    // (drawn for every node, whether or not it fires, so
-                    // the stream shape is load-independent).
-                    for (i, &off) in dl_offsets.iter().enumerate() {
-                        if dl_rng.bernoulli(plan.downlink_rate) {
-                            queue.push(slot + off, PRIO_ARRIVAL, Ev::DlPoll { node: i as u32 });
+                if !in_outage {
+                    busy_until_us = busy_until_us.max(slot_us + beacon_us);
+                    // Lazy scheduling: this superframe's arrivals (in node
+                    // order, preserving the FIFO tie-break of the eager
+                    // pre-push) and the next beacon. GTS holders skip CSMA
+                    // entirely: their packet transmits in their dedicated
+                    // CFP slot instead. Under churn the holder set is the
+                    // live registry's (re-resolved each superframe); dead
+                    // and dormant nodes schedule nothing.
+                    for (i, &off) in offsets.iter().enumerate() {
+                        if faults_active && !nodes[i].alive {
+                            // The application's per-superframe reading
+                            // still exists; with the radio down the
+                            // offered packet is lost. Recording it as an
+                            // undelivered transaction is what makes the
+                            // delivery ratio degrade with churn instead
+                            // of silently shrinking the denominator.
+                            if !in_warmup {
+                                sink.on_transaction(&TransactionRecord {
+                                    node: i as u32,
+                                    attempts: 0,
+                                    delivered: false,
+                                    access_failure: false,
+                                    superframes_waited: 0,
+                                });
+                            }
+                            continue;
+                        }
+                        let gts_slot = if let Some(reg) = gts_registry.as_ref() {
+                            reg.allocations()
+                                .iter()
+                                .find(|d| d.short_address == i as u16)
+                                .map(|d| d.starting_slot)
+                        } else if (i as u32) < gts_nodes {
+                            Some(plan.gts_start_slot(i as u32))
+                        } else {
+                            None
+                        };
+                        if let Some(start) = gts_slot {
+                            let gts_off = start as u64 * timings.mac_slot_backoffs;
+                            queue.push(slot + gts_off, PRIO_CFP, Ev::GtsTx { node: i as u32 });
+                        } else {
+                            queue.push(slot + off, PRIO_ARRIVAL, Ev::Arrival { node: i as u32 });
+                        }
+                    }
+                    if polling {
+                        // One independent pending draw per node per
+                        // superframe (drawn for every node, whether or not
+                        // it fires — and whether or not it is alive — so
+                        // the stream shape is load-independent).
+                        for (i, &off) in dl_offsets.iter().enumerate() {
+                            let fire = dl_rng.bernoulli(plan.downlink_rate);
+                            if fire && !(faults_active && !nodes[i].alive) {
+                                queue.push(slot + off, PRIO_ARRIVAL, Ev::DlPoll { node: i as u32 });
+                            }
+                        }
+                    }
+                } else if !in_warmup {
+                    // Coordinator silent: no CAP, no CFP — every node's
+                    // offered packet for this superframe is lost. Nodes
+                    // still mid-procedure carry theirs across the outage
+                    // (the skipped arrival counts as an overrun, exactly
+                    // as a busy node's arrival would).
+                    for (i, n) in nodes.iter_mut().enumerate() {
+                        if n.active {
+                            sink.on_overrun();
+                        } else {
+                            sink.on_transaction(&TransactionRecord {
+                                node: i as u32,
+                                attempts: 0,
+                                delivered: false,
+                                access_failure: false,
+                                superframes_waited: 0,
+                            });
                         }
                     }
                 }
@@ -612,6 +875,11 @@ where
             Ev::Arrival { node } => {
                 let in_warmup = slot < sf_slots;
                 let n = &mut nodes[node as usize];
+                if faults_active && !n.alive {
+                    // Scheduled at the beacon, but a deferred death
+                    // resolved since: the node is gone.
+                    continue;
+                }
                 if n.active {
                     if !in_warmup {
                         sink.on_overrun();
@@ -737,6 +1005,7 @@ where
                                 n.kind = CsmaKind::Uplink;
                             }
                         }
+                        resolve_pending_death(n, node, slot < sf_slots, &mut gts_registry, sink);
                     }
                 }
             }
@@ -784,6 +1053,7 @@ where
                     }
                     n.active = false;
                     n.kind = CsmaKind::Uplink;
+                    resolve_pending_death(n, node, slot < sf_slots, &mut gts_registry, sink);
                     continue;
                 }
                 let outcome = if cohort_size >= 2 {
@@ -813,6 +1083,7 @@ where
                     }
                     n.active = false;
                     n.carry_packet = false;
+                    resolve_pending_death(n, node, slot < sf_slots, &mut gts_registry, sink);
                 } else if n.attempt < config.retries.n_max() {
                     // Wait out t_ack⁺, then contend again.
                     n.attempt += 1;
@@ -836,6 +1107,7 @@ where
                     }
                     n.active = false;
                     n.carry_packet = true;
+                    resolve_pending_death(n, node, slot < sf_slots, &mut gts_registry, sink);
                 }
             }
             Ev::GtsTx { node } => {
@@ -847,6 +1119,11 @@ where
                 // does not apply).
                 let in_warmup = slot < sf_slots;
                 let n = &mut nodes[node as usize];
+                if faults_active && !n.alive {
+                    // The holder died mid-superframe (deferred death)
+                    // after this slot was scheduled.
+                    continue;
+                }
                 if n.carry_packet {
                     n.superframes_waited += 1;
                 } else {
@@ -868,6 +1145,11 @@ where
                 // (the frame then stays pending — a deferral).
                 let in_warmup = slot < sf_slots;
                 let n = &mut nodes[node as usize];
+                if faults_active && !n.alive {
+                    // The node died mid-superframe after the poll was
+                    // scheduled; the frame stays pending upstream.
+                    continue;
+                }
                 if n.active {
                     if !in_warmup {
                         sink.on_downlink(&DownlinkRecord {

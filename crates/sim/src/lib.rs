@@ -23,6 +23,13 @@
 //! invisible, and energy splits into CAP vs CFP components in every
 //! [`NetworkSummary`].
 //!
+//! Robustness experiments ride on [`faults`]: a seed-deterministic
+//! [`FaultPlan`] injects node churn (deaths, orphaning, bounded-retry
+//! re-association through the `wsn_mac` association machinery),
+//! coordinator outage windows, and per-round load/quality dynamics for
+//! the policy loop. Like the CFP, an inert plan is provably invisible,
+//! and fault event ordering is part of the determinism contract.
+//!
 //! Support modules: [`rng`] (seedable xoshiro256★★), [`events`] (a
 //! deterministic calendar queue with O(1) push/pop and a pinned pop-order
 //! contract), [`stats`] (mergeable accumulators and the
@@ -74,6 +81,7 @@
 pub mod cfp;
 pub mod contention;
 pub mod events;
+pub mod faults;
 pub mod network;
 pub mod policy;
 pub mod rng;
@@ -83,6 +91,7 @@ pub mod sink;
 pub mod stats;
 
 pub use cfp::{plan_channel_cfp, CfpPlan, DownlinkOutcome, DownlinkRecord, GtsRecord};
+pub use faults::{FaultKind, FaultPlan, FaultRecord};
 pub use contention::{
     run_channel_sim_into, run_channel_sim_into_ws, simulate_contention, with_workspace,
     ChannelSimConfig, SimTrace, SimWorkspace, SlotTimings,

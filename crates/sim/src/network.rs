@@ -25,7 +25,10 @@ use wsn_radio::ledger::{EnergyLedger, PhaseTag};
 use wsn_radio::{RadioModel, RadioState, TxPowerLevel};
 use wsn_units::{DBm, Db, Power, Probability, Seconds};
 
+use std::collections::HashMap;
+
 use crate::cfp::{DownlinkOutcome, DownlinkRecord, GtsRecord, DATA_REQUEST_AIR_BYTES};
+use crate::faults::{FaultKind, FaultRecord};
 use crate::contention::{
     run_channel_sim_into_ws, with_workspace, AttemptOutcome, AttemptRecord, ChannelSimConfig,
     SimTrace, TransactionRecord,
@@ -175,6 +178,23 @@ pub struct NetworkSummary {
     pub downlink_failure_ratio: Probability,
     /// Downlink polls deferred because the node was busy.
     pub downlink_deferred: u64,
+    /// Node deaths injected by the fault plan (0 without faults).
+    pub deaths: u64,
+    /// Orphan-scan windows: beacons an alive node woke for and missed
+    /// (coordinator outages).
+    pub orphan_scans: u64,
+    /// Re-association exchanges attempted by churned nodes.
+    pub join_attempts: u64,
+    /// Fraction of those exchanges that failed (response lost).
+    pub join_failure_ratio: Probability,
+    /// Mean death → successful re-association latency over rejoins.
+    pub mean_reassociation_delay: Seconds,
+    /// Nodes that exhausted their join-retry budget and stayed dormant.
+    pub dormant_nodes: u64,
+    /// Total energy divided by delivered uplink packets, in µJ — the
+    /// graceful-degradation headline under churn (∞ when nothing was
+    /// delivered).
+    pub energy_per_delivered_packet_uj: f64,
 }
 
 /// Mergeable sufficient statistics of one or more network simulation runs.
@@ -236,6 +256,17 @@ pub struct NetworkAccumulator {
     pub downlink_failures: Counter,
     /// Downlink polls deferred because the node was busy.
     pub downlink_deferred: u64,
+    /// Node deaths injected by the fault plan.
+    pub deaths: u64,
+    /// Orphan-scan windows (beacons alive nodes woke for and missed).
+    pub orphan_scans: u64,
+    /// Failed re-association exchanges over all exchanges (hit = the
+    /// response was lost).
+    pub join_failures: Counter,
+    /// Death → successful re-association latency in seconds.
+    pub reassoc_delay_secs: Accumulator,
+    /// Nodes that exhausted their join-retry budget and went dormant.
+    pub dormant_nodes: u64,
 }
 
 impl NetworkAccumulator {
@@ -266,6 +297,11 @@ impl NetworkAccumulator {
         self.gts_denied += other.gts_denied;
         self.downlink_failures.merge(&other.downlink_failures);
         self.downlink_deferred += other.downlink_deferred;
+        self.deaths += other.deaths;
+        self.orphan_scans += other.orphan_scans;
+        self.join_failures.merge(&other.join_failures);
+        self.reassoc_delay_secs.merge(&other.reassoc_delay_secs);
+        self.dormant_nodes += other.dormant_nodes;
     }
 
     /// Records the current aggregate scalars as one replication sample.
@@ -317,6 +353,12 @@ impl NetworkAccumulator {
         } else {
             f64::INFINITY
         };
+        let delivered = self.failures.trials() - self.failures.hits();
+        let energy_per_delivered_packet_uj = if delivered > 0 {
+            self.ledger.total_energy().nanojoules() / 1e3 / delivered as f64
+        } else {
+            f64::INFINITY
+        };
         NetworkSummary {
             mean_node_power: Power::from_microwatts(self.node_power_uw.mean()),
             node_powers: self.node_powers.clone(),
@@ -340,6 +382,13 @@ impl NetworkAccumulator {
             downlink_polls: self.downlink_failures.trials(),
             downlink_failure_ratio: self.downlink_failures.ratio(),
             downlink_deferred: self.downlink_deferred,
+            deaths: self.deaths,
+            orphan_scans: self.orphan_scans,
+            join_attempts: self.join_failures.trials(),
+            join_failure_ratio: self.join_failures.ratio(),
+            mean_reassociation_delay: Seconds::from_secs(self.reassoc_delay_secs.mean()),
+            dormant_nodes: self.dormant_nodes,
+            energy_per_delivered_packet_uj,
         }
     }
 }
@@ -493,6 +542,12 @@ struct EnergyAccountant<'a> {
     levels: &'a [TxPowerLevel],
     ledgers: Vec<EnergyLedger>,
     stats: StatsSink,
+    /// Beacons each node woke for (or slept through) but did not receive
+    /// — these superframes are excluded from the node's fixed beacon
+    /// overhead in [`finish`](Self::finish).
+    missed_beacons: Vec<u32>,
+    /// Re-association exchanges whose response was lost (hit = failure).
+    join_failures: Counter,
     // Per-configuration constants hoisted off the per-record path.
     packet_airtime: Seconds,
     slot: Seconds,
@@ -503,6 +558,7 @@ struct EnergyAccountant<'a> {
     turn_on: Seconds,
     turnaround: Seconds,
     dl_request_air: Seconds,
+    t_beacon: Seconds,
 }
 
 impl<'a> EnergyAccountant<'a> {
@@ -512,6 +568,8 @@ impl<'a> EnergyAccountant<'a> {
             levels,
             ledgers: vec![EnergyLedger::new(); cfg.channel.nodes],
             stats: StatsSink::new(),
+            missed_beacons: vec![0; cfg.channel.nodes],
+            join_failures: Counter::default(),
             packet_airtime: cfg.channel.packet.duration(),
             slot: Seconds::from_micros(320.0),
             t_ack: ack_duration(),
@@ -521,6 +579,7 @@ impl<'a> EnergyAccountant<'a> {
             turn_on: cfg.radio.turn_on_time(),
             turnaround: Seconds::from_micros(192.0),
             dl_request_air: wsn_phy::consts::bytes(DATA_REQUEST_AIR_BYTES),
+            t_beacon: beacon_duration(),
         }
     }
 
@@ -545,26 +604,42 @@ impl<'a> EnergyAccountant<'a> {
         // O(nodes + superframes) instead of O(nodes × superframes). The
         // beacon-phase cells of every per-node ledger start at zero, so
         // the merged values are the very sums the per-node loop produced.
-        let mut beacon_ledger = EnergyLedger::new();
-        for _ in 0..recorded_superframes as usize {
-            beacon_ledger.accrue_transition(
-                radio,
-                RadioState::Shutdown,
-                RadioState::Idle,
-                PhaseTag::Beacon,
-            );
-            let margin = (cfg.wakeup_margin - radio.wakeup_time()).max(Seconds::ZERO);
-            beacon_ledger.accrue(radio, RadioState::Idle, PhaseTag::Beacon, margin);
-            beacon_ledger.accrue_transition(
-                radio,
-                RadioState::Idle,
-                RadioState::Rx,
-                PhaseTag::Beacon,
-            );
-            beacon_ledger.accrue(radio, RadioState::Rx, PhaseTag::Beacon, t_beacon);
-        }
-        for ledger in &mut self.ledgers {
-            ledger.merge(&beacon_ledger);
+        //
+        // Nodes that missed beacons (outages, churn deaths) receive fewer
+        // cycles; one ledger per distinct received count is cached so the
+        // skipped cycles still come from the same repeated-addition loop —
+        // and a fault-free run, where every node receives every beacon,
+        // merges the single full prototype bit-identically.
+        let margin = (cfg.wakeup_margin - radio.wakeup_time()).max(Seconds::ZERO);
+        let beacon_cycles = |cycles: usize| {
+            let mut l = EnergyLedger::new();
+            for _ in 0..cycles {
+                l.accrue_transition(
+                    radio,
+                    RadioState::Shutdown,
+                    RadioState::Idle,
+                    PhaseTag::Beacon,
+                );
+                l.accrue(radio, RadioState::Idle, PhaseTag::Beacon, margin);
+                l.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Beacon);
+                l.accrue(radio, RadioState::Rx, PhaseTag::Beacon, t_beacon);
+            }
+            l
+        };
+        let recorded = cfg.channel.superframes.saturating_sub(1);
+        let beacon_ledger = beacon_cycles(recorded as usize);
+        let mut partial: HashMap<u32, EnergyLedger> = HashMap::new();
+        for (i, ledger) in self.ledgers.iter_mut().enumerate() {
+            let missed = self.missed_beacons[i];
+            if missed == 0 {
+                ledger.merge(&beacon_ledger);
+            } else {
+                let received = recorded.saturating_sub(missed);
+                let l = partial
+                    .entry(received)
+                    .or_insert_with(|| beacon_cycles(received as usize));
+                ledger.merge(l);
+            }
             // Sleep is the remainder of the window.
             let active = ledger.total_time();
             let sleep = (window - active).max(Seconds::ZERO);
@@ -598,6 +673,13 @@ impl<'a> EnergyAccountant<'a> {
         acc.gts_denied = cfg.channel.cfp.gts_denied as u64;
         acc.downlink_failures = self.stats.downlink_failures;
         acc.downlink_deferred = self.stats.downlink_deferred;
+        acc.deaths = self.stats.deaths;
+        acc.orphan_scans = self.stats.orphan_scans;
+        acc.join_failures = self.join_failures;
+        // Re-association latencies arrive in superframes; rescale once,
+        // like the delivery delays.
+        acc.reassoc_delay_secs = self.stats.reassoc_superframes.scaled(t_ib.secs());
+        acc.dormant_nodes = self.stats.dormant_nodes;
         acc
     }
 }
@@ -772,6 +854,95 @@ impl TraceSink for EnergyAccountant<'_> {
             );
         }
         ledger.accrue(radio, RadioState::Idle, PhaseTag::Downlink, self.ifs);
+    }
+
+    fn on_fault(&mut self, r: &FaultRecord) {
+        self.stats.on_fault(r);
+        let radio = &self.cfg.radio;
+        let node = r.node as usize;
+        match r.kind {
+            FaultKind::MissedBeacon { listened } => {
+                // This superframe's fixed beacon cycle must not be billed
+                // in `finish` — the beacon never arrived.
+                self.missed_beacons[node] += 1;
+                if listened {
+                    // Orphan scan: the node wakes on schedule, turns the
+                    // receiver on and listens out the beacon window, but
+                    // nothing comes. Same residencies as a received
+                    // beacon, charged to the association phase.
+                    let ledger = &mut self.ledgers[node];
+                    ledger.accrue_transition(
+                        radio,
+                        RadioState::Shutdown,
+                        RadioState::Idle,
+                        PhaseTag::Association,
+                    );
+                    let margin = (self.cfg.wakeup_margin - radio.wakeup_time()).max(Seconds::ZERO);
+                    ledger.accrue(radio, RadioState::Idle, PhaseTag::Association, margin);
+                    ledger.accrue_transition(
+                        radio,
+                        RadioState::Idle,
+                        RadioState::Rx,
+                        PhaseTag::Association,
+                    );
+                    ledger.accrue(radio, RadioState::Rx, PhaseTag::Association, self.t_beacon);
+                }
+            }
+            FaultKind::JoinAttempt { success } => {
+                self.join_failures.observe(!success);
+                // Association request/response exchange: wake, transmit
+                // the request (a MAC command the size of a data request),
+                // then wait for the acknowledgement and — on success — the
+                // association response after a turnaround, receiver on
+                // throughout. A lost response costs the full no-ACK window.
+                let level = self.levels[node];
+                let ledger = &mut self.ledgers[node];
+                ledger.accrue_transition(
+                    radio,
+                    RadioState::Shutdown,
+                    RadioState::Idle,
+                    PhaseTag::Association,
+                );
+                ledger.accrue_transition(
+                    radio,
+                    RadioState::Idle,
+                    RadioState::Tx(level),
+                    PhaseTag::Association,
+                );
+                ledger.accrue(
+                    radio,
+                    RadioState::Tx(level),
+                    PhaseTag::Association,
+                    self.dl_request_air,
+                );
+                ledger.accrue_transition(
+                    radio,
+                    RadioState::Tx(level),
+                    RadioState::Rx,
+                    PhaseTag::Association,
+                );
+                if success {
+                    ledger.accrue(
+                        radio,
+                        RadioState::Rx,
+                        PhaseTag::Association,
+                        self.turnaround + self.t_ack,
+                    );
+                    ledger.accrue(
+                        radio,
+                        RadioState::Rx,
+                        PhaseTag::Association,
+                        self.turnaround + self.t_ack,
+                    );
+                } else {
+                    ledger.accrue_listen(radio, PhaseTag::Association, self.noack_listen);
+                }
+                ledger.accrue(radio, RadioState::Idle, PhaseTag::Association, self.ifs);
+            }
+            // Deaths, rejoin confirmations and dormancy carry no radio
+            // activity of their own.
+            FaultKind::Death | FaultKind::Reassociated { .. } | FaultKind::Dormant => {}
+        }
     }
 }
 

@@ -117,6 +117,35 @@ impl RoundObservation<'_> {
         self.per_channel[c].gts_denied
     }
 
+    /// Node deaths channel `c` suffered this round (fault churn) — the
+    /// churn signal: a channel bleeding nodes delivers fewer packets at
+    /// the same compiled load.
+    pub fn deaths(&self, c: usize) -> u64 {
+        self.per_channel[c].deaths
+    }
+
+    /// Orphan-scan windows channel `c` logged this round — the outage
+    /// signal: alive nodes waking into missing beacons.
+    pub fn orphan_scans(&self, c: usize) -> u64 {
+        self.per_channel[c].orphan_scans
+    }
+
+    /// Fraction of channel `c`'s re-association exchanges that failed.
+    pub fn join_failure(&self, c: usize) -> f64 {
+        self.per_channel[c].join_failure_ratio.value()
+    }
+
+    /// Nodes of channel `c` that exhausted their join-retry budget and
+    /// stayed dormant.
+    pub fn dormant_nodes(&self, c: usize) -> u64 {
+        self.per_channel[c].dormant_nodes
+    }
+
+    /// Deaths summed over all channels this round.
+    pub fn total_deaths(&self) -> u64 {
+        self.per_channel.iter().map(|s| s.deaths).sum()
+    }
+
     /// Channel with the highest failure ratio (lowest index on ties).
     pub fn worst_channel(&self) -> usize {
         (0..self.channels)
@@ -616,6 +645,14 @@ impl PolicyEngine {
     /// Runs the closed loop. Bit-identical for every thread count of
     /// `runner` (timing fields aside, which never feed back).
     ///
+    /// When the scenario carries a [`FaultPlan`](crate::faults::FaultPlan)
+    /// with round-level dynamics, each round is perturbed before
+    /// compilation: the loss drift (a deterministic triangle wave over the
+    /// drift period) shifts every node's path loss, and burst rounds raise
+    /// every channel's downlink rate (clamped to 1). Round 0 is always
+    /// unperturbed, and an inert plan leaves every round byte-identical to
+    /// the fault-free loop.
+    ///
     /// # Panics
     ///
     /// Panics if `rounds` is zero or the policy emits a structurally
@@ -651,9 +688,31 @@ impl PolicyEngine {
         let mut rounds: Vec<PolicyRound> = Vec::with_capacity(self.rounds);
         let mut converged_at = None;
 
+        let fplan = scenario.faults;
+        let mut drifted: Vec<wsn_units::Db> = Vec::new();
         for round in 0..self.rounds {
-            let configs =
-                scenario.compile_assignment_with_losses(&losses, &assignment, round as u64);
+            // Round-level fault dynamics: drift the whole population's
+            // path losses, then storm the downlink on burst rounds. Both
+            // are pure functions of the round index — no RNG — so the
+            // loop stays bit-deterministic, and both are exact no-ops on
+            // an inert plan (round 0 always drifts by zero).
+            let drift_db = fplan.loss_drift_db(round as u32);
+            let round_losses: &[wsn_units::Db] = if drift_db != 0.0 {
+                drifted.clear();
+                drifted.extend(losses.iter().map(|&l| l + wsn_units::Db::new(drift_db)));
+                &drifted
+            } else {
+                &losses
+            };
+            let mut configs =
+                scenario.compile_assignment_with_losses(round_losses, &assignment, round as u64);
+            let boost = fplan.downlink_boost(round as u32);
+            if boost > 0.0 {
+                for cfg in &mut configs {
+                    cfg.channel.cfp.downlink_rate =
+                        (cfg.channel.cfp.downlink_rate + boost).min(1.0);
+                }
+            }
             let timed = scenario.run_grid(runner, &configs, &bers);
             // The last budgeted round has no successor to run a new
             // assignment in — don't consult the policy, and record no
@@ -772,6 +831,13 @@ mod tests {
             downlink_polls: 0,
             downlink_failure_ratio: Probability::ZERO,
             downlink_deferred: 0,
+            deaths: 0,
+            orphan_scans: 0,
+            join_attempts: 0,
+            join_failure_ratio: Probability::ZERO,
+            mean_reassociation_delay: Seconds::ZERO,
+            dormant_nodes: 0,
+            energy_per_delivered_packet_uj: 50.0,
         }
     }
 

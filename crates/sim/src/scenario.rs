@@ -36,6 +36,7 @@ use wsn_units::{DBm, Db, Meters, Seconds};
 
 use crate::cfp::{plan_channel_cfp, CfpPlan};
 use crate::contention::ChannelSimConfig;
+use crate::faults::FaultPlan;
 use crate::network::{
     NetworkAccumulator, NetworkConfig, NetworkSimulator, NetworkSummary, TxPowerPolicy,
 };
@@ -364,6 +365,10 @@ pub struct Scenario {
     pub min_cap_slots: u8,
     /// `true` to start all contentions at the beacon (ablation).
     pub synchronized_arrivals: bool,
+    /// Fault-injection plan applied to every compiled channel
+    /// ([`FaultPlan::inert`] by default — provably invisible; see
+    /// [`crate::faults`]).
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -400,6 +405,7 @@ impl Scenario {
             channel_loss_offsets_db: None,
             min_cap_slots: 8,
             synchronized_arrivals: false,
+            faults: FaultPlan::inert(),
         }
     }
 
@@ -463,6 +469,15 @@ impl Scenario {
     /// Overrides the minimum CAP slots GTS allocations must preserve.
     pub fn with_min_cap_slots(mut self, min_cap_slots: u8) -> Self {
         self.min_cap_slots = min_cap_slots;
+        self
+    }
+
+    /// Attaches a fault-injection plan: node churn, coordinator outages
+    /// and round-level load/quality dynamics, all derived from the master
+    /// seed (see [`crate::faults`]). The inert plan leaves every compiled
+    /// channel bit-identical to a fault-free scenario.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -819,6 +834,7 @@ impl Scenario {
                         seed: replication_seed(self.seed, c as u64),
                         synchronized_arrivals: self.synchronized_arrivals,
                         cfp: self.channel_cfp(self.nodes_per_channel),
+                        faults: self.faults,
                     },
                     radio: self.radio.clone(),
                     path_losses: losses[c].clone(),
@@ -899,6 +915,7 @@ impl Scenario {
                         seed: replication_seed(salted, c as u64),
                         synchronized_arrivals: self.synchronized_arrivals,
                         cfp: self.channel_cfp(part.len()),
+                        faults: self.faults,
                     },
                     radio: self.radio.clone(),
                     path_losses: part.iter().map(|&i| losses[i] + offset).collect(),

@@ -19,6 +19,7 @@ use wsn_units::Probability;
 
 use crate::cfp::{DownlinkOutcome, DownlinkRecord, GtsRecord};
 use crate::contention::{AttemptOutcome, AttemptRecord, SimTrace, TransactionRecord, SLOT_US};
+use crate::faults::{FaultKind, FaultRecord};
 use crate::stats::{Accumulator, ContentionAccumulator, ContentionStats, Counter};
 
 /// Receives contention records as the engine finalizes them.
@@ -38,6 +39,8 @@ pub trait TraceSink {
     fn on_gts(&mut self, _record: &GtsRecord) {}
     /// One downlink poll concluded.
     fn on_downlink(&mut self, _record: &DownlinkRecord) {}
+    /// One fault event (death, missed beacon, join attempt, …) occurred.
+    fn on_fault(&mut self, _record: &FaultRecord) {}
 }
 
 impl<T: TraceSink + ?Sized> TraceSink for &mut T {
@@ -55,6 +58,9 @@ impl<T: TraceSink + ?Sized> TraceSink for &mut T {
     }
     fn on_downlink(&mut self, record: &DownlinkRecord) {
         (**self).on_downlink(record);
+    }
+    fn on_fault(&mut self, record: &FaultRecord) {
+        (**self).on_fault(record);
     }
 }
 
@@ -84,6 +90,10 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
         self.0.on_downlink(record);
         self.1.on_downlink(record);
     }
+    fn on_fault(&mut self, record: &FaultRecord) {
+        self.0.on_fault(record);
+        self.1.on_fault(record);
+    }
 }
 
 /// Collects every record into a [`SimTrace`] — the pre-streaming
@@ -102,6 +112,7 @@ impl TraceCollector {
                 transactions: Vec::new(),
                 gts: Vec::new(),
                 downlinks: Vec::new(),
+                faults: Vec::new(),
                 overruns: 0,
                 superframe_slots,
             },
@@ -130,6 +141,9 @@ impl TraceSink for TraceCollector {
     fn on_downlink(&mut self, record: &DownlinkRecord) {
         self.trace.downlinks.push(*record);
     }
+    fn on_fault(&mut self, record: &FaultRecord) {
+        self.trace.faults.push(*record);
+    }
 }
 
 /// Online reducer: folds the event stream straight into the statistics the
@@ -156,6 +170,18 @@ pub struct StatsSink {
     pub downlink_failures: Counter,
     /// Downlink polls deferred because the node was busy.
     pub downlink_deferred: u64,
+    /// Node deaths injected by the fault plan.
+    pub deaths: u64,
+    /// Missed beacons spent listening (orphan-scan windows of alive
+    /// nodes during coordinator outages).
+    pub orphan_scans: u64,
+    /// Re-association exchanges (hit = the coordinator's response got
+    /// through).
+    pub join_attempts: Counter,
+    /// Death → successful re-association latency in superframes.
+    pub reassoc_superframes: Accumulator,
+    /// Nodes that exhausted their join-retry budget and went dormant.
+    pub dormant_nodes: u64,
 }
 
 impl StatsSink {
@@ -175,6 +201,11 @@ impl StatsSink {
         self.gts_failures.merge(&other.gts_failures);
         self.downlink_failures.merge(&other.downlink_failures);
         self.downlink_deferred += other.downlink_deferred;
+        self.deaths += other.deaths;
+        self.orphan_scans += other.orphan_scans;
+        self.join_attempts.merge(&other.join_attempts);
+        self.reassoc_superframes.merge(&other.reassoc_superframes);
+        self.dormant_nodes += other.dormant_nodes;
     }
 
     /// The contention statistics (identical to
@@ -246,6 +277,22 @@ impl TraceSink for StatsSink {
         } else {
             self.downlink_failures
                 .observe(record.outcome != DownlinkOutcome::Delivered);
+        }
+    }
+
+    fn on_fault(&mut self, record: &FaultRecord) {
+        match record.kind {
+            FaultKind::Death => self.deaths += 1,
+            FaultKind::MissedBeacon { listened } => {
+                if listened {
+                    self.orphan_scans += 1;
+                }
+            }
+            FaultKind::JoinAttempt { success } => self.join_attempts.observe(success),
+            FaultKind::Reassociated {
+                latency_superframes,
+            } => self.reassoc_superframes.push(latency_superframes as f64),
+            FaultKind::Dormant => self.dormant_nodes += 1,
         }
     }
 }

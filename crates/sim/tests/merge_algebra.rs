@@ -307,6 +307,77 @@ fn cfp_counters_merge_exactly() {
 }
 
 #[test]
+fn fault_counters_merge_exactly() {
+    // Fault-carrying accumulators: deaths, orphan scans, join outcomes and
+    // the re-association latency accumulator all pool exactly across
+    // shards, in any merge order.
+    let ber = EmpiricalCc2420Ber::paper();
+    let accs: Vec<NetworkAccumulator> = (0..3u64)
+        .map(|c| {
+            let mut cfg = small_network(12, 0xFA17 + c);
+            cfg.channel.superframes = 8;
+            cfg.channel.faults = wsn_sim::FaultPlan::inert()
+                .with_churn(0.06, 1, 1)
+                .with_outages(0.12, 1);
+            NetworkSimulator::new(cfg).run_accumulate(&ber)
+        })
+        .collect();
+    let mut merged = NetworkAccumulator::new();
+    for a in &accs {
+        merged.merge(a);
+    }
+    assert_eq!(merged.deaths, accs.iter().map(|a| a.deaths).sum::<u64>());
+    assert!(merged.deaths > 0, "the probe actually churned");
+    assert_eq!(
+        merged.orphan_scans,
+        accs.iter().map(|a| a.orphan_scans).sum::<u64>()
+    );
+    assert_eq!(
+        merged.join_failures.trials(),
+        accs.iter().map(|a| a.join_failures.trials()).sum::<u64>()
+    );
+    assert_eq!(
+        merged.join_failures.hits(),
+        accs.iter().map(|a| a.join_failures.hits()).sum::<u64>()
+    );
+    assert_eq!(
+        merged.reassoc_delay_secs.count(),
+        accs.iter().map(|a| a.reassoc_delay_secs.count()).sum::<u64>()
+    );
+    assert_eq!(
+        merged.dormant_nodes,
+        accs.iter().map(|a| a.dormant_nodes).sum::<u64>()
+    );
+    // Integer state makes the merge order-invariant; the latency mean is
+    // the same pooled mean either way.
+    let mut rev = NetworkAccumulator::new();
+    for a in accs.iter().rev() {
+        rev.merge(a);
+    }
+    assert_eq!(rev.deaths, merged.deaths);
+    assert_eq!(rev.join_failures, merged.join_failures);
+    assert!(
+        (rev.reassoc_delay_secs.mean() - merged.reassoc_delay_secs.mean()).abs() < 1e-12
+    );
+    // Orphan scans and re-association exchanges bill a distinct ledger
+    // phase, pooled like every other phase.
+    assert!(
+        merged
+            .ledger
+            .energy_in_phase(PhaseTag::Association)
+            .joules()
+            > 0.0,
+        "churn must charge the Association phase"
+    );
+    // The summary surfaces the pooled fault statistics.
+    merged.seal_replication();
+    let summary = merged.summary();
+    assert_eq!(summary.deaths, accs.iter().map(|a| a.deaths).sum::<u64>());
+    assert_eq!(summary.join_attempts, merged.join_failures.trials());
+    assert!(summary.energy_per_delivered_packet_uj.is_finite());
+}
+
+#[test]
 fn sealed_replications_drive_the_standard_errors() {
     let ber = EmpiricalCc2420Ber::paper();
     let mut total = NetworkAccumulator::new();

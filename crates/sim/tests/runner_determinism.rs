@@ -11,7 +11,9 @@ use wsn_sim::contention::run_channel_sim;
 use wsn_sim::network::{NetworkConfig, NetworkSummary, TxPowerPolicy};
 use wsn_sim::policy::{GreedyRebalance, PolicyEngine, ProportionalFair};
 use wsn_sim::scenario::{BerChoice, ChannelAllocation, DeploymentSpec, Scenario, TrafficSpec};
-use wsn_sim::{simulate_contention, ChannelSimConfig, NetworkSimulator, Runner, StatsSink};
+use wsn_sim::{
+    simulate_contention, ChannelSimConfig, FaultPlan, NetworkSimulator, Runner, StatsSink,
+};
 use wsn_units::{DBm, Db, Seconds};
 
 fn point(payload: usize, load: f64, seed: u64) -> ChannelSimConfig {
@@ -87,6 +89,22 @@ fn assert_summaries_identical(a: &NetworkSummary, b: &NetworkSummary, context: &
     assert_eq!(
         a.downlink_deferred, b.downlink_deferred,
         "{context}: dl deferred"
+    );
+    assert_eq!(a.deaths, b.deaths, "{context}: deaths");
+    assert_eq!(a.orphan_scans, b.orphan_scans, "{context}: orphan scans");
+    assert_eq!(a.join_attempts, b.join_attempts, "{context}: join attempts");
+    assert_eq!(
+        a.join_failure_ratio, b.join_failure_ratio,
+        "{context}: join failures"
+    );
+    assert_eq!(
+        a.mean_reassociation_delay, b.mean_reassociation_delay,
+        "{context}: reassoc delay"
+    );
+    assert_eq!(a.dormant_nodes, b.dormant_nodes, "{context}: dormant");
+    assert_eq!(
+        a.energy_per_delivered_packet_uj, b.energy_per_delivered_packet_uj,
+        "{context}: energy/packet"
     );
 }
 
@@ -358,6 +376,94 @@ fn cfp_scenario_is_bit_identical_across_1_2_4_threads() {
             assert_summaries_identical(a, b, &format!("cfp ch{c} threads={threads}"));
         }
     }
+}
+
+/// Fault injection adds RNG draws, event reordering and mid-run state
+/// (deaths, outages, GTS reallocation) to the engine — all of it seeded
+/// from the per-replication root, never from thread scheduling. A churning
+/// scenario with coordinator outages must therefore stay bit-identical
+/// for 1, 2 and 4 worker threads, fault statistics included.
+#[test]
+fn faulted_scenario_is_bit_identical_across_1_2_4_threads() {
+    let scenario = Scenario::new(
+        "fault determinism probe",
+        3,
+        14,
+        DeploymentSpec::UniformLossGrid {
+            min_db: 58.0,
+            max_db: 90.0,
+        },
+    )
+    .with_traffic(TrafficSpec::uniform(100).with_gts(1).with_downlink(0.4))
+    .with_faults(
+        FaultPlan::inert()
+            .with_churn(0.04, 1, 2)
+            .with_outages(0.10, 1),
+    )
+    .with_superframes(8)
+    .with_replications(3);
+
+    let serial = scenario.run(&Runner::with_threads(1));
+    // The probe actually exercises the fault machinery — the determinism
+    // guarantee below is not vacuous.
+    assert!(serial.overall.deaths > 0, "plan must kill nodes");
+    assert!(serial.overall.orphan_scans > 0, "outages must trigger scans");
+    assert!(serial.overall.join_attempts > 0, "deaths must trigger joins");
+    assert!(
+        serial.overall.energy_per_delivered_packet_uj.is_finite(),
+        "the degraded network still delivers"
+    );
+
+    for threads in [2, 4] {
+        let parallel = scenario.run(&Runner::with_threads(threads));
+        assert_summaries_identical(
+            &serial.overall,
+            &parallel.overall,
+            &format!("faulted overall threads={threads}"),
+        );
+        for (c, (a, b)) in serial
+            .per_channel
+            .iter()
+            .zip(&parallel.per_channel)
+            .enumerate()
+        {
+            assert_summaries_identical(a, b, &format!("faulted ch{c} threads={threads}"));
+        }
+    }
+}
+
+/// The headline robustness contract: a scenario carrying an explicitly
+/// inert `FaultPlan` is byte-for-byte the same simulation as one that
+/// never mentions faults at all — no extra RNG draws, no sink traffic, no
+/// accumulator drift.
+#[test]
+fn inert_fault_plan_is_invisible() {
+    let build = || {
+        Scenario::new(
+            "inert fault probe",
+            3,
+            12,
+            DeploymentSpec::UniformLossGrid {
+                min_db: 58.0,
+                max_db: 90.0,
+            },
+        )
+        .with_traffic(TrafficSpec::uniform(100).with_gts(1).with_downlink(0.5))
+        .with_superframes(5)
+        .with_replications(2)
+    };
+    let plain = build().run(&Runner::from_env());
+    let inert = build().with_faults(FaultPlan::inert()).run(&Runner::from_env());
+
+    assert_summaries_identical(&plain.overall, &inert.overall, "inert overall");
+    for (c, (a, b)) in plain.per_channel.iter().zip(&inert.per_channel).enumerate() {
+        assert_summaries_identical(a, b, &format!("inert ch{c}"));
+    }
+    // And the fault counters themselves stay at zero.
+    assert_eq!(inert.overall.deaths, 0);
+    assert_eq!(inert.overall.orphan_scans, 0);
+    assert_eq!(inert.overall.join_attempts, 0);
+    assert_eq!(inert.overall.dormant_nodes, 0);
 }
 
 /// On the ring-stratified deployment the outer channel saturates first —
