@@ -30,10 +30,11 @@ fn bench_network(c: &mut Criterion) {
     let sim = NetworkSimulator::new(NetworkConfig {
         channel,
         radio: RadioModel::cc2420(),
-        path_losses: vec![Db::new(75.0); nodes],
+        path_losses: vec![Db::new(75.0); nodes].into(),
         tx_policy: TxPowerPolicy::Fixed(TxPowerLevel::Neg5),
         coordinator_tx: DBm::new(0.0),
         wakeup_margin: Seconds::from_millis(1.0),
+        corrupt_probs: None,
     });
     let ber = EmpiricalCc2420Ber::paper();
     c.bench_function("network_sim_100_nodes_5_superframes", |b| {

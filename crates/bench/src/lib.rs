@@ -142,6 +142,12 @@ pub const BENCH_CFP_PATH: &str = "BENCH_cfp.json";
 /// (delivery ratio and µJ per delivered packet versus churn).
 pub const BENCH_FAULTS_PATH: &str = "BENCH_faults.json";
 
+/// Canonical output path of the scale ladder emitted by
+/// `bench_scale --json`: one point per decade of single-channel node
+/// count (10³ → 10⁶), carrying events/s and µW per node, plus the
+/// sharded-vs-unsharded bit-identity verdict.
+pub const BENCH_SCALE_PATH: &str = "BENCH_scale.json";
+
 /// Builds the `BENCH_network.json` document, mirroring
 /// `BENCH_contention.json`'s schema: per-point (here: per-channel)
 /// wall-clock, a serial-reference speedup and `host_cpus`, plus the

@@ -178,7 +178,11 @@ impl CaseStudy {
         // The paper scenario compiles identical loss populations and loads
         // for every channel, so the (expensive) per-node adaptation is
         // computed once per distinct (losses, load) pair and reused.
-        let mut adapted: Vec<(Vec<wsn_units::Db>, f64, Vec<wsn_radio::TxPowerLevel>)> = Vec::new();
+        let mut adapted: Vec<(
+            std::sync::Arc<[wsn_units::Db]>,
+            f64,
+            std::sync::Arc<[wsn_radio::TxPowerLevel]>,
+        )> = Vec::new();
         for cfg in &mut configs {
             let levels = match adapted
                 .iter()
@@ -186,7 +190,7 @@ impl CaseStudy {
             {
                 Some((_, _, levels)) => levels.clone(),
                 None => {
-                    let levels: Vec<wsn_radio::TxPowerLevel> = cfg
+                    let levels: std::sync::Arc<[wsn_radio::TxPowerLevel]> = cfg
                         .path_losses
                         .iter()
                         .map(|&a| {

@@ -34,7 +34,7 @@ use wsn_phy::noise::UniformSource;
 use wsn_units::{Probability, Seconds};
 
 use crate::cfp::{CfpPlan, DownlinkOutcome, DownlinkRecord, GtsRecord, DATA_REQUEST_AIR_BYTES};
-use crate::events::EventQueue;
+use crate::events::{EventQueue, WindowError};
 use crate::faults::{FaultKind, FaultPlan, FaultRecord};
 use crate::rng::Xoshiro256StarStar;
 use crate::sink::{StatsSink, TraceCollector, TraceSink};
@@ -42,6 +42,62 @@ use crate::stats::ContentionStats;
 
 /// Microseconds per unit backoff period.
 pub(crate) const SLOT_US: u64 = 320;
+
+/// Extra slots reserved past one superframe: the worst CSMA backoff /
+/// airtime / ACK tail an event can be scheduled into. Shared between the
+/// engine's window reservation and [`ChannelSimConfig::validate`] so the
+/// pre-flight check and the actual reservation agree exactly.
+pub(crate) const WINDOW_SLACK: u64 = 300;
+
+/// A [`ChannelSimConfig`] that the engine would reject.
+///
+/// Returned by [`ChannelSimConfig::validate`]; the engine performs the
+/// same checks on entry and panics with the matching message, so callers
+/// that want a `Result` instead of a panic validate up front.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `nodes == 0`.
+    NoNodes,
+    /// Load outside the open interval `(0, 1)` (the superframe length
+    /// `T_ib = N·T_packet / λ` is undefined or degenerate outside it).
+    BadLoad(
+        /// The offending load value.
+        f64,
+    ),
+    /// Fewer than two superframes (the first is warm-up and unrecorded,
+    /// so nothing would be measured).
+    TooFewSuperframes(
+        /// The offending superframe count.
+        u32,
+    ),
+    /// The implied superframe window exceeds the calendar queue's
+    /// [`MAX_WINDOW`](crate::events::MAX_WINDOW) ceiling.
+    Window(
+        /// The typed window overflow from the event queue.
+        WindowError,
+    ),
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "at least one node required"),
+            ConfigError::BadLoad(load) => write!(f, "load must be in (0,1), got {load}"),
+            ConfigError::TooFewSuperframes(n) => {
+                write!(f, "need at least two superframes, got {n}")
+            }
+            ConfigError::Window(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<WindowError> for ConfigError {
+    fn from(err: WindowError) -> Self {
+        ConfigError::Window(err)
+    }
+}
 
 /// Configuration of a single-channel contention simulation.
 #[derive(Debug, Clone)]
@@ -135,6 +191,31 @@ impl ChannelSimConfig {
                 .micros()
                 .round() as u64,
         }
+    }
+
+    /// Checks every precondition the engine asserts on entry — node count,
+    /// load interval, superframe count, and the calendar-queue window
+    /// ceiling the implied superframe length must fit under — as a
+    /// `Result` instead of a panic.
+    ///
+    /// `validate().is_ok()` guarantees [`run_channel_sim_into`] will not
+    /// panic on configuration checks; the engine's panic messages match
+    /// this error's [`Display`](core::fmt::Display) text.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        if !(self.load > 0.0 && self.load < 1.0) {
+            return Err(ConfigError::BadLoad(self.load));
+        }
+        if self.superframes < 2 {
+            return Err(ConfigError::TooFewSuperframes(self.superframes));
+        }
+        // The engine reserves one superframe plus slack up front; a
+        // superframe long enough to overflow MAX_WINDOW would panic inside
+        // `reserve_window`.
+        WindowError::check(self.superframe_slots() + WINDOW_SLACK)?;
+        Ok(())
     }
 }
 
@@ -338,32 +419,45 @@ enum CsmaKind {
     DataRequest,
 }
 
-#[derive(Debug)]
-struct NodeState {
-    rng: Xoshiro256StarStar,
-    csma: Option<SlottedCsmaCa>,
+/// Hot per-node scalars of the contention engine — the fields nearly
+/// every event arm reads and writes, packed into one small struct so one
+/// event's bookkeeping touches one cache line of the node array instead
+/// of a whole aggregate `NodeState`.
+#[derive(Debug, Clone, Copy)]
+struct NodeHot {
     attempt: u32,
-    cont_start_slot: u64,
     superframes_waited: u32,
+    cont_start_slot: u64,
+    /// Start slot of this node's in-flight transmission (valid between
+    /// its Transmit decision and its TxEnd) — the per-node half of the
+    /// collision-cohort bookkeeping.
+    tx_start_slot: u64,
     carry_packet: bool,
     active: bool,
     recording: bool,
     /// What the in-progress CSMA procedure carries (uplink packet or a
     /// downlink data request).
     kind: CsmaKind,
-    /// Data-request contention measurements captured at transmission
-    /// start, finalized into a [`DownlinkRecord`] at TxEnd.
-    pending_dl: Option<(u64, u32)>,
-    /// Start slot of this node's in-flight transmission (valid between
-    /// its Transmit decision and its TxEnd) — the per-node half of the
-    /// collision-cohort bookkeeping.
-    tx_start_slot: u64,
-    /// Attempt measured at transmission start, committed to the trace when
-    /// its outcome is known at TxEnd (so attempts cut off by the horizon
-    /// are never recorded with a fabricated outcome).
-    pending_attempt: Option<AttemptRecord>,
-    /// Fault-plan state: `false` while the node's radio is off (dead or
-    /// dormant). Always `true` in fault-free runs.
+}
+
+const NODE_HOT_INIT: NodeHot = NodeHot {
+    attempt: 0,
+    superframes_waited: 0,
+    cont_start_slot: 0,
+    tx_start_slot: 0,
+    carry_packet: false,
+    active: false,
+    recording: false,
+    kind: CsmaKind::Uplink,
+};
+
+/// Cold fault-plan per-node state, touched only at superframe boundaries
+/// (and only under an active fault plan) — segregated so fault-free runs
+/// never pull it into cache on the per-event path.
+#[derive(Debug, Clone, Copy)]
+struct NodeFault {
+    /// `false` while the node's radio is off (dead or dormant). Always
+    /// `true` in fault-free runs.
     alive: bool,
     /// The node drew a death mid-procedure; it dies when the procedure
     /// concludes (no calendar-queue surgery — see [`crate::faults`]).
@@ -376,9 +470,24 @@ struct NodeState {
     join_retries: u32,
 }
 
+const NODE_FAULT_INIT: NodeFault = NodeFault {
+    alive: true,
+    death_pending: false,
+    dormant: false,
+    down_superframes: 0,
+    join_retries: 0,
+};
+
 /// Reusable per-thread scratch of the contention engine: the calendar
-/// queue, the node array, the arrival offsets and the network layer's
-/// corruption-probability buffer.
+/// queue, the struct-of-arrays node state, the arrival offsets and the
+/// network layer's corruption-probability buffer.
+///
+/// Node state is deliberately struct-of-arrays — RNG streams, CSMA
+/// machines, hot scalars ([`NodeHot`]), the two pending-record slots and
+/// the cold fault group ([`NodeFault`]) live in parallel vectors — so the
+/// per-slot hot loop at 10⁵⁺ nodes loads only the arrays an event arm
+/// actually touches and stays L1/L2-resident instead of striding over a
+/// ~160-byte aggregate per node.
 ///
 /// A workspace is pure scratch — [`run_channel_sim_into_ws`] fully
 /// reinitializes every field from the configuration, so reusing one across
@@ -391,7 +500,21 @@ struct NodeState {
 #[derive(Debug, Default)]
 pub struct SimWorkspace {
     queue: EventQueue<Ev>,
-    nodes: Vec<NodeState>,
+    /// Per-node RNG streams (`root.split(i)`).
+    rngs: Vec<Xoshiro256StarStar>,
+    /// Per-node in-flight CSMA machine, if any.
+    csma: Vec<Option<SlottedCsmaCa>>,
+    /// Per-node hot scalars (attempt counters, flags, slot marks).
+    hot: Vec<NodeHot>,
+    /// Attempt measured at transmission start, committed to the trace when
+    /// its outcome is known at TxEnd (so attempts cut off by the horizon
+    /// are never recorded with a fabricated outcome).
+    pending_attempts: Vec<Option<AttemptRecord>>,
+    /// Data-request contention measurements captured at transmission
+    /// start, finalized into a [`DownlinkRecord`] at TxEnd.
+    pending_dls: Vec<Option<(u64, u32)>>,
+    /// Cold per-node fault state (alive/dormant/retry bookkeeping).
+    fault: Vec<NodeFault>,
     offsets: Vec<u64>,
     /// Per-node downlink poll offsets (drawn only when the configuration
     /// polls at all).
@@ -437,19 +560,19 @@ pub fn with_workspace<R>(f: impl FnOnce(&mut SimWorkspace) -> R) -> R {
 /// flight when the node drew it. `death_pending` is only ever set when a
 /// fault plan is active, so this is a no-op branch on the inert path.
 fn resolve_pending_death<S: TraceSink>(
-    n: &mut NodeState,
+    f: &mut NodeFault,
     node: u32,
     in_warmup: bool,
     gts_registry: &mut Option<GtsRegistry>,
     sink: &mut S,
 ) {
-    if !n.death_pending {
+    if !f.death_pending {
         return;
     }
-    n.death_pending = false;
-    n.alive = false;
-    n.down_superframes = 0;
-    n.join_retries = 0;
+    f.death_pending = false;
+    f.alive = false;
+    f.down_superframes = 0;
+    f.join_retries = 0;
     if let Some(reg) = gts_registry.as_mut() {
         reg.deallocate(node as u16);
     }
@@ -509,13 +632,11 @@ where
     F: FnMut(u32) -> bool,
     S: TraceSink,
 {
-    assert!(config.nodes > 0, "at least one node required");
-    assert!(
-        config.load > 0.0 && config.load < 1.0,
-        "load must be in (0,1), got {}",
-        config.load
-    );
-    assert!(config.superframes >= 2, "need at least two superframes");
+    // Same checks (and messages) as `ChannelSimConfig::validate` — callers
+    // that want a `Result` instead of a panic validate up front.
+    if let Err(err) = config.validate() {
+        panic!("{err}");
+    }
 
     let sf_slots = timings.superframe_slots;
     let packet_us = timings.packet_us;
@@ -524,26 +645,19 @@ where
     let ack_timeout_us = timings.ack_timeout_us;
 
     let root = Xoshiro256StarStar::seed_from_u64(config.seed);
-    ws.nodes.clear();
-    ws.nodes.extend((0..config.nodes).map(|i| NodeState {
-        rng: root.split(i as u64),
-        csma: None,
-        attempt: 0,
-        cont_start_slot: 0,
-        superframes_waited: 0,
-        carry_packet: false,
-        active: false,
-        recording: false,
-        kind: CsmaKind::Uplink,
-        pending_dl: None,
-        tx_start_slot: 0,
-        pending_attempt: None,
-        alive: true,
-        death_pending: false,
-        dormant: false,
-        down_superframes: 0,
-        join_retries: 0,
-    }));
+    ws.rngs.clear();
+    ws.rngs
+        .extend((0..config.nodes).map(|i| root.split(i as u64)));
+    ws.csma.clear();
+    ws.csma.resize_with(config.nodes, || None);
+    ws.hot.clear();
+    ws.hot.resize(config.nodes, NODE_HOT_INIT);
+    ws.pending_attempts.clear();
+    ws.pending_attempts.resize(config.nodes, None);
+    ws.pending_dls.clear();
+    ws.pending_dls.resize(config.nodes, None);
+    ws.fault.clear();
+    ws.fault.resize(config.nodes, NODE_FAULT_INIT);
     let mut offsets_rng = root.split(u64::MAX);
 
     // Fixed per-node arrival offsets (slots after the beacon).
@@ -615,7 +729,12 @@ where
 
     let SimWorkspace {
         queue,
-        nodes,
+        rngs,
+        csma,
+        hot,
+        pending_attempts,
+        pending_dls,
+        fault,
         offsets,
         dl_offsets,
         ..
@@ -625,7 +744,7 @@ where
     // farthest lookahead of any push), so the ring only ever needs to span
     // one superframe plus the worst CSMA backoff/airtime tail; the queue
     // holds O(active nodes) events instead of O(superframes × nodes).
-    queue.reserve_window(sf_slots + 300);
+    queue.reserve_window(sf_slots + WINDOW_SLACK);
     queue.push(0, PRIO_BEACON, Ev::Beacon);
     let mut beacons_left = config.superframes as u64 - 1;
 
@@ -681,20 +800,20 @@ where
                     if fplan.death_rate > 0.0 {
                         for i in 0..config.nodes {
                             let dies = fault_rng.bernoulli(fplan.death_rate);
-                            let n = &mut nodes[i];
-                            if !dies || !n.alive {
+                            let f = &mut fault[i];
+                            if !dies || !f.alive {
                                 continue;
                             }
-                            if n.active {
+                            if hot[i].active {
                                 // Mid-procedure: the death defers to the
                                 // procedure's natural end so no queued
                                 // event is ever cancelled.
-                                n.death_pending = true;
+                                f.death_pending = true;
                                 continue;
                             }
-                            n.alive = false;
-                            n.down_superframes = 0;
-                            n.join_retries = 0;
+                            f.alive = false;
+                            f.down_superframes = 0;
+                            f.join_retries = 0;
                             if let Some(reg) = gts_registry.as_mut() {
                                 reg.deallocate(i as u16);
                             }
@@ -709,8 +828,8 @@ where
                     // Beacon bookkeeping: missed beacons, orphan scans
                     // and bounded-retry re-association.
                     for i in 0..config.nodes {
-                        let n = &mut nodes[i];
-                        if n.alive {
+                        let f = &mut fault[i];
+                        if f.alive {
                             if in_outage && !in_warmup {
                                 // Idle nodes wake and listen the beacon
                                 // window in vain (an orphan-scan cost);
@@ -718,7 +837,7 @@ where
                                 sink.on_fault(&FaultRecord {
                                     node: i as u32,
                                     kind: FaultKind::MissedBeacon {
-                                        listened: !n.active,
+                                        listened: !hot[i].active,
                                     },
                                 });
                             }
@@ -732,13 +851,13 @@ where
                                 kind: FaultKind::MissedBeacon { listened: false },
                             });
                         }
-                        if n.dormant {
+                        if f.dormant {
                             continue;
                         }
-                        n.down_superframes += 1;
+                        f.down_superframes += 1;
                         if in_outage
-                            || n.down_superframes <= fplan.rejoin_delay
-                            || n.join_retries >= fplan.max_join_retries
+                            || f.down_superframes <= fplan.rejoin_delay
+                            || f.join_retries >= fplan.max_join_retries
                         {
                             // Still backing off, no coordinator to join,
                             // or a zero-budget plan (permanent death).
@@ -754,11 +873,11 @@ where
                             });
                         }
                         if success {
-                            n.alive = true;
-                            let latency_superframes = n.down_superframes;
-                            n.join_retries = 0;
-                            n.carry_packet = false;
-                            n.superframes_waited = 0;
+                            f.alive = true;
+                            let latency_superframes = f.down_superframes;
+                            f.join_retries = 0;
+                            hot[i].carry_packet = false;
+                            hot[i].superframes_waited = 0;
                             if !in_warmup {
                                 sink.on_fault(&FaultRecord {
                                     node: i as u32,
@@ -777,9 +896,9 @@ where
                                 }
                             }
                         } else {
-                            n.join_retries += 1;
-                            if n.join_retries >= fplan.max_join_retries {
-                                n.dormant = true;
+                            f.join_retries += 1;
+                            if f.join_retries >= fplan.max_join_retries {
+                                f.dormant = true;
                                 if !in_warmup {
                                     sink.on_fault(&FaultRecord {
                                         node: i as u32,
@@ -800,7 +919,7 @@ where
                     // live registry's (re-resolved each superframe); dead
                     // and dormant nodes schedule nothing.
                     for (i, &off) in offsets.iter().enumerate() {
-                        if faults_active && !nodes[i].alive {
+                        if faults_active && !fault[i].alive {
                             // The application's per-superframe reading
                             // still exists; with the radio down the
                             // offered packet is lost. Recording it as an
@@ -842,7 +961,7 @@ where
                         // the stream shape is load-independent).
                         for (i, &off) in dl_offsets.iter().enumerate() {
                             let fire = dl_rng.bernoulli(plan.downlink_rate);
-                            if fire && !(faults_active && !nodes[i].alive) {
+                            if fire && !(faults_active && !fault[i].alive) {
                                 queue.push(slot + off, PRIO_ARRIVAL, Ev::DlPoll { node: i as u32 });
                             }
                         }
@@ -853,8 +972,8 @@ where
                     // still mid-procedure carry theirs across the outage
                     // (the skipped arrival counts as an overrun, exactly
                     // as a busy node's arrival would).
-                    for (i, n) in nodes.iter_mut().enumerate() {
-                        if n.active {
+                    for (i, h) in hot.iter().enumerate() {
+                        if h.active {
                             sink.on_overrun();
                         } else {
                             sink.on_transaction(&TransactionRecord {
@@ -874,40 +993,40 @@ where
             }
             Ev::Arrival { node } => {
                 let in_warmup = slot < sf_slots;
-                let n = &mut nodes[node as usize];
-                if faults_active && !n.alive {
+                if faults_active && !fault[node as usize].alive {
                     // Scheduled at the beacon, but a deferred death
                     // resolved since: the node is gone.
                     continue;
                 }
-                if n.active {
+                let h = &mut hot[node as usize];
+                if h.active {
                     if !in_warmup {
                         sink.on_overrun();
                     }
                     continue;
                 }
-                if n.carry_packet {
-                    n.superframes_waited += 1;
+                if h.carry_packet {
+                    h.superframes_waited += 1;
                 } else {
-                    n.superframes_waited = 0;
+                    h.superframes_waited = 0;
                 }
-                n.active = true;
-                n.kind = CsmaKind::Uplink;
-                n.recording = !in_warmup;
-                n.attempt = 1;
-                n.cont_start_slot = slot;
-                let machine = SlottedCsmaCa::start(config.csma, &mut n.rng);
+                h.active = true;
+                h.kind = CsmaKind::Uplink;
+                h.recording = !in_warmup;
+                h.attempt = 1;
+                h.cont_start_slot = slot;
+                let machine = SlottedCsmaCa::start(config.csma, &mut rngs[node as usize]);
                 let CsmaAction::BackoffThenCca { periods } = machine.current_action() else {
                     unreachable!("CSMA always begins with a backoff");
                 };
-                n.csma = Some(machine);
+                csma[node as usize] = Some(machine);
                 queue.push(slot + periods as u64, PRIO_CCA, Ev::Cca { node });
             }
             Ev::Cca { node } => {
-                let n = &mut nodes[node as usize];
+                let i = node as usize;
                 let busy = slot_us < busy_until_us;
-                let machine = n.csma.as_mut().expect("CCA without active CSMA");
-                match machine.on_cca(busy, &mut n.rng) {
+                let machine = csma[i].as_mut().expect("CCA without active CSMA");
+                match machine.on_cca(busy, &mut rngs[i]) {
                     CsmaAction::CcaAgain => {
                         queue.push(slot + 1, PRIO_CCA, Ev::Cca { node });
                     }
@@ -915,27 +1034,28 @@ where
                         queue.push(slot + 1 + periods as u64, PRIO_CCA, Ev::Cca { node });
                     }
                     CsmaAction::Transmit => {
-                        let machine = n.csma.take().expect("machine present");
+                        let machine = csma[i].take().expect("machine present");
+                        let h = &mut hot[i];
                         let start_slot = slot + 1;
-                        let airtime_us = match n.kind {
+                        let airtime_us = match h.kind {
                             CsmaKind::Uplink => packet_us,
                             CsmaKind::DataRequest => timings.data_request_us,
                         };
                         let end_us = start_slot * SLOT_US + airtime_us;
-                        match n.kind {
+                        match h.kind {
                             CsmaKind::Uplink => {
-                                if n.recording {
-                                    n.pending_attempt = Some(AttemptRecord {
+                                if h.recording {
+                                    pending_attempts[i] = Some(AttemptRecord {
                                         node,
-                                        contention_slots: start_slot - n.cont_start_slot,
+                                        contention_slots: start_slot - h.cont_start_slot,
                                         ccas: machine.ccas_performed(),
                                         outcome: AttemptOutcome::Delivered, // finalized at TxEnd
                                     });
                                 }
                             }
                             CsmaKind::DataRequest => {
-                                n.pending_dl = Some((
-                                    start_slot - n.cont_start_slot,
+                                pending_dls[i] = Some((
+                                    start_slot - h.cont_start_slot,
                                     machine.ccas_performed(),
                                 ));
                             }
@@ -949,7 +1069,7 @@ where
                             cohort_slot = start_slot;
                             cohort_size = 1;
                         }
-                        n.tx_start_slot = start_slot;
+                        h.tx_start_slot = start_slot;
                         debug_assert!(
                             pending_air.map_or(true, |(s, _)| s == start_slot),
                             "at most one undecided cohort can be pending"
@@ -971,53 +1091,60 @@ where
                         );
                     }
                     CsmaAction::Failure => {
-                        let machine = n.csma.take().expect("machine present");
-                        match n.kind {
+                        let machine = csma[i].take().expect("machine present");
+                        let h = &mut hot[i];
+                        match h.kind {
                             CsmaKind::Uplink => {
-                                if n.recording {
+                                if h.recording {
                                     sink.on_attempt(&AttemptRecord {
                                         node,
-                                        contention_slots: slot - n.cont_start_slot,
+                                        contention_slots: slot - h.cont_start_slot,
                                         ccas: machine.ccas_performed(),
                                         outcome: AttemptOutcome::AccessFailure,
                                     });
                                     sink.on_transaction(&TransactionRecord {
                                         node,
-                                        attempts: n.attempt - 1,
+                                        attempts: h.attempt - 1,
                                         delivered: false,
                                         access_failure: true,
-                                        superframes_waited: n.superframes_waited,
+                                        superframes_waited: h.superframes_waited,
                                     });
                                 }
-                                n.active = false;
-                                n.carry_packet = true;
+                                h.active = false;
+                                h.carry_packet = true;
                             }
                             CsmaKind::DataRequest => {
-                                if n.recording {
+                                if h.recording {
                                     sink.on_downlink(&DownlinkRecord {
                                         node,
-                                        contention_slots: slot - n.cont_start_slot,
+                                        contention_slots: slot - h.cont_start_slot,
                                         ccas: machine.ccas_performed(),
                                         outcome: DownlinkOutcome::AccessFailure,
                                     });
                                 }
-                                n.active = false;
-                                n.kind = CsmaKind::Uplink;
+                                h.active = false;
+                                h.kind = CsmaKind::Uplink;
                             }
                         }
-                        resolve_pending_death(n, node, slot < sf_slots, &mut gts_registry, sink);
+                        resolve_pending_death(
+                            &mut fault[i],
+                            node,
+                            slot < sf_slots,
+                            &mut gts_registry,
+                            sink,
+                        );
                     }
                 }
             }
             Ev::TxEnd { node, end_us } => {
                 // The transmission itself kept the channel busy.
                 busy_until_us = busy_until_us.max(end_us);
-                let n = &mut nodes[node as usize];
+                let i = node as usize;
                 debug_assert_eq!(
-                    n.tx_start_slot, cohort_slot,
+                    hot[i].tx_start_slot, cohort_slot,
                     "TxEnd must belong to the current cohort"
                 );
-                if n.kind == CsmaKind::DataRequest {
+                if hot[i].kind == CsmaKind::DataRequest {
                     // A data request's ending: the coordinator answers a
                     // clean request with an acknowledgement and (promptly)
                     // the downlink frame, both of which occupy the CAP
@@ -1041,8 +1168,8 @@ where
                         }
                     }
                     busy_until_us = busy_until_us.max(end_us + hold_us);
-                    if let Some((contention_slots, ccas)) = n.pending_dl.take() {
-                        if n.recording {
+                    if let Some((contention_slots, ccas)) = pending_dls[i].take() {
+                        if hot[i].recording {
                             sink.on_downlink(&DownlinkRecord {
                                 node,
                                 contention_slots,
@@ -1051,9 +1178,15 @@ where
                             });
                         }
                     }
-                    n.active = false;
-                    n.kind = CsmaKind::Uplink;
-                    resolve_pending_death(n, node, slot < sf_slots, &mut gts_registry, sink);
+                    hot[i].active = false;
+                    hot[i].kind = CsmaKind::Uplink;
+                    resolve_pending_death(
+                        &mut fault[i],
+                        node,
+                        slot < sf_slots,
+                        &mut gts_registry,
+                        sink,
+                    );
                     continue;
                 }
                 let outcome = if cohort_size >= 2 {
@@ -1064,50 +1197,63 @@ where
                     AttemptOutcome::Delivered
                 };
 
-                if let Some(mut pending) = n.pending_attempt.take() {
+                if let Some(mut pending) = pending_attempts[i].take() {
                     pending.outcome = outcome;
                     sink.on_attempt(&pending);
                 }
 
+                let h = &mut hot[i];
                 if outcome == AttemptOutcome::Delivered {
                     // The acknowledgement occupies the channel too.
                     busy_until_us = busy_until_us.max(end_us + ack_hold_us);
-                    if n.recording {
+                    if h.recording {
                         sink.on_transaction(&TransactionRecord {
                             node,
-                            attempts: n.attempt,
+                            attempts: h.attempt,
                             delivered: true,
                             access_failure: false,
-                            superframes_waited: n.superframes_waited,
+                            superframes_waited: h.superframes_waited,
                         });
                     }
-                    n.active = false;
-                    n.carry_packet = false;
-                    resolve_pending_death(n, node, slot < sf_slots, &mut gts_registry, sink);
-                } else if n.attempt < config.retries.n_max() {
+                    h.active = false;
+                    h.carry_packet = false;
+                    resolve_pending_death(
+                        &mut fault[i],
+                        node,
+                        slot < sf_slots,
+                        &mut gts_registry,
+                        sink,
+                    );
+                } else if h.attempt < config.retries.n_max() {
                     // Wait out t_ack⁺, then contend again.
-                    n.attempt += 1;
+                    h.attempt += 1;
                     let retry_slot = (end_us + ack_timeout_us).div_ceil(SLOT_US);
-                    n.cont_start_slot = retry_slot;
-                    let machine = SlottedCsmaCa::start(config.csma, &mut n.rng);
+                    h.cont_start_slot = retry_slot;
+                    let machine = SlottedCsmaCa::start(config.csma, &mut rngs[i]);
                     let CsmaAction::BackoffThenCca { periods } = machine.current_action() else {
                         unreachable!("CSMA always begins with a backoff");
                     };
-                    n.csma = Some(machine);
+                    csma[i] = Some(machine);
                     queue.push(retry_slot + periods as u64, PRIO_CCA, Ev::Cca { node });
                 } else {
-                    if n.recording {
+                    if h.recording {
                         sink.on_transaction(&TransactionRecord {
                             node,
-                            attempts: n.attempt,
+                            attempts: h.attempt,
                             delivered: false,
                             access_failure: false,
-                            superframes_waited: n.superframes_waited,
+                            superframes_waited: h.superframes_waited,
                         });
                     }
-                    n.active = false;
-                    n.carry_packet = true;
-                    resolve_pending_death(n, node, slot < sf_slots, &mut gts_registry, sink);
+                    h.active = false;
+                    h.carry_packet = true;
+                    resolve_pending_death(
+                        &mut fault[i],
+                        node,
+                        slot < sf_slots,
+                        &mut gts_registry,
+                        sink,
+                    );
                 }
             }
             Ev::GtsTx { node } => {
@@ -1118,39 +1264,41 @@ where
                 // superframe (persistence costs no contention, so N_max
                 // does not apply).
                 let in_warmup = slot < sf_slots;
-                let n = &mut nodes[node as usize];
-                if faults_active && !n.alive {
+                let i = node as usize;
+                if faults_active && !fault[i].alive {
                     // The holder died mid-superframe (deferred death)
                     // after this slot was scheduled.
                     continue;
                 }
-                if n.carry_packet {
-                    n.superframes_waited += 1;
+                let h = &mut hot[i];
+                if h.carry_packet {
+                    h.superframes_waited += 1;
                 } else {
-                    n.superframes_waited = 0;
+                    h.superframes_waited = 0;
                 }
                 let delivered = !corrupt(node);
                 if !in_warmup {
                     sink.on_gts(&GtsRecord {
                         node,
                         delivered,
-                        superframes_waited: n.superframes_waited,
+                        superframes_waited: h.superframes_waited,
                     });
                 }
-                n.carry_packet = !delivered;
+                h.carry_packet = !delivered;
             }
             Ev::DlPoll { node } => {
                 // The beacon listed this node's address: contend in the
                 // CAP with a data request, unless the node is mid-uplink
                 // (the frame then stays pending — a deferral).
                 let in_warmup = slot < sf_slots;
-                let n = &mut nodes[node as usize];
-                if faults_active && !n.alive {
+                let i = node as usize;
+                if faults_active && !fault[i].alive {
                     // The node died mid-superframe after the poll was
                     // scheduled; the frame stays pending upstream.
                     continue;
                 }
-                if n.active {
+                let h = &mut hot[i];
+                if h.active {
                     if !in_warmup {
                         sink.on_downlink(&DownlinkRecord {
                             node,
@@ -1161,15 +1309,15 @@ where
                     }
                     continue;
                 }
-                n.active = true;
-                n.kind = CsmaKind::DataRequest;
-                n.recording = !in_warmup;
-                n.cont_start_slot = slot;
-                let machine = SlottedCsmaCa::start(config.csma, &mut n.rng);
+                h.active = true;
+                h.kind = CsmaKind::DataRequest;
+                h.recording = !in_warmup;
+                h.cont_start_slot = slot;
+                let machine = SlottedCsmaCa::start(config.csma, &mut rngs[i]);
                 let CsmaAction::BackoffThenCca { periods } = machine.current_action() else {
                     unreachable!("CSMA always begins with a backoff");
                 };
-                n.csma = Some(machine);
+                csma[i] = Some(machine);
                 queue.push(slot + periods as u64, PRIO_CCA, Ev::Cca { node });
             }
         }
@@ -1325,6 +1473,50 @@ mod tests {
         let _ = ChannelSimConfig::figure6(50, 1.5, 0);
     }
 
+    #[test]
+    fn validate_mirrors_engine_preconditions() {
+        let good = quick(20, 0.3, 1);
+        assert_eq!(good.validate(), Ok(()));
+
+        let mut cfg = good.clone();
+        cfg.nodes = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoNodes));
+
+        let mut cfg = good.clone();
+        cfg.load = 1.0;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadLoad(1.0)));
+        cfg.load = f64::NAN;
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadLoad(_))));
+
+        let mut cfg = good.clone();
+        cfg.superframes = 1;
+        assert_eq!(cfg.validate(), Err(ConfigError::TooFewSuperframes(1)));
+
+        // A superframe long enough to overflow the calendar ceiling: huge
+        // node count at vanishing load explodes T_ib = N·T_packet/λ.
+        let mut cfg = good;
+        cfg.nodes = 50_000_000;
+        cfg.load = 1e-4;
+        match cfg.validate() {
+            Err(ConfigError::Window(err)) => {
+                assert!(err.requested > crate::events::MAX_WINDOW);
+            }
+            other => panic!("expected window overflow, got {other:?}"),
+        }
+        // Error text matches the engine's panic messages (pinned by the
+        // `should_panic(expected = ...)` substring tests).
+        assert_eq!(
+            ConfigError::NoNodes.to_string(),
+            "at least one node required"
+        );
+        assert!(ConfigError::BadLoad(1.5)
+            .to_string()
+            .starts_with("load must be in (0,1)"));
+        assert!(ConfigError::TooFewSuperframes(1)
+            .to_string()
+            .starts_with("need at least two superframes"));
+    }
+
     // --- CFP engine ------------------------------------------------------
 
     use crate::cfp::{plan_channel_cfp, DownlinkOutcome};
@@ -1401,7 +1593,10 @@ mod tests {
             .filter(|g| g.node == 0)
             .map(|g| g.superframes_waited)
             .collect();
-        assert!(waits.windows(2).all(|w| w[1] == w[0] + 1), "waits {waits:?}");
+        assert!(
+            waits.windows(2).all(|w| w[1] == w[0] + 1),
+            "waits {waits:?}"
+        );
     }
 
     #[test]

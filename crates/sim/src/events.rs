@@ -17,11 +17,13 @@
 //!   assign the time from its own position. The ring grows (doubling,
 //!   amortized O(1)) whenever a push would violate the span — simulators
 //!   that schedule at most one superframe ahead never grow after warm-up.
-//! * **Pop is a cursor scan.** `pop` walks the ring from the last popped
-//!   time to the next occupied cell. The cursor never rewinds while events
-//!   are pending, so the total scan cost over a run is O(time horizon) —
-//!   a few adjacent loads per event for the simulators' event densities —
-//!   plus O(1) per event.
+//! * **Pop is a bitmap hop.** A two-level occupancy bitmap shadows the
+//!   ring — one bit per slot, one summary bit per 64-slot word — so `pop`
+//!   jumps the cursor straight to the next occupied slot in O(1) word
+//!   probes instead of scanning empty cells. Sparse/low-load superframes
+//!   (the million-node regime, where most slots hold nothing) stop paying
+//!   per-slot scans; the cursor still never rewinds while events are
+//!   pending, and each event costs O(1) beyond the hop.
 //!
 //! # Determinism contract
 //!
@@ -58,6 +60,44 @@ pub const PRIORITY_CLASSES: usize = 5;
 /// the simulators), not the whole horizon; 2²⁸ slots is ~23 simulated
 /// hours on the 320 µs grid.
 pub const MAX_WINDOW: u64 = 1 << 28;
+
+/// Typed rejection of a ring window/span request that exceeds
+/// [`MAX_WINDOW`].
+///
+/// Surfaced by [`EventQueue::try_reserve_window`] and
+/// [`WindowError::check`] so callers can validate a simulation horizon up
+/// front; the infallible paths ([`EventQueue::push`],
+/// [`EventQueue::with_window`], [`EventQueue::reserve_window`]) panic with
+/// this error's message instead of a bare assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowError {
+    /// The offending window/span request, in slots.
+    pub requested: u64,
+}
+
+impl WindowError {
+    /// Checks a prospective window size against [`MAX_WINDOW`] without
+    /// needing a queue — the config-validation hook.
+    pub fn check(window: u64) -> Result<(), WindowError> {
+        if window > MAX_WINDOW {
+            Err(WindowError { requested: window })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl core::fmt::Display for WindowError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "event window of {} slots exceeds the {MAX_WINDOW}-slot ceiling",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for WindowError {}
 
 #[derive(Debug, Clone, Copy)]
 struct Bucket {
@@ -107,6 +147,12 @@ pub struct EventQueue<E> {
     free: u32,
     /// Pending event count.
     len: usize,
+    /// One bit per ring slot, set while any priority bucket at the slot
+    /// holds events — the lower bitmap level behind the cursor hop.
+    occupied: Vec<u64>,
+    /// One bit per `occupied` word, set while that word is nonzero — the
+    /// upper level, skipping 4096 empty slots per probe.
+    summary: Vec<u64>,
     /// Ring size − 1 (ring size is a power of two).
     mask: u64,
     /// Scan position: every pending event has `time ≥ cursor`.
@@ -140,11 +186,14 @@ impl<E> EventQueue<E> {
             ring <= MAX_WINDOW,
             "event window {window} slots exceeds the {MAX_WINDOW}-slot ceiling"
         );
+        let words = Self::bitmap_words(ring);
         EventQueue {
             buckets: vec![EMPTY_BUCKET; ring as usize * PRIORITY_CLASSES],
             arena: Vec::new(),
             free: NIL,
             len: 0,
+            occupied: vec![0; words],
+            summary: vec![0; words.div_ceil(64)],
             mask: ring - 1,
             cursor: 0,
             max_pending: 0,
@@ -154,8 +203,25 @@ impl<E> EventQueue<E> {
     /// Grows the ring so pushes spanning up to `window` slots need not
     /// grow it again. Cheap when already satisfied; intended for workspace
     /// reuse, where the expected span is known up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` exceeds [`MAX_WINDOW`]; use
+    /// [`try_reserve_window`](Self::try_reserve_window) to get the typed
+    /// error instead.
     pub fn reserve_window(&mut self, window: u64) {
-        self.ensure_window(window);
+        if let Err(e) = self.ensure_window(window) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`reserve_window`](Self::reserve_window): grows the ring to
+    /// cover `window` slots, or reports a typed [`WindowError`] when the
+    /// request exceeds [`MAX_WINDOW`] — the config-validation path uses
+    /// this to reject over-long horizons before a run starts instead of
+    /// aborting mid-simulation.
+    pub fn try_reserve_window(&mut self, window: u64) -> Result<(), WindowError> {
+        self.ensure_window(window)
     }
 
     /// Ring size in slots.
@@ -168,34 +234,114 @@ impl<E> EventQueue<E> {
         (time & self.mask) as usize * PRIORITY_CLASSES + priority as usize
     }
 
-    /// Grows the ring to cover at least `needed` slots, relinking pending
-    /// buckets (chains move wholesale, preserving FIFO order).
-    fn ensure_window(&mut self, needed: u64) {
-        if needed <= self.ring() {
-            return;
+    /// Occupancy-bitmap words covering a `ring`-slot window.
+    fn bitmap_words(ring: u64) -> usize {
+        (ring as usize).div_ceil(64)
+    }
+
+    /// Marks ring slot `slot` occupied at both bitmap levels.
+    fn set_occupied(&mut self, slot: usize) {
+        let w = slot >> 6;
+        self.occupied[w] |= 1u64 << (slot & 63);
+        self.summary[w >> 6] |= 1u64 << (w & 63);
+    }
+
+    /// Clears ring slot `slot`'s occupancy bit, and its summary bit once
+    /// the whole word drains.
+    fn clear_occupied(&mut self, slot: usize) {
+        let w = slot >> 6;
+        self.occupied[w] &= !(1u64 << (slot & 63));
+        if self.occupied[w] == 0 {
+            self.summary[w >> 6] &= !(1u64 << (w & 63));
         }
-        assert!(
-            needed <= MAX_WINDOW,
-            "event span {needed} slots exceeds the {MAX_WINDOW}-slot ceiling"
-        );
+    }
+
+    /// `true` while any priority bucket at ring slot `slot` holds events.
+    fn slot_occupied(&self, slot: usize) -> bool {
+        self.occupied[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    /// Ring slot of the next occupied cell strictly after `pos`,
+    /// cyclically. Only call while events are pending and slot `pos`
+    /// itself is unoccupied — the window invariant (span < ring) then
+    /// guarantees the cyclically-next set bit is exactly where the old
+    /// linear cursor scan would have stopped.
+    fn next_occupied(&self, pos: usize) -> usize {
+        let w0 = pos >> 6;
+        let b = (pos & 63) as u32;
+        // Bits strictly above `pos` in its own word.
+        let above = if b == 63 {
+            0
+        } else {
+            self.occupied[w0] & (!0u64 << (b + 1))
+        };
+        if above != 0 {
+            return (w0 << 6) + above.trailing_zeros() as usize;
+        }
+        // Summary level: the next nonzero occupancy word, wrapping. The
+        // loop terminates because a pending event guarantees a set bit.
+        let nsum = self.summary.len();
+        let s0 = w0 >> 6;
+        let sb = (w0 & 63) as u32;
+        let sabove = if sb == 63 {
+            0
+        } else {
+            self.summary[s0] & (!0u64 << (sb + 1))
+        };
+        let w = if sabove != 0 {
+            (s0 << 6) + sabove.trailing_zeros() as usize
+        } else {
+            let mut s = if s0 + 1 == nsum { 0 } else { s0 + 1 };
+            loop {
+                if self.summary[s] != 0 {
+                    break (s << 6) + self.summary[s].trailing_zeros() as usize;
+                }
+                debug_assert!(s != s0, "occupancy bitmap empty while events pending");
+                s = if s + 1 == nsum { 0 } else { s + 1 };
+            }
+        };
+        (w << 6) + self.occupied[w].trailing_zeros() as usize
+    }
+
+    /// Grows the ring to cover at least `needed` slots, relinking pending
+    /// buckets (chains move wholesale, preserving FIFO order) and
+    /// rebuilding the occupancy bitmaps.
+    fn ensure_window(&mut self, needed: u64) -> Result<(), WindowError> {
+        if needed <= self.ring() {
+            return Ok(());
+        }
+        WindowError::check(needed)?;
         let new_ring = needed.next_power_of_two();
         let new_mask = new_ring - 1;
+        let words = Self::bitmap_words(new_ring);
         let mut buckets = vec![EMPTY_BUCKET; new_ring as usize * PRIORITY_CLASSES];
+        let mut occupied = vec![0u64; words];
+        let mut summary = vec![0u64; words.div_ceil(64)];
         if self.len > 0 {
             // The old window invariant (span < old ring) makes every old
             // cell hold exactly one time value, so scanning the pending
             // time range visits each occupied cell exactly once.
             for t in self.cursor..=self.max_pending {
+                if !self.slot_occupied((t & self.mask) as usize) {
+                    continue;
+                }
+                let slot = (t & new_mask) as usize;
                 for p in 0..PRIORITY_CLASSES {
                     let old = self.buckets[(t & self.mask) as usize * PRIORITY_CLASSES + p];
                     if old.head != NIL {
-                        buckets[(t & new_mask) as usize * PRIORITY_CLASSES + p] = old;
+                        buckets[slot * PRIORITY_CLASSES + p] = old;
                     }
                 }
+                let w = slot >> 6;
+                occupied[w] |= 1u64 << (slot & 63);
+                summary[w >> 6] |= 1u64 << (w & 63);
             }
         }
         self.buckets = buckets;
+        self.occupied = occupied;
+        self.summary = summary;
         self.mask = new_mask;
+        Ok(())
     }
 
     /// Schedules `event` at `time` with a priority class (lower runs
@@ -217,10 +363,14 @@ impl<E> EventQueue<E> {
             // Sliding the window down is legal as long as the widened span
             // still fits the ring (grow first: the rebuild scan needs the
             // old cursor/max_pending to still describe the pending set).
-            self.ensure_window(self.max_pending - time + 1);
+            if let Err(e) = self.ensure_window(self.max_pending - time + 1) {
+                panic!("{e}");
+            }
             self.cursor = time;
         } else if time > self.max_pending {
-            self.ensure_window(time - self.cursor + 1);
+            if let Err(e) = self.ensure_window(time - self.cursor + 1) {
+                panic!("{e}");
+            }
             self.max_pending = time;
         }
 
@@ -251,6 +401,7 @@ impl<E> EventQueue<E> {
             self.arena[bucket.tail as usize].next = idx;
         }
         bucket.tail = idx;
+        self.set_occupied((time & self.mask) as usize);
         self.len += 1;
     }
 
@@ -260,34 +411,48 @@ impl<E> EventQueue<E> {
         if self.len == 0 {
             return None;
         }
-        loop {
-            let base = (self.cursor & self.mask) as usize * PRIORITY_CLASSES;
-            for p in 0..PRIORITY_CLASSES {
-                let bucket = &mut self.buckets[base + p];
-                if bucket.head == NIL {
-                    continue;
-                }
-                let idx = bucket.head;
-                let entry = &mut self.arena[idx as usize];
-                bucket.head = entry.next;
-                if bucket.head == NIL {
-                    bucket.tail = NIL;
-                }
-                let event = entry
-                    .payload
-                    .take()
-                    .expect("queued entry has a payload — queue invariant broken");
-                entry.next = self.free;
-                self.free = idx;
-                self.len -= 1;
-                return Some((self.cursor, event));
-            }
+        let mut slot = (self.cursor & self.mask) as usize;
+        if !self.slot_occupied(slot) {
+            // Hop the cursor straight to the next occupied cell. The
+            // window invariant (span < ring) means the cyclic distance to
+            // that bit is exactly how far the old linear scan would walk.
+            let next = self.next_occupied(slot);
+            let dist = (next.wrapping_sub(slot) as u64) & self.mask;
             debug_assert!(
-                self.cursor < self.max_pending,
+                self.cursor + dist <= self.max_pending,
                 "pending events must lie within [cursor, max_pending]"
             );
-            self.cursor += 1;
+            self.cursor += dist;
+            slot = next;
         }
+        let base = slot * PRIORITY_CLASSES;
+        for p in 0..PRIORITY_CLASSES {
+            let head = self.buckets[base + p].head;
+            if head == NIL {
+                continue;
+            }
+            let entry = &mut self.arena[head as usize];
+            let next = entry.next;
+            let event = entry
+                .payload
+                .take()
+                .expect("queued entry has a payload — queue invariant broken");
+            entry.next = self.free;
+            self.free = head;
+            self.buckets[base + p].head = next;
+            if next == NIL {
+                self.buckets[base + p].tail = NIL;
+                if self.buckets[base..base + PRIORITY_CLASSES]
+                    .iter()
+                    .all(|b| b.head == NIL)
+                {
+                    self.clear_occupied(slot);
+                }
+            }
+            self.len -= 1;
+            return Some((self.cursor, event));
+        }
+        unreachable!("occupied ring slot holds no events — bitmap invariant broken")
     }
 
     /// Time of the earliest pending event, if any.
@@ -295,12 +460,13 @@ impl<E> EventQueue<E> {
         if self.len == 0 {
             return None;
         }
-        (self.cursor..=self.max_pending).find(|&t| {
-            let base = (t & self.mask) as usize * PRIORITY_CLASSES;
-            self.buckets[base..base + PRIORITY_CLASSES]
-                .iter()
-                .any(|b| b.head != NIL)
-        })
+        let slot = (self.cursor & self.mask) as usize;
+        if self.slot_occupied(slot) {
+            return Some(self.cursor);
+        }
+        let next = self.next_occupied(slot);
+        let dist = (next.wrapping_sub(slot) as u64) & self.mask;
+        Some(self.cursor + dist)
     }
 
     /// Number of pending events.
@@ -323,8 +489,10 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         if self.len > 0 {
             for t in self.cursor..=self.max_pending {
-                let base = (t & self.mask) as usize * PRIORITY_CLASSES;
+                let slot = (t & self.mask) as usize;
+                let base = slot * PRIORITY_CLASSES;
                 self.buckets[base..base + PRIORITY_CLASSES].fill(EMPTY_BUCKET);
+                self.clear_occupied(slot);
             }
         }
         self.arena.clear();
@@ -493,6 +661,39 @@ mod tests {
             q.arena.len()
         );
         assert_eq!(q.pop(), Some((50_000, 0)));
+    }
+
+    #[test]
+    fn sparse_hops_cross_word_and_summary_boundaries() {
+        // Gaps larger than 64 slots (one occupancy word) and larger than
+        // 4096 slots (one summary word) exercise both bitmap levels, and
+        // the final pair wraps the cursor around the ring.
+        let mut q = EventQueue::with_window(1 << 14);
+        let times = [0u64, 1, 65, 70, 4100, 8200, 8201, 16350, 16383 + 5];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, (i % PRIORITY_CLASSES) as u8, i);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(q.pop(), Some((t, i)));
+            assert_eq!(q.peek_time(), times.get(i + 1).copied());
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn try_reserve_window_reports_typed_error() {
+        let mut q = EventQueue::<()>::new();
+        assert_eq!(q.try_reserve_window(1 << 20), Ok(()));
+        let err = q
+            .try_reserve_window(MAX_WINDOW + 1)
+            .expect_err("over-ceiling window must be rejected");
+        assert_eq!(err.requested, MAX_WINDOW + 1);
+        assert!(err.to_string().contains("ceiling"), "{err}");
+        assert_eq!(WindowError::check(MAX_WINDOW), Ok(()));
+        assert!(WindowError::check(MAX_WINDOW + 1).is_err());
+        // The failed reservation left the queue usable.
+        q.push(9, 0, ());
+        assert_eq!(q.pop(), Some((9, ())));
     }
 
     #[test]

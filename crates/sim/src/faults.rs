@@ -303,7 +303,10 @@ mod tests {
     fn drift_is_a_triangle_wave_starting_at_zero() {
         let p = FaultPlan::inert().with_drift(8.0, 8);
         assert_eq!(p.loss_drift_db(0), 0.0, "round 0 must match the static run");
-        assert!((p.loss_drift_db(4) - 8.0).abs() < 1e-12, "peak at mid-period");
+        assert!(
+            (p.loss_drift_db(4) - 8.0).abs() < 1e-12,
+            "peak at mid-period"
+        );
         assert!((p.loss_drift_db(2) - 4.0).abs() < 1e-12);
         assert!((p.loss_drift_db(6) - 4.0).abs() < 1e-12, "falling edge");
         assert_eq!(p.loss_drift_db(8), 0.0, "periodic");

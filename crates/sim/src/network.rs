@@ -20,19 +20,20 @@
 
 use wsn_channel::received_power;
 use wsn_phy::ber::BerModel;
-use wsn_phy::frame::{ack_duration, beacon_duration};
+use wsn_phy::frame::{ack_duration, beacon_duration, PacketLayout};
 use wsn_radio::ledger::{EnergyLedger, PhaseTag};
 use wsn_radio::{RadioModel, RadioState, TxPowerLevel};
 use wsn_units::{DBm, Db, Power, Probability, Seconds};
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::cfp::{DownlinkOutcome, DownlinkRecord, GtsRecord, DATA_REQUEST_AIR_BYTES};
-use crate::faults::{FaultKind, FaultRecord};
 use crate::contention::{
     run_channel_sim_into_ws, with_workspace, AttemptOutcome, AttemptRecord, ChannelSimConfig,
     SimTrace, TransactionRecord,
 };
+use crate::faults::{FaultKind, FaultRecord};
 use crate::rng::Xoshiro256StarStar;
 use crate::sink::{StatsSink, TeeSink, TraceCollector, TraceSink};
 use crate::stats::{Accumulator, Counter};
@@ -50,8 +51,10 @@ pub enum TxPowerPolicy {
         target_rx: DBm,
     },
     /// Explicit per-node levels (e.g. computed by the analytical link
-    /// adaptation).
-    PerNode(Vec<TxPowerLevel>),
+    /// adaptation). The levels live behind an [`Arc`] so cloning the
+    /// policy — which every per-replication config view does — shares the
+    /// allocation instead of copying it.
+    PerNode(Arc<[TxPowerLevel]>),
 }
 
 impl TxPowerPolicy {
@@ -76,7 +79,7 @@ impl TxPowerPolicy {
                     path_losses.len(),
                     "per-node level count must match node count"
                 );
-                levels.clone()
+                levels.to_vec()
             }
         }
     }
@@ -90,7 +93,9 @@ pub struct NetworkConfig {
     /// Radio energy model.
     pub radio: RadioModel,
     /// Per-node path losses to the coordinator (length = node count).
-    pub path_losses: Vec<Db>,
+    /// Shared behind an [`Arc`]: per-replication and per-job config views
+    /// clone the `NetworkConfig` in O(1) — only the seed differs per job.
+    pub path_losses: Arc<[Db]>,
     /// Transmit power assignment.
     pub tx_policy: TxPowerPolicy,
     /// Coordinator transmit power (beacon and acknowledgements).
@@ -98,6 +103,14 @@ pub struct NetworkConfig {
     /// How early the chip wakes before the beacon (the paper uses 1 ms to
     /// cover the ~970 µs shutdown→idle transition).
     pub wakeup_margin: Seconds,
+    /// Optional precomputed per-node corruption probabilities (length =
+    /// node count). `None` (the default everywhere) makes the simulator
+    /// derive them from the BER model on entry; `Some` skips that
+    /// derivation — the policy loop caches the full-population BER math
+    /// once per drift value and remaps it per round. Values must equal
+    /// what [`corruption_probability`] computes bit-for-bit, or traces
+    /// diverge from the uncached path.
+    pub corrupt_probs: Option<Arc<[f64]>>,
 }
 
 impl NetworkConfig {
@@ -105,14 +118,49 @@ impl NetworkConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the path-loss vector length differs from the node count.
+    /// Panics if the path-loss vector (or a provided corruption-probability
+    /// vector) length differs from the node count.
     fn validate(&self) {
         assert_eq!(
             self.path_losses.len(),
             self.channel.nodes,
             "one path loss per node required"
         );
+        if let Some(probs) = &self.corrupt_probs {
+            assert_eq!(
+                probs.len(),
+                self.channel.nodes,
+                "one corruption probability per node required"
+            );
+        }
     }
+}
+
+/// Packet-or-ACK corruption probability of one uplink transaction: the
+/// packet at the node's `level` over `loss`, the acknowledgement back at
+/// `coordinator_tx` over the same loss, either direction failing costing
+/// the acknowledgement.
+///
+/// The single source of truth for this math: the simulator's per-run
+/// derivation and the policy loop's cached full-population table both call
+/// it, which is what makes the cached path bit-identical to the uncached
+/// one.
+pub(crate) fn corruption_probability<B: BerModel>(
+    ber: &B,
+    packet: PacketLayout,
+    coordinator_tx: DBm,
+    loss: Db,
+    level: TxPowerLevel,
+) -> f64 {
+    // The ACK's preamble/SFD are sent before the receiver's correlator
+    // locks; 11 - 4 = 7 exposed octets.
+    let ack_exposed_bits = 8.0 * (11.0 - 4.0);
+    let p_rx = received_power(level.output_power(), loss);
+    let pr_packet = ber.packet_error_probability(p_rx, packet).value();
+    let p_rx_ack = received_power(coordinator_tx, loss);
+    let pr_bit_ack = ber.bit_error_probability(p_rx_ack).value();
+    let pr_ack = 1.0 - (1.0 - pr_bit_ack).powf(ack_exposed_bits);
+    1.0 - (1.0 - pr_packet) * (1.0 - pr_ack)
 }
 
 /// Aggregated results of a network simulation, computed online — the
@@ -330,8 +378,7 @@ impl NetworkAccumulator {
     /// transactions for failures, delivered transactions for delay).
     pub fn summary(&self) -> NetworkSummary {
         let replications = self.replications();
-        let (power_se_uw, failure_se, delay_se_secs, cap_se_uw, cfp_se_uw) = if replications >= 2
-        {
+        let (power_se_uw, failure_se, delay_se_secs, cap_se_uw, cfp_se_uw) = if replications >= 2 {
             (
                 self.rep_power_uw.standard_error(),
                 self.rep_failure.standard_error(),
@@ -441,17 +488,13 @@ impl NetworkSimulator {
     ) {
         let cfg = &self.config;
         let packet = cfg.channel.packet;
-        let ack_exposed_bits = 8.0 * (11.0 - 4.0);
         out.clear();
-        out.extend(cfg.path_losses.iter().zip(levels).map(|(a, lvl)| {
-            let p_rx = received_power(lvl.output_power(), *a);
-            let pr_packet = ber.packet_error_probability(p_rx, packet).value();
-            let p_rx_ack = received_power(cfg.coordinator_tx, *a);
-            let pr_bit_ack = ber.bit_error_probability(p_rx_ack).value();
-            let pr_ack = 1.0 - (1.0 - pr_bit_ack).powf(ack_exposed_bits);
-            // Either direction failing costs the acknowledgement.
-            1.0 - (1.0 - pr_packet) * (1.0 - pr_ack)
-        }));
+        out.extend(
+            cfg.path_losses
+                .iter()
+                .zip(levels)
+                .map(|(a, lvl)| corruption_probability(ber, packet, cfg.coordinator_tx, *a, *lvl)),
+        );
     }
 
     /// Drives the contention engine into `sink` with the BER-driven
@@ -459,7 +502,12 @@ impl NetworkSimulator {
     /// [`SimWorkspace`] — queue, node array and corruption buffer all come
     /// from (and return to) the workspace, so repeated drives allocate
     /// nothing.
-    fn drive<B: BerModel, S: TraceSink>(&self, ber: &B, levels: &[TxPowerLevel], sink: &mut S) {
+    fn drive<B: BerModel, S: TraceSink>(
+        &self,
+        ber: &B,
+        levels: &[TxPowerLevel],
+        sink: &mut S,
+    ) -> u64 {
         let cfg = &self.config;
         let timings = cfg.channel.timings();
         let mut noise_rng =
@@ -469,8 +517,16 @@ impl NetworkSimulator {
             // engine borrows the rest of the workspace: take it out for
             // the run, hand it back after.
             let mut probs = std::mem::take(&mut ws.corrupt_probs);
-            self.corruption_probabilities_into(ber, levels, &mut probs);
-            run_channel_sim_into_ws(
+            match &cfg.corrupt_probs {
+                // Precomputed (the policy loop's per-drift cache): skip the
+                // per-node BER math entirely.
+                Some(cached) => {
+                    probs.clear();
+                    probs.extend_from_slice(cached);
+                }
+                None => self.corruption_probabilities_into(ber, levels, &mut probs),
+            }
+            let events = run_channel_sim_into_ws(
                 &cfg.channel,
                 &timings,
                 |node| noise_rng.bernoulli(probs[node as usize]),
@@ -478,7 +534,8 @@ impl NetworkSimulator {
                 ws,
             );
             ws.corrupt_probs = probs;
-        });
+            events
+        })
     }
 
     /// Runs the simulation against a BER model, keeping the raw trace.
@@ -516,10 +573,18 @@ impl NetworkSimulator {
     /// replication) can merge first and
     /// [`seal_replication`](NetworkAccumulator::seal_replication) once.
     pub fn run_accumulate<B: BerModel>(&self, ber: &B) -> NetworkAccumulator {
+        self.run_accumulate_counted(ber).0
+    }
+
+    /// [`run_accumulate`](Self::run_accumulate) also returning the number
+    /// of engine events processed — the scale benchmark's throughput
+    /// denominator, counted in the same pass so throughput and energy come
+    /// from one run.
+    pub fn run_accumulate_counted<B: BerModel>(&self, ber: &B) -> (NetworkAccumulator, u64) {
         let levels = self.config.tx_policy.resolve(&self.config.path_losses);
         let mut accountant = EnergyAccountant::new(&self.config, &levels);
-        self.drive(ber, &levels, &mut accountant);
-        accountant.finish()
+        let events = self.drive(ber, &levels, &mut accountant);
+        (accountant.finish(), events)
     }
 
     /// Runs one streaming replication and finalizes it. Preferred for
@@ -530,6 +595,573 @@ impl NetworkSimulator {
         let mut acc = self.run_accumulate(ber);
         acc.seal_replication();
         acc.summary()
+    }
+
+    /// [`run_accumulate`](Self::run_accumulate) with the per-node energy
+    /// accounting sharded across `shards` worker threads —
+    /// **bit-identical to the unsharded run for every shard count**.
+    ///
+    /// The contention physics cannot be partitioned (every CCA senses
+    /// every other node's transmission), so the event engine runs
+    /// unchanged on the calling thread. What *is* exactly partitionable
+    /// is the per-node energy accounting: each worker owns one contiguous
+    /// node-index range — a spatial cell, since deployments lay node
+    /// indices out by geometry (rings, disc radius, clusters) — and
+    /// accrues that range's [`EnergyLedger`]s from the record stream the
+    /// engine relays in order. Per-node accrual is a fixed f64 sequence
+    /// per node regardless of which thread runs it, and the final fold
+    /// ([`finish_ledgers`]) walks the concatenated ledgers in node order
+    /// on one thread, so the result is bit-identical by construction —
+    /// the same contract the thread-count determinism suite pins for the
+    /// runner.
+    ///
+    /// `shards` is clamped to `[1, nodes]`; `shards <= 1` falls back to
+    /// the serial path. At 10⁵⁺ nodes the accounting (≈60 % of the wall
+    /// clock on dense channels) scales with the worker count while the
+    /// engine stays hot on one core.
+    pub fn run_accumulate_sharded<B: BerModel>(
+        &self,
+        ber: &B,
+        shards: usize,
+    ) -> NetworkAccumulator {
+        let nodes = self.config.channel.nodes;
+        let shards = shards.clamp(1, nodes.max(1));
+        if shards <= 1 {
+            return self.run_accumulate(ber);
+        }
+        let levels = self.config.tx_policy.resolve(&self.config.path_losses);
+        let consts = AccountingConsts::new(&self.config);
+        let radio = &self.config.radio;
+        // Balanced contiguous ranges: shard `s` owns `bounds[s]..bounds[s+1]`.
+        let bounds: Vec<usize> = (0..=shards).map(|s| s * nodes / shards).collect();
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<ShardMsg>>(4);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let (ledgers, stats, missed_beacons, join_failures) = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            for (s, rx) in receivers.into_iter().enumerate() {
+                let lo = bounds[s];
+                let hi = bounds[s + 1];
+                let levels = &levels[lo..hi];
+                let consts = &consts;
+                handles.push(scope.spawn(move || {
+                    let mut ledgers = vec![EnergyLedger::new(); hi - lo];
+                    while let Ok(batch) = rx.recv() {
+                        for msg in &batch {
+                            let i = msg.node() as usize - lo;
+                            let ledger = &mut ledgers[i];
+                            match msg {
+                                ShardMsg::Attempt(a) => {
+                                    ledger_on_attempt(ledger, radio, levels[i], consts, a);
+                                }
+                                ShardMsg::Transaction(_) => {
+                                    ledger_on_transaction(ledger, radio);
+                                }
+                                ShardMsg::Gts(r) => {
+                                    ledger_on_gts(ledger, radio, levels[i], consts, r);
+                                }
+                                ShardMsg::Downlink(r) => {
+                                    ledger_on_downlink(ledger, radio, levels[i], consts, r);
+                                }
+                                ShardMsg::Fault(r) => {
+                                    ledger_on_fault(ledger, radio, levels[i], consts, r);
+                                }
+                            }
+                        }
+                    }
+                    ledgers
+                }));
+            }
+
+            // The engine runs unchanged on the calling thread; the sink
+            // keeps the cross-node statistics here and relays the
+            // ledger-relevant records to their owning shards in batches.
+            let mut sink = ShardingSink::new(nodes, &bounds, senders);
+            self.drive(ber, &levels, &mut sink);
+            let (stats, missed_beacons, join_failures) = sink.finish();
+
+            // Fixed shard order: concatenating the joined ranges rebuilds
+            // the node-ordered ledger list the serial path produces.
+            let mut ledgers = Vec::with_capacity(nodes);
+            for handle in handles {
+                ledgers.extend(handle.join().expect("shard worker panicked"));
+            }
+            (ledgers, stats, missed_beacons, join_failures)
+        });
+
+        finish_ledgers(&self.config, ledgers, &missed_beacons, stats, join_failures)
+    }
+}
+
+/// One ledger-relevant record relayed from the engine thread to the shard
+/// worker that owns its node.
+#[derive(Debug, Clone, Copy)]
+enum ShardMsg {
+    Attempt(AttemptRecord),
+    Transaction(u32),
+    Gts(GtsRecord),
+    Downlink(DownlinkRecord),
+    Fault(FaultRecord),
+}
+
+impl ShardMsg {
+    fn node(&self) -> u32 {
+        match self {
+            ShardMsg::Attempt(a) => a.node,
+            ShardMsg::Transaction(node) => *node,
+            ShardMsg::Gts(r) => r.node,
+            ShardMsg::Downlink(r) => r.node,
+            ShardMsg::Fault(r) => r.node,
+        }
+    }
+}
+
+/// Batch size of the engine→shard relay. Large enough to amortize the
+/// channel synchronization, small enough to keep workers busy during the
+/// run rather than after it.
+const SHARD_BATCH: usize = 1024;
+
+/// The engine-thread half of [`NetworkSimulator::run_accumulate_sharded`]:
+/// folds the cross-node statistics exactly like the serial
+/// [`EnergyAccountant`] and relays per-node ledger work to the shard
+/// workers, batched and in record order (each node's accrual sequence is
+/// preserved because a node lives in exactly one shard).
+struct ShardingSink {
+    stats: StatsSink,
+    missed_beacons: Vec<u32>,
+    join_failures: Counter,
+    /// node index → owning shard, precomputed from the range bounds.
+    shard_of: Vec<u32>,
+    senders: Vec<std::sync::mpsc::SyncSender<Vec<ShardMsg>>>,
+    batches: Vec<Vec<ShardMsg>>,
+}
+
+impl ShardingSink {
+    fn new(
+        nodes: usize,
+        bounds: &[usize],
+        senders: Vec<std::sync::mpsc::SyncSender<Vec<ShardMsg>>>,
+    ) -> Self {
+        let shards = senders.len();
+        let mut shard_of = vec![0u32; nodes];
+        for s in 0..shards {
+            for owner in shard_of.iter_mut().take(bounds[s + 1]).skip(bounds[s]) {
+                *owner = s as u32;
+            }
+        }
+        ShardingSink {
+            stats: StatsSink::new(),
+            missed_beacons: vec![0; nodes],
+            join_failures: Counter::default(),
+            shard_of,
+            senders,
+            batches: (0..shards)
+                .map(|_| Vec::with_capacity(SHARD_BATCH))
+                .collect(),
+        }
+    }
+
+    fn relay(&mut self, msg: ShardMsg) {
+        let s = self.shard_of[msg.node() as usize] as usize;
+        self.batches[s].push(msg);
+        if self.batches[s].len() == SHARD_BATCH {
+            self.flush(s);
+        }
+    }
+
+    fn flush(&mut self, s: usize) {
+        if self.batches[s].is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.batches[s], Vec::with_capacity(SHARD_BATCH));
+        self.senders[s]
+            .send(batch)
+            .expect("shard worker hung up before the engine finished");
+    }
+
+    /// Flushes the remaining batches, closes the relay (workers drain and
+    /// exit) and returns the engine-thread folds.
+    fn finish(mut self) -> (StatsSink, Vec<u32>, Counter) {
+        for s in 0..self.senders.len() {
+            self.flush(s);
+        }
+        drop(self.senders);
+        (self.stats, self.missed_beacons, self.join_failures)
+    }
+}
+
+impl TraceSink for ShardingSink {
+    fn on_attempt(&mut self, a: &AttemptRecord) {
+        self.stats.on_attempt(a);
+        self.relay(ShardMsg::Attempt(*a));
+    }
+
+    fn on_transaction(&mut self, t: &TransactionRecord) {
+        self.stats.on_transaction(t);
+        self.relay(ShardMsg::Transaction(t.node));
+    }
+
+    fn on_overrun(&mut self) {
+        self.stats.on_overrun();
+    }
+
+    fn on_gts(&mut self, r: &GtsRecord) {
+        self.stats.on_gts(r);
+        self.relay(ShardMsg::Gts(*r));
+    }
+
+    fn on_downlink(&mut self, r: &DownlinkRecord) {
+        self.stats.on_downlink(r);
+        if r.outcome != DownlinkOutcome::Deferred {
+            // Deferred polls carry no ledger cost; skip the relay.
+            self.relay(ShardMsg::Downlink(*r));
+        }
+    }
+
+    fn on_fault(&mut self, r: &FaultRecord) {
+        self.stats.on_fault(r);
+        match r.kind {
+            FaultKind::MissedBeacon { listened } => {
+                self.missed_beacons[r.node as usize] += 1;
+                if listened {
+                    self.relay(ShardMsg::Fault(*r));
+                }
+            }
+            FaultKind::JoinAttempt { success } => {
+                self.join_failures.observe(!success);
+                self.relay(ShardMsg::Fault(*r));
+            }
+            // No ledger cost: deaths, rejoin confirmations, dormancy.
+            FaultKind::Death | FaultKind::Reassociated { .. } | FaultKind::Dormant => {}
+        }
+    }
+}
+
+/// Per-configuration timing constants hoisted off the per-record accrual
+/// path — shared by the serial [`EnergyAccountant`] and the shard workers
+/// of [`NetworkSimulator::run_accumulate_sharded`], so cached and sharded
+/// accounting run the exact same arithmetic.
+#[derive(Debug, Clone, Copy)]
+struct AccountingConsts {
+    packet_airtime: Seconds,
+    slot: Seconds,
+    t_ack: Seconds,
+    cca_sense: Seconds,
+    noack_listen: Seconds,
+    ifs: Seconds,
+    turn_on: Seconds,
+    turnaround: Seconds,
+    dl_request_air: Seconds,
+    t_beacon: Seconds,
+    /// Idle dwell before the beacon: wakeup margin minus the
+    /// shutdown→idle transition, floored at zero.
+    margin: Seconds,
+}
+
+impl AccountingConsts {
+    fn new(cfg: &NetworkConfig) -> Self {
+        AccountingConsts {
+            packet_airtime: cfg.channel.packet.duration(),
+            slot: Seconds::from_micros(320.0),
+            t_ack: ack_duration(),
+            cca_sense: Seconds::from_micros(128.0),
+            noack_listen: Seconds::from_micros(864.0 - 192.0),
+            ifs: Seconds::from_micros(640.0),
+            turn_on: cfg.radio.turn_on_time(),
+            turnaround: Seconds::from_micros(192.0),
+            dl_request_air: wsn_phy::consts::bytes(DATA_REQUEST_AIR_BYTES),
+            t_beacon: beacon_duration(),
+            margin: (cfg.wakeup_margin - cfg.radio.wakeup_time()).max(Seconds::ZERO),
+        }
+    }
+}
+
+// Ledger-side accrual, one free function per record kind. These are the
+// single source of truth for how a record becomes joules: the serial
+// `EnergyAccountant` calls them inline and the spatial-shard workers call
+// them on their node ranges, so a sharded run accrues the exact same f64
+// sequence per node as the unsharded one (bit-identity by construction).
+
+fn ledger_on_attempt(
+    ledger: &mut EnergyLedger,
+    radio: &RadioModel,
+    level: TxPowerLevel,
+    k: &AccountingConsts,
+    a: &AttemptRecord,
+) {
+    // Contention wall time: idle except for the CCA turn-ons.
+    let wall = k.slot * a.contention_slots as f64;
+    let cca_active = (k.turn_on + k.cca_sense) * a.ccas as f64;
+    let idle_time = (wall - cca_active).max(Seconds::ZERO);
+    ledger.accrue(radio, RadioState::Idle, PhaseTag::Contention, idle_time);
+    for _ in 0..a.ccas {
+        ledger.accrue_transition(
+            radio,
+            RadioState::Idle,
+            RadioState::Rx,
+            PhaseTag::Contention,
+        );
+        ledger.accrue_listen(radio, PhaseTag::Contention, k.cca_sense);
+    }
+
+    if a.outcome == AttemptOutcome::AccessFailure {
+        return;
+    }
+
+    // Transmission.
+    ledger.accrue_transition(
+        radio,
+        RadioState::Idle,
+        RadioState::Tx(level),
+        PhaseTag::Transmit,
+    );
+    ledger.accrue(
+        radio,
+        RadioState::Tx(level),
+        PhaseTag::Transmit,
+        k.packet_airtime,
+    );
+
+    // Acknowledgement window.
+    ledger.accrue_transition(
+        radio,
+        RadioState::Tx(level),
+        RadioState::Rx,
+        PhaseTag::AckWait,
+    );
+    match a.outcome {
+        AttemptOutcome::Delivered => {
+            ledger.accrue_listen(radio, PhaseTag::AckWait, k.t_ack);
+        }
+        AttemptOutcome::Corrupted | AttemptOutcome::Collided => {
+            ledger.accrue_listen(radio, PhaseTag::AckWait, k.noack_listen);
+        }
+        AttemptOutcome::AccessFailure => unreachable!("handled above"),
+    }
+    ledger.accrue(radio, RadioState::Idle, PhaseTag::Ifs, k.ifs);
+}
+
+fn ledger_on_transaction(ledger: &mut EnergyLedger, radio: &RadioModel) {
+    // Second wake-up for the transaction (the node slept between the
+    // beacon and its packet-ready offset).
+    ledger.accrue_transition(
+        radio,
+        RadioState::Shutdown,
+        RadioState::Idle,
+        PhaseTag::Contention,
+    );
+}
+
+fn ledger_on_gts(
+    ledger: &mut EnergyLedger,
+    radio: &RadioModel,
+    level: TxPowerLevel,
+    k: &AccountingConsts,
+    r: &GtsRecord,
+) {
+    // Wake for the dedicated slot, transmit without any contention,
+    // listen for the acknowledgement, observe the interframe spacing.
+    // Everything is attributed to the GTS phase, so the CFP energy
+    // split is exact.
+    ledger.accrue_transition(radio, RadioState::Shutdown, RadioState::Idle, PhaseTag::Gts);
+    ledger.accrue_transition(
+        radio,
+        RadioState::Idle,
+        RadioState::Tx(level),
+        PhaseTag::Gts,
+    );
+    ledger.accrue(
+        radio,
+        RadioState::Tx(level),
+        PhaseTag::Gts,
+        k.packet_airtime,
+    );
+    ledger.accrue_transition(radio, RadioState::Tx(level), RadioState::Rx, PhaseTag::Gts);
+    let listen = if r.delivered { k.t_ack } else { k.noack_listen };
+    ledger.accrue_listen(radio, PhaseTag::Gts, listen);
+    ledger.accrue(radio, RadioState::Idle, PhaseTag::Gts, k.ifs);
+}
+
+fn ledger_on_downlink(
+    ledger: &mut EnergyLedger,
+    radio: &RadioModel,
+    level: TxPowerLevel,
+    k: &AccountingConsts,
+    r: &DownlinkRecord,
+) {
+    if r.outcome == DownlinkOutcome::Deferred {
+        // The node was mid-uplink; its radio time is already billed.
+        return;
+    }
+    // One wake-up per poll (the downlink analogue of the
+    // per-transaction wake `on_transaction` charges to Contention),
+    // then data-request contention: idle between the CCA turn-ons,
+    // the uplink attempt pattern attributed to the downlink phase.
+    ledger.accrue_transition(
+        radio,
+        RadioState::Shutdown,
+        RadioState::Idle,
+        PhaseTag::Downlink,
+    );
+    let wall = k.slot * r.contention_slots as f64;
+    let cca_active = (k.turn_on + k.cca_sense) * r.ccas as f64;
+    ledger.accrue(
+        radio,
+        RadioState::Idle,
+        PhaseTag::Downlink,
+        (wall - cca_active).max(Seconds::ZERO),
+    );
+    for _ in 0..r.ccas {
+        ledger.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Downlink);
+        ledger.accrue_listen(radio, PhaseTag::Downlink, k.cca_sense);
+    }
+    if r.outcome == DownlinkOutcome::AccessFailure {
+        return;
+    }
+    // Transmit the data request.
+    ledger.accrue_transition(
+        radio,
+        RadioState::Idle,
+        RadioState::Tx(level),
+        PhaseTag::Downlink,
+    );
+    ledger.accrue(
+        radio,
+        RadioState::Tx(level),
+        PhaseTag::Downlink,
+        k.dl_request_air,
+    );
+    ledger.accrue_transition(
+        radio,
+        RadioState::Tx(level),
+        RadioState::Rx,
+        PhaseTag::Downlink,
+    );
+    if r.outcome == DownlinkOutcome::Collided {
+        // No acknowledgement ever comes: wait out t_ack⁺.
+        ledger.accrue_listen(radio, PhaseTag::Downlink, k.noack_listen);
+        ledger.accrue(radio, RadioState::Idle, PhaseTag::Downlink, k.ifs);
+        return;
+    }
+    // Request acknowledgement, then the (promptly answered) downlink
+    // frame — the receiver stays on throughout, as in the analytical
+    // `downlink_cost` with a prompt coordinator.
+    ledger.accrue(
+        radio,
+        RadioState::Rx,
+        PhaseTag::Downlink,
+        k.turnaround + k.t_ack,
+    );
+    ledger.accrue(
+        radio,
+        RadioState::Rx,
+        PhaseTag::Downlink,
+        k.turnaround + k.packet_airtime,
+    );
+    if r.outcome == DownlinkOutcome::Delivered {
+        // Acknowledge the frame (turnaround + ACK airtime at TX
+        // power, the analytical model's `acknowledge` term).
+        ledger.accrue(
+            radio,
+            RadioState::Tx(level),
+            PhaseTag::Downlink,
+            k.turnaround + k.t_ack,
+        );
+    }
+    ledger.accrue(radio, RadioState::Idle, PhaseTag::Downlink, k.ifs);
+}
+
+/// Ledger-side cost of a fault record. The scalar bookkeeping
+/// (missed-beacon counts, join-failure counter, fault statistics) is the
+/// caller's job — this accrues only the radio energy, which is exactly
+/// the part that per-node shards can own.
+fn ledger_on_fault(
+    ledger: &mut EnergyLedger,
+    radio: &RadioModel,
+    level: TxPowerLevel,
+    k: &AccountingConsts,
+    r: &FaultRecord,
+) {
+    match r.kind {
+        FaultKind::MissedBeacon { listened } => {
+            if listened {
+                // Orphan scan: the node wakes on schedule, turns the
+                // receiver on and listens out the beacon window, but
+                // nothing comes. Same residencies as a received
+                // beacon, charged to the association phase.
+                ledger.accrue_transition(
+                    radio,
+                    RadioState::Shutdown,
+                    RadioState::Idle,
+                    PhaseTag::Association,
+                );
+                ledger.accrue(radio, RadioState::Idle, PhaseTag::Association, k.margin);
+                ledger.accrue_transition(
+                    radio,
+                    RadioState::Idle,
+                    RadioState::Rx,
+                    PhaseTag::Association,
+                );
+                ledger.accrue(radio, RadioState::Rx, PhaseTag::Association, k.t_beacon);
+            }
+        }
+        FaultKind::JoinAttempt { success } => {
+            // Association request/response exchange: wake, transmit
+            // the request (a MAC command the size of a data request),
+            // then wait for the acknowledgement and — on success — the
+            // association response after a turnaround, receiver on
+            // throughout. A lost response costs the full no-ACK window.
+            ledger.accrue_transition(
+                radio,
+                RadioState::Shutdown,
+                RadioState::Idle,
+                PhaseTag::Association,
+            );
+            ledger.accrue_transition(
+                radio,
+                RadioState::Idle,
+                RadioState::Tx(level),
+                PhaseTag::Association,
+            );
+            ledger.accrue(
+                radio,
+                RadioState::Tx(level),
+                PhaseTag::Association,
+                k.dl_request_air,
+            );
+            ledger.accrue_transition(
+                radio,
+                RadioState::Tx(level),
+                RadioState::Rx,
+                PhaseTag::Association,
+            );
+            if success {
+                ledger.accrue(
+                    radio,
+                    RadioState::Rx,
+                    PhaseTag::Association,
+                    k.turnaround + k.t_ack,
+                );
+                ledger.accrue(
+                    radio,
+                    RadioState::Rx,
+                    PhaseTag::Association,
+                    k.turnaround + k.t_ack,
+                );
+            } else {
+                ledger.accrue_listen(radio, PhaseTag::Association, k.noack_listen);
+            }
+            ledger.accrue(radio, RadioState::Idle, PhaseTag::Association, k.ifs);
+        }
+        // Deaths, rejoin confirmations and dormancy carry no radio
+        // activity of their own.
+        FaultKind::Death | FaultKind::Reassociated { .. } | FaultKind::Dormant => {}
     }
 }
 
@@ -548,17 +1180,8 @@ struct EnergyAccountant<'a> {
     missed_beacons: Vec<u32>,
     /// Re-association exchanges whose response was lost (hit = failure).
     join_failures: Counter,
-    // Per-configuration constants hoisted off the per-record path.
-    packet_airtime: Seconds,
-    slot: Seconds,
-    t_ack: Seconds,
-    cca_sense: Seconds,
-    noack_listen: Seconds,
-    ifs: Seconds,
-    turn_on: Seconds,
-    turnaround: Seconds,
-    dl_request_air: Seconds,
-    t_beacon: Seconds,
+    /// Per-configuration constants hoisted off the per-record path.
+    consts: AccountingConsts,
 }
 
 impl<'a> EnergyAccountant<'a> {
@@ -570,180 +1193,147 @@ impl<'a> EnergyAccountant<'a> {
             stats: StatsSink::new(),
             missed_beacons: vec![0; cfg.channel.nodes],
             join_failures: Counter::default(),
-            packet_airtime: cfg.channel.packet.duration(),
-            slot: Seconds::from_micros(320.0),
-            t_ack: ack_duration(),
-            cca_sense: Seconds::from_micros(128.0),
-            noack_listen: Seconds::from_micros(864.0 - 192.0),
-            ifs: Seconds::from_micros(640.0),
-            turn_on: cfg.radio.turn_on_time(),
-            turnaround: Seconds::from_micros(192.0),
-            dl_request_air: wsn_phy::consts::bytes(DATA_REQUEST_AIR_BYTES),
-            t_beacon: beacon_duration(),
+            consts: AccountingConsts::new(cfg),
         }
     }
 
     /// Adds the fixed beacon overhead and the sleep remainder, then folds
     /// everything into an (unsealed) mergeable accumulator.
-    fn finish(mut self) -> NetworkAccumulator {
-        let cfg = self.cfg;
-        let radio = &cfg.radio;
-        let n_nodes = cfg.channel.nodes;
-        let recorded_superframes = cfg.channel.superframes as f64 - 1.0;
-        let t_ib = cfg.channel.beacon_interval();
-        let window = t_ib * recorded_superframes;
-        let t_beacon = beacon_duration();
-
-        let mut acc = NetworkAccumulator::new();
-        acc.node_powers.reserve(n_nodes);
-        // Fixed per-superframe beacon overhead — preemptive wake-up (the
-        // shutdown→idle transition plus any margin spent in idle),
-        // receiver turn-on, beacon reception — is identical for every
-        // node, so the per-superframe accrual loop runs **once** into a
-        // prototype ledger that every node then merges: `finish` is
-        // O(nodes + superframes) instead of O(nodes × superframes). The
-        // beacon-phase cells of every per-node ledger start at zero, so
-        // the merged values are the very sums the per-node loop produced.
-        //
-        // Nodes that missed beacons (outages, churn deaths) receive fewer
-        // cycles; one ledger per distinct received count is cached so the
-        // skipped cycles still come from the same repeated-addition loop —
-        // and a fault-free run, where every node receives every beacon,
-        // merges the single full prototype bit-identically.
-        let margin = (cfg.wakeup_margin - radio.wakeup_time()).max(Seconds::ZERO);
-        let beacon_cycles = |cycles: usize| {
-            let mut l = EnergyLedger::new();
-            for _ in 0..cycles {
-                l.accrue_transition(
-                    radio,
-                    RadioState::Shutdown,
-                    RadioState::Idle,
-                    PhaseTag::Beacon,
-                );
-                l.accrue(radio, RadioState::Idle, PhaseTag::Beacon, margin);
-                l.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Beacon);
-                l.accrue(radio, RadioState::Rx, PhaseTag::Beacon, t_beacon);
-            }
-            l
-        };
-        let recorded = cfg.channel.superframes.saturating_sub(1);
-        let beacon_ledger = beacon_cycles(recorded as usize);
-        let mut partial: HashMap<u32, EnergyLedger> = HashMap::new();
-        for (i, ledger) in self.ledgers.iter_mut().enumerate() {
-            let missed = self.missed_beacons[i];
-            if missed == 0 {
-                ledger.merge(&beacon_ledger);
-            } else {
-                let received = recorded.saturating_sub(missed);
-                let l = partial
-                    .entry(received)
-                    .or_insert_with(|| beacon_cycles(received as usize));
-                ledger.merge(l);
-            }
-            // Sleep is the remainder of the window.
-            let active = ledger.total_time();
-            let sleep = (window - active).max(Seconds::ZERO);
-            ledger.accrue(radio, RadioState::Shutdown, PhaseTag::Sleep, sleep);
-            let power = ledger.average_power(window);
-            acc.node_power_uw.push(power.microwatts());
-            acc.node_powers.push(power);
-            // CAP vs CFP split: what this node spent contending and
-            // uplinking in the CAP versus its contention-free traffic.
-            let cap_energy = ledger.energy_in_phase(PhaseTag::Contention)
-                + ledger.energy_in_phase(PhaseTag::Transmit)
-                + ledger.energy_in_phase(PhaseTag::AckWait)
-                + ledger.energy_in_phase(PhaseTag::Ifs);
-            let cfp_energy = ledger.energy_in_phase(PhaseTag::Gts)
-                + ledger.energy_in_phase(PhaseTag::Downlink);
-            acc.cap_uw.push((cap_energy / window).microwatts());
-            acc.cfp_uw.push((cfp_energy / window).microwatts());
-            acc.ledger.merge(ledger);
-        }
-
-        let delivered = self.stats.failures.trials() - self.stats.failures.hits();
-        acc.delivered_payload_bits = delivered as f64 * cfg.channel.packet.payload_bits() as f64;
-        acc.failures = self.stats.failures;
-        acc.attempts = self.stats.attempts;
-        // Delays were accumulated in superframes; rescale to seconds once,
-        // exactly, so accumulators from channels with different beacon
-        // intervals merge in common units.
-        acc.delay_secs = self.stats.delivery_superframes.scaled(t_ib.secs());
-        acc.overruns = self.stats.overruns;
-        acc.gts_failures = self.stats.gts_failures;
-        acc.gts_denied = cfg.channel.cfp.gts_denied as u64;
-        acc.downlink_failures = self.stats.downlink_failures;
-        acc.downlink_deferred = self.stats.downlink_deferred;
-        acc.deaths = self.stats.deaths;
-        acc.orphan_scans = self.stats.orphan_scans;
-        acc.join_failures = self.join_failures;
-        // Re-association latencies arrive in superframes; rescale once,
-        // like the delivery delays.
-        acc.reassoc_delay_secs = self.stats.reassoc_superframes.scaled(t_ib.secs());
-        acc.dormant_nodes = self.stats.dormant_nodes;
-        acc
+    fn finish(self) -> NetworkAccumulator {
+        finish_ledgers(
+            self.cfg,
+            self.ledgers,
+            &self.missed_beacons,
+            self.stats,
+            self.join_failures,
+        )
     }
+}
+
+/// The shared tail of every accounting run — serial or sharded: adds the
+/// fixed beacon overhead and the sleep remainder to each node's ledger,
+/// then folds everything into an (unsealed) mergeable accumulator. Runs
+/// on one thread over the full (concatenated, node-ordered) ledger list,
+/// so its fold order never depends on the shard count.
+fn finish_ledgers(
+    cfg: &NetworkConfig,
+    mut ledgers: Vec<EnergyLedger>,
+    missed_beacons: &[u32],
+    stats: StatsSink,
+    join_failures: Counter,
+) -> NetworkAccumulator {
+    let radio = &cfg.radio;
+    let n_nodes = cfg.channel.nodes;
+    let recorded_superframes = cfg.channel.superframes as f64 - 1.0;
+    let t_ib = cfg.channel.beacon_interval();
+    let window = t_ib * recorded_superframes;
+    let t_beacon = beacon_duration();
+
+    let mut acc = NetworkAccumulator::new();
+    acc.node_powers.reserve(n_nodes);
+    // Fixed per-superframe beacon overhead — preemptive wake-up (the
+    // shutdown→idle transition plus any margin spent in idle),
+    // receiver turn-on, beacon reception — is identical for every
+    // node, so the per-superframe accrual loop runs **once** into a
+    // prototype ledger that every node then merges: `finish` is
+    // O(nodes + superframes) instead of O(nodes × superframes). The
+    // beacon-phase cells of every per-node ledger start at zero, so
+    // the merged values are the very sums the per-node loop produced.
+    //
+    // Nodes that missed beacons (outages, churn deaths) receive fewer
+    // cycles; one ledger per distinct received count is cached so the
+    // skipped cycles still come from the same repeated-addition loop —
+    // and a fault-free run, where every node receives every beacon,
+    // merges the single full prototype bit-identically.
+    let margin = (cfg.wakeup_margin - radio.wakeup_time()).max(Seconds::ZERO);
+    let beacon_cycles = |cycles: usize| {
+        let mut l = EnergyLedger::new();
+        for _ in 0..cycles {
+            l.accrue_transition(
+                radio,
+                RadioState::Shutdown,
+                RadioState::Idle,
+                PhaseTag::Beacon,
+            );
+            l.accrue(radio, RadioState::Idle, PhaseTag::Beacon, margin);
+            l.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Beacon);
+            l.accrue(radio, RadioState::Rx, PhaseTag::Beacon, t_beacon);
+        }
+        l
+    };
+    let recorded = cfg.channel.superframes.saturating_sub(1);
+    let beacon_ledger = beacon_cycles(recorded as usize);
+    let mut partial: HashMap<u32, EnergyLedger> = HashMap::new();
+    for (i, ledger) in ledgers.iter_mut().enumerate() {
+        let missed = missed_beacons[i];
+        if missed == 0 {
+            ledger.merge(&beacon_ledger);
+        } else {
+            let received = recorded.saturating_sub(missed);
+            let l = partial
+                .entry(received)
+                .or_insert_with(|| beacon_cycles(received as usize));
+            ledger.merge(l);
+        }
+        // Sleep is the remainder of the window.
+        let active = ledger.total_time();
+        let sleep = (window - active).max(Seconds::ZERO);
+        ledger.accrue(radio, RadioState::Shutdown, PhaseTag::Sleep, sleep);
+        let power = ledger.average_power(window);
+        acc.node_power_uw.push(power.microwatts());
+        acc.node_powers.push(power);
+        // CAP vs CFP split: what this node spent contending and
+        // uplinking in the CAP versus its contention-free traffic.
+        let cap_energy = ledger.energy_in_phase(PhaseTag::Contention)
+            + ledger.energy_in_phase(PhaseTag::Transmit)
+            + ledger.energy_in_phase(PhaseTag::AckWait)
+            + ledger.energy_in_phase(PhaseTag::Ifs);
+        let cfp_energy =
+            ledger.energy_in_phase(PhaseTag::Gts) + ledger.energy_in_phase(PhaseTag::Downlink);
+        acc.cap_uw.push((cap_energy / window).microwatts());
+        acc.cfp_uw.push((cfp_energy / window).microwatts());
+        acc.ledger.merge(ledger);
+    }
+
+    let delivered = stats.failures.trials() - stats.failures.hits();
+    acc.delivered_payload_bits = delivered as f64 * cfg.channel.packet.payload_bits() as f64;
+    acc.failures = stats.failures;
+    acc.attempts = stats.attempts;
+    // Delays were accumulated in superframes; rescale to seconds once,
+    // exactly, so accumulators from channels with different beacon
+    // intervals merge in common units.
+    acc.delay_secs = stats.delivery_superframes.scaled(t_ib.secs());
+    acc.overruns = stats.overruns;
+    acc.gts_failures = stats.gts_failures;
+    acc.gts_denied = cfg.channel.cfp.gts_denied as u64;
+    acc.downlink_failures = stats.downlink_failures;
+    acc.downlink_deferred = stats.downlink_deferred;
+    acc.deaths = stats.deaths;
+    acc.orphan_scans = stats.orphan_scans;
+    acc.join_failures = join_failures;
+    // Re-association latencies arrive in superframes; rescale once,
+    // like the delivery delays.
+    acc.reassoc_delay_secs = stats.reassoc_superframes.scaled(t_ib.secs());
+    acc.dormant_nodes = stats.dormant_nodes;
+    acc
 }
 
 impl TraceSink for EnergyAccountant<'_> {
     fn on_attempt(&mut self, a: &AttemptRecord) {
         self.stats.on_attempt(a);
-        let radio = &self.cfg.radio;
         let node = a.node as usize;
-        let ledger = &mut self.ledgers[node];
-        let level = self.levels[node];
-
-        // Contention wall time: idle except for the CCA turn-ons.
-        let wall = self.slot * a.contention_slots as f64;
-        let cca_active = (self.turn_on + self.cca_sense) * a.ccas as f64;
-        let idle_time = (wall - cca_active).max(Seconds::ZERO);
-        ledger.accrue(radio, RadioState::Idle, PhaseTag::Contention, idle_time);
-        for _ in 0..a.ccas {
-            ledger.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Contention);
-            ledger.accrue_listen(radio, PhaseTag::Contention, self.cca_sense);
-        }
-
-        if a.outcome == AttemptOutcome::AccessFailure {
-            return;
-        }
-
-        // Transmission.
-        ledger.accrue_transition(
-            radio,
-            RadioState::Idle,
-            RadioState::Tx(level),
-            PhaseTag::Transmit,
+        ledger_on_attempt(
+            &mut self.ledgers[node],
+            &self.cfg.radio,
+            self.levels[node],
+            &self.consts,
+            a,
         );
-        ledger.accrue(
-            radio,
-            RadioState::Tx(level),
-            PhaseTag::Transmit,
-            self.packet_airtime,
-        );
-
-        // Acknowledgement window.
-        ledger.accrue_transition(radio, RadioState::Tx(level), RadioState::Rx, PhaseTag::AckWait);
-        match a.outcome {
-            AttemptOutcome::Delivered => {
-                ledger.accrue_listen(radio, PhaseTag::AckWait, self.t_ack);
-            }
-            AttemptOutcome::Corrupted | AttemptOutcome::Collided => {
-                ledger.accrue_listen(radio, PhaseTag::AckWait, self.noack_listen);
-            }
-            AttemptOutcome::AccessFailure => unreachable!("handled above"),
-        }
-        ledger.accrue(radio, RadioState::Idle, PhaseTag::Ifs, self.ifs);
     }
 
     fn on_transaction(&mut self, t: &TransactionRecord) {
         self.stats.on_transaction(t);
-        // Second wake-up for the transaction (the node slept between the
-        // beacon and its packet-ready offset).
-        self.ledgers[t.node as usize].accrue_transition(
-            &self.cfg.radio,
-            RadioState::Shutdown,
-            RadioState::Idle,
-            PhaseTag::Contention,
-        );
+        ledger_on_transaction(&mut self.ledgers[t.node as usize], &self.cfg.radio);
     }
 
     fn on_overrun(&mut self) {
@@ -752,197 +1342,49 @@ impl TraceSink for EnergyAccountant<'_> {
 
     fn on_gts(&mut self, r: &GtsRecord) {
         self.stats.on_gts(r);
-        let radio = &self.cfg.radio;
         let node = r.node as usize;
-        let ledger = &mut self.ledgers[node];
-        let level = self.levels[node];
-        // Wake for the dedicated slot, transmit without any contention,
-        // listen for the acknowledgement, observe the interframe spacing.
-        // Everything is attributed to the GTS phase, so the CFP energy
-        // split is exact.
-        ledger.accrue_transition(radio, RadioState::Shutdown, RadioState::Idle, PhaseTag::Gts);
-        ledger.accrue_transition(radio, RadioState::Idle, RadioState::Tx(level), PhaseTag::Gts);
-        ledger.accrue(radio, RadioState::Tx(level), PhaseTag::Gts, self.packet_airtime);
-        ledger.accrue_transition(radio, RadioState::Tx(level), RadioState::Rx, PhaseTag::Gts);
-        let listen = if r.delivered {
-            self.t_ack
-        } else {
-            self.noack_listen
-        };
-        ledger.accrue_listen(radio, PhaseTag::Gts, listen);
-        ledger.accrue(radio, RadioState::Idle, PhaseTag::Gts, self.ifs);
+        ledger_on_gts(
+            &mut self.ledgers[node],
+            &self.cfg.radio,
+            self.levels[node],
+            &self.consts,
+            r,
+        );
     }
 
     fn on_downlink(&mut self, r: &DownlinkRecord) {
         self.stats.on_downlink(r);
-        if r.outcome == DownlinkOutcome::Deferred {
-            // The node was mid-uplink; its radio time is already billed.
-            return;
-        }
-        let radio = &self.cfg.radio;
         let node = r.node as usize;
-        let ledger = &mut self.ledgers[node];
-        let level = self.levels[node];
-        // One wake-up per poll (the downlink analogue of the
-        // per-transaction wake `on_transaction` charges to Contention),
-        // then data-request contention: idle between the CCA turn-ons,
-        // the uplink attempt pattern attributed to the downlink phase.
-        ledger.accrue_transition(
-            radio,
-            RadioState::Shutdown,
-            RadioState::Idle,
-            PhaseTag::Downlink,
+        ledger_on_downlink(
+            &mut self.ledgers[node],
+            &self.cfg.radio,
+            self.levels[node],
+            &self.consts,
+            r,
         );
-        let wall = self.slot * r.contention_slots as f64;
-        let cca_active = (self.turn_on + self.cca_sense) * r.ccas as f64;
-        ledger.accrue(
-            radio,
-            RadioState::Idle,
-            PhaseTag::Downlink,
-            (wall - cca_active).max(Seconds::ZERO),
-        );
-        for _ in 0..r.ccas {
-            ledger.accrue_transition(radio, RadioState::Idle, RadioState::Rx, PhaseTag::Downlink);
-            ledger.accrue_listen(radio, PhaseTag::Downlink, self.cca_sense);
-        }
-        if r.outcome == DownlinkOutcome::AccessFailure {
-            return;
-        }
-        // Transmit the data request.
-        ledger.accrue_transition(
-            radio,
-            RadioState::Idle,
-            RadioState::Tx(level),
-            PhaseTag::Downlink,
-        );
-        ledger.accrue(
-            radio,
-            RadioState::Tx(level),
-            PhaseTag::Downlink,
-            self.dl_request_air,
-        );
-        ledger.accrue_transition(radio, RadioState::Tx(level), RadioState::Rx, PhaseTag::Downlink);
-        if r.outcome == DownlinkOutcome::Collided {
-            // No acknowledgement ever comes: wait out t_ack⁺.
-            ledger.accrue_listen(radio, PhaseTag::Downlink, self.noack_listen);
-            ledger.accrue(radio, RadioState::Idle, PhaseTag::Downlink, self.ifs);
-            return;
-        }
-        // Request acknowledgement, then the (promptly answered) downlink
-        // frame — the receiver stays on throughout, as in the analytical
-        // `downlink_cost` with a prompt coordinator.
-        ledger.accrue(
-            radio,
-            RadioState::Rx,
-            PhaseTag::Downlink,
-            self.turnaround + self.t_ack,
-        );
-        ledger.accrue(
-            radio,
-            RadioState::Rx,
-            PhaseTag::Downlink,
-            self.turnaround + self.packet_airtime,
-        );
-        if r.outcome == DownlinkOutcome::Delivered {
-            // Acknowledge the frame (turnaround + ACK airtime at TX
-            // power, the analytical model's `acknowledge` term).
-            ledger.accrue(
-                radio,
-                RadioState::Tx(level),
-                PhaseTag::Downlink,
-                self.turnaround + self.t_ack,
-            );
-        }
-        ledger.accrue(radio, RadioState::Idle, PhaseTag::Downlink, self.ifs);
     }
 
     fn on_fault(&mut self, r: &FaultRecord) {
         self.stats.on_fault(r);
-        let radio = &self.cfg.radio;
         let node = r.node as usize;
         match r.kind {
-            FaultKind::MissedBeacon { listened } => {
+            FaultKind::MissedBeacon { .. } => {
                 // This superframe's fixed beacon cycle must not be billed
                 // in `finish` — the beacon never arrived.
                 self.missed_beacons[node] += 1;
-                if listened {
-                    // Orphan scan: the node wakes on schedule, turns the
-                    // receiver on and listens out the beacon window, but
-                    // nothing comes. Same residencies as a received
-                    // beacon, charged to the association phase.
-                    let ledger = &mut self.ledgers[node];
-                    ledger.accrue_transition(
-                        radio,
-                        RadioState::Shutdown,
-                        RadioState::Idle,
-                        PhaseTag::Association,
-                    );
-                    let margin = (self.cfg.wakeup_margin - radio.wakeup_time()).max(Seconds::ZERO);
-                    ledger.accrue(radio, RadioState::Idle, PhaseTag::Association, margin);
-                    ledger.accrue_transition(
-                        radio,
-                        RadioState::Idle,
-                        RadioState::Rx,
-                        PhaseTag::Association,
-                    );
-                    ledger.accrue(radio, RadioState::Rx, PhaseTag::Association, self.t_beacon);
-                }
             }
             FaultKind::JoinAttempt { success } => {
                 self.join_failures.observe(!success);
-                // Association request/response exchange: wake, transmit
-                // the request (a MAC command the size of a data request),
-                // then wait for the acknowledgement and — on success — the
-                // association response after a turnaround, receiver on
-                // throughout. A lost response costs the full no-ACK window.
-                let level = self.levels[node];
-                let ledger = &mut self.ledgers[node];
-                ledger.accrue_transition(
-                    radio,
-                    RadioState::Shutdown,
-                    RadioState::Idle,
-                    PhaseTag::Association,
-                );
-                ledger.accrue_transition(
-                    radio,
-                    RadioState::Idle,
-                    RadioState::Tx(level),
-                    PhaseTag::Association,
-                );
-                ledger.accrue(
-                    radio,
-                    RadioState::Tx(level),
-                    PhaseTag::Association,
-                    self.dl_request_air,
-                );
-                ledger.accrue_transition(
-                    radio,
-                    RadioState::Tx(level),
-                    RadioState::Rx,
-                    PhaseTag::Association,
-                );
-                if success {
-                    ledger.accrue(
-                        radio,
-                        RadioState::Rx,
-                        PhaseTag::Association,
-                        self.turnaround + self.t_ack,
-                    );
-                    ledger.accrue(
-                        radio,
-                        RadioState::Rx,
-                        PhaseTag::Association,
-                        self.turnaround + self.t_ack,
-                    );
-                } else {
-                    ledger.accrue_listen(radio, PhaseTag::Association, self.noack_listen);
-                }
-                ledger.accrue(radio, RadioState::Idle, PhaseTag::Association, self.ifs);
             }
-            // Deaths, rejoin confirmations and dormancy carry no radio
-            // activity of their own.
             FaultKind::Death | FaultKind::Reassociated { .. } | FaultKind::Dormant => {}
         }
+        ledger_on_fault(
+            &mut self.ledgers[node],
+            &self.cfg.radio,
+            self.levels[node],
+            &self.consts,
+            r,
+        );
     }
 }
 
@@ -957,7 +1399,7 @@ mod tests {
         channel.nodes = 20;
         channel.superframes = 8;
         NetworkConfig {
-            path_losses: vec![Db::new(loss_db); channel.nodes],
+            path_losses: vec![Db::new(loss_db); channel.nodes].into(),
             channel,
             radio: RadioModel::cc2420(),
             tx_policy: TxPowerPolicy::ChannelInversion {
@@ -965,6 +1407,7 @@ mod tests {
             },
             coordinator_tx: DBm::new(0.0),
             wakeup_margin: Seconds::from_millis(1.0),
+            corrupt_probs: None,
         }
     }
 
@@ -1061,7 +1504,8 @@ mod tests {
     #[should_panic(expected = "one path loss per node")]
     fn mismatched_losses_rejected() {
         let mut cfg = small_config(0.4, 70.0, 1);
-        cfg.path_losses.pop();
+        let short: Vec<Db> = cfg.path_losses[..cfg.path_losses.len() - 1].to_vec();
+        cfg.path_losses = short.into();
         let _ = NetworkSimulator::new(cfg);
     }
 

@@ -49,7 +49,7 @@
 
 use crate::network::NetworkSummary;
 use crate::runner::Runner;
-use crate::scenario::{Scenario, ScenarioOutcome};
+use crate::scenario::{AssignmentCache, Scenario, ScenarioOutcome};
 use crate::stats::{Accumulator, Counter, Extrema};
 
 /// What a policy sees at the end of a round.
@@ -149,22 +149,14 @@ impl RoundObservation<'_> {
     /// Channel with the highest failure ratio (lowest index on ties).
     pub fn worst_channel(&self) -> usize {
         (0..self.channels)
-            .max_by(|&a, &b| {
-                self.failure(a)
-                    .total_cmp(&self.failure(b))
-                    .then(b.cmp(&a))
-            })
+            .max_by(|&a, &b| self.failure(a).total_cmp(&self.failure(b)).then(b.cmp(&a)))
             .expect("at least one channel")
     }
 
     /// Channel with the lowest failure ratio (lowest index on ties).
     pub fn best_channel(&self) -> usize {
         (0..self.channels)
-            .min_by(|&a, &b| {
-                self.failure(a)
-                    .total_cmp(&self.failure(b))
-                    .then(a.cmp(&b))
-            })
+            .min_by(|&a, &b| self.failure(a).total_cmp(&self.failure(b)).then(a.cmp(&b)))
             .expect("at least one channel")
     }
 }
@@ -557,7 +549,8 @@ impl PolicyTraceAccumulator {
     /// Folds one trace in.
     pub fn record(&mut self, trace: &PolicyTrace) {
         if self.rounds.len() < trace.rounds.len() {
-            self.rounds.resize_with(trace.rounds.len(), RoundAccumulator::new);
+            self.rounds
+                .resize_with(trace.rounds.len(), RoundAccumulator::new);
         }
         for (acc, round) in self.rounds.iter_mut().zip(&trace.rounds) {
             acc.record(round);
@@ -574,7 +567,8 @@ impl PolicyTraceAccumulator {
     /// performed in a fixed order.
     pub fn merge(&mut self, other: &PolicyTraceAccumulator) {
         if self.rounds.len() < other.rounds.len() {
-            self.rounds.resize_with(other.rounds.len(), RoundAccumulator::new);
+            self.rounds
+                .resize_with(other.rounds.len(), RoundAccumulator::new);
         }
         for (acc, shard) in self.rounds.iter_mut().zip(&other.rounds) {
             acc.merge(shard);
@@ -690,6 +684,14 @@ impl PolicyEngine {
 
         let fplan = scenario.faults;
         let mut drifted: Vec<wsn_units::Db> = Vec::new();
+        // Per-drift corruption caches: the BER/loss math depends only on
+        // the (possibly drifted) population losses, so rounds sharing a
+        // drift value — round 0 and every on-period round of the triangle
+        // wave — reuse one full-population table and skip the per-node
+        // packet-error derivation entirely. `None` values record that the
+        // scenario's policy is uncacheable (explicit per-node levels).
+        let mut corruption_caches: std::collections::HashMap<u64, Option<AssignmentCache>> =
+            std::collections::HashMap::new();
         for round in 0..self.rounds {
             // Round-level fault dynamics: drift the whole population's
             // path losses, then storm the downlink on burst rounds. Both
@@ -704,8 +706,15 @@ impl PolicyEngine {
             } else {
                 &losses
             };
-            let mut configs =
-                scenario.compile_assignment_with_losses(round_losses, &assignment, round as u64);
+            let cache = corruption_caches
+                .entry(drift_db.to_bits())
+                .or_insert_with(|| scenario.assignment_cache(round_losses, &bers));
+            let mut configs = scenario.compile_assignment_cached(
+                round_losses,
+                &assignment,
+                round as u64,
+                cache.as_ref(),
+            );
             let boost = fplan.downlink_boost(round as u32);
             if boost > 0.0 {
                 for cfg in &mut configs {
@@ -729,11 +738,7 @@ impl PolicyEngine {
                 assignment.clone()
             };
             Self::validate(&next, &assignment, &capacities, scenario.channels);
-            let moved = next
-                .iter()
-                .zip(&assignment)
-                .filter(|(a, b)| a != b)
-                .count();
+            let moved = next.iter().zip(&assignment).filter(|(a, b)| a != b).count();
             rounds.push(PolicyRound {
                 round,
                 assignment: assignment.clone(),
@@ -766,11 +771,7 @@ impl PolicyEngine {
     }
 
     fn validate(next: &[usize], current: &[usize], capacities: &[usize], channels: usize) {
-        assert_eq!(
-            next.len(),
-            current.len(),
-            "policy changed the node count"
-        );
+        assert_eq!(next.len(), current.len(), "policy changed the node count");
         let mut counts = vec![0usize; channels];
         for (node, &c) in next.iter().enumerate() {
             assert!(c < channels, "policy sent node {node} to channel {c}");
@@ -861,11 +862,8 @@ mod tests {
         let capacity = [10, 10, 10];
         let summaries: Vec<NetworkSummary> =
             [0.9, 0.1, 0.5].map(|f| summary_with_failure(f, 100)).into();
-        let next = StaticAllocation.next_assignment(&observation(
-            &assignment,
-            &capacity,
-            &summaries,
-        ));
+        let next =
+            StaticAllocation.next_assignment(&observation(&assignment, &capacity, &summaries));
         assert_eq!(next, assignment);
     }
 
@@ -873,11 +871,11 @@ mod tests {
     fn greedy_moves_highest_index_nodes_worst_to_best() {
         let assignment = [0, 0, 0, 0, 1, 1, 2, 2];
         let capacity = [10, 10, 10];
-        let summaries: Vec<NetworkSummary> =
-            [0.8, 0.05, 0.3].map(|f| summary_with_failure(f, 100)).into();
+        let summaries: Vec<NetworkSummary> = [0.8, 0.05, 0.3]
+            .map(|f| summary_with_failure(f, 100))
+            .into();
         let mut policy = GreedyRebalance::new(2);
-        let next =
-            policy.next_assignment(&observation(&assignment, &capacity, &summaries));
+        let next = policy.next_assignment(&observation(&assignment, &capacity, &summaries));
         // The two highest-index channel-0 nodes (3, 2) moved to channel 1.
         assert_eq!(next, [0, 0, 1, 1, 1, 1, 2, 2]);
     }
@@ -889,8 +887,7 @@ mod tests {
         let summaries: Vec<NetworkSummary> =
             [0.9, 0.0, 0.5].map(|f| summary_with_failure(f, 100)).into();
         let mut policy = GreedyRebalance::new(8);
-        let next =
-            policy.next_assignment(&observation(&assignment, &capacity, &summaries));
+        let next = policy.next_assignment(&observation(&assignment, &capacity, &summaries));
         // Channel 1 holds 2 and caps at 3 → one move only; donor keeps one.
         assert_eq!(next, [0, 1, 1, 1]);
     }
@@ -899,11 +896,11 @@ mod tests {
     fn greedy_stabilizes_inside_tolerance() {
         let assignment = [0, 0, 1, 1, 2, 2];
         let capacity = [10, 10, 10];
-        let summaries: Vec<NetworkSummary> =
-            [0.21, 0.20, 0.21].map(|f| summary_with_failure(f, 100)).into();
+        let summaries: Vec<NetworkSummary> = [0.21, 0.20, 0.21]
+            .map(|f| summary_with_failure(f, 100))
+            .into();
         let mut policy = GreedyRebalance::new(4);
-        let next =
-            policy.next_assignment(&observation(&assignment, &capacity, &summaries));
+        let next = policy.next_assignment(&observation(&assignment, &capacity, &summaries));
         assert_eq!(next, assignment, "a 1 % gap is inside the 2 % tolerance");
     }
 
@@ -912,14 +909,12 @@ mod tests {
         let capacity = [10, 10];
         // Round 1: channel 0 fails worse → move one node 0 → 1.
         let a1 = [0, 0, 0, 1, 1];
-        let s1: Vec<NetworkSummary> =
-            [0.30, 0.20].map(|f| summary_with_failure(f, 100)).into();
+        let s1: Vec<NetworkSummary> = [0.30, 0.20].map(|f| summary_with_failure(f, 100)).into();
         // Round 2: the move overshot slightly — channel 1 now looks worse
         // by a small (noise-level) gap. Undamped greedy churns back;
         // damped greedy has raised its bar and holds.
         let a2 = [0, 0, 1, 1, 1];
-        let s2: Vec<NetworkSummary> =
-            [0.20, 0.24].map(|f| summary_with_failure(f, 100)).into();
+        let s2: Vec<NetworkSummary> = [0.20, 0.24].map(|f| summary_with_failure(f, 100)).into();
 
         let mut undamped = GreedyRebalance::new(1).with_tolerance(0.0);
         let mut damped = undamped.with_move_cost(0.1);
@@ -935,8 +930,7 @@ mod tests {
         assert_eq!(n2d, a2, "a noise-level gap fails the raised bar");
 
         // A gap that clears tolerance + accumulated damping still moves.
-        let s3: Vec<NetworkSummary> =
-            [0.10, 0.40].map(|f| summary_with_failure(f, 100)).into();
+        let s3: Vec<NetworkSummary> = [0.10, 0.40].map(|f| summary_with_failure(f, 100)).into();
         let n3d = damped.next_assignment(&observation(&a2, &capacity, &s3));
         assert_eq!(n3d, [0, 0, 1, 1, 0], "a real gap overrides the damping");
     }
@@ -945,8 +939,9 @@ mod tests {
     fn zero_move_cost_reproduces_the_undamped_policy() {
         let capacity = [10, 10, 10];
         let assignment = [0, 0, 0, 0, 1, 1, 2, 2];
-        let summaries: Vec<NetworkSummary> =
-            [0.8, 0.05, 0.3].map(|f| summary_with_failure(f, 100)).into();
+        let summaries: Vec<NetworkSummary> = [0.8, 0.05, 0.3]
+            .map(|f| summary_with_failure(f, 100))
+            .into();
         let mut plain = GreedyRebalance::new(2);
         let mut zero = GreedyRebalance::new(2).with_move_cost(0.0);
         for _ in 0..3 {
@@ -961,8 +956,9 @@ mod tests {
     fn proportional_fair_targets_follow_inverse_failure() {
         let assignment: Vec<usize> = (0..12).map(|i| i % 3).collect();
         let capacity = [20, 20, 20];
-        let summaries: Vec<NetworkSummary> =
-            [0.45, 0.0, 0.45].map(|f| summary_with_failure(f, 100)).into();
+        let summaries: Vec<NetworkSummary> = [0.45, 0.0, 0.45]
+            .map(|f| summary_with_failure(f, 100))
+            .into();
         let policy = ProportionalFair::default();
         let targets = policy.targets(&observation(&assignment, &capacity, &summaries));
         assert_eq!(targets.iter().sum::<usize>(), 12);
@@ -975,11 +971,11 @@ mod tests {
     fn proportional_fair_preserves_population_and_caps() {
         let assignment: Vec<usize> = (0..30).map(|i| i % 3).collect();
         let capacity = [12, 12, 12];
-        let summaries: Vec<NetworkSummary> =
-            [0.9, 0.01, 0.3].map(|f| summary_with_failure(f, 100)).into();
+        let summaries: Vec<NetworkSummary> = [0.9, 0.01, 0.3]
+            .map(|f| summary_with_failure(f, 100))
+            .into();
         let mut policy = ProportionalFair::default();
-        let next =
-            policy.next_assignment(&observation(&assignment, &capacity, &summaries));
+        let next = policy.next_assignment(&observation(&assignment, &capacity, &summaries));
         assert_eq!(next.len(), 30);
         let mut counts = [0usize; 3];
         for &c in &next {
@@ -1028,10 +1024,7 @@ mod tests {
             assert_eq!(round.outcome.per_channel.len(), 3);
             assert_eq!(round.channel_wall_ms.len(), 3);
         }
-        assert_eq!(
-            trace.worst_failure_trajectory().len(),
-            trace.rounds.len()
-        );
+        assert_eq!(trace.worst_failure_trajectory().len(), trace.rounds.len());
         assert_eq!(trace.energy_trajectory_j().len(), trace.rounds.len());
     }
 

@@ -115,7 +115,9 @@ impl Runner {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0);
         let threads = from_var.unwrap_or_else(|| {
-            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         });
         Runner::with_threads(threads)
     }
@@ -303,6 +305,8 @@ impl Runner {
         assert!(replications > 0, "at least one replication required");
         let indices: Vec<u64> = (0..replications as u64).collect();
         let shards = self.map(&indices, |_, &i| {
+            // O(1) config view: the `Arc`-backed fields share storage, so
+            // each replication only writes its derived seed.
             let mut cfg = base.clone();
             cfg.channel.seed = replication_seed(base.channel.seed, i);
             let mut acc = NetworkSimulator::new(cfg).run_accumulate(ber);
@@ -387,7 +391,10 @@ mod tests {
         base.nodes = 30;
         let runner = Runner::with_threads(2);
         let sink = runner.replicate_contention_sink(&base, 4);
-        assert_eq!(sink.contention_stats(), runner.replicate_contention(&base, 4));
+        assert_eq!(
+            sink.contention_stats(),
+            runner.replicate_contention(&base, 4)
+        );
         // Four replications of samples → meaningful standard errors.
         assert!(sink.contention.contention_us.standard_error() > 0.0);
         assert!(sink.contention.ccas.standard_error() > 0.0);
@@ -404,7 +411,7 @@ mod tests {
         channel.nodes = 15;
         channel.superframes = 5;
         let base = NetworkConfig {
-            path_losses: vec![Db::new(75.0); channel.nodes],
+            path_losses: vec![Db::new(75.0); channel.nodes].into(),
             channel,
             radio: RadioModel::cc2420(),
             tx_policy: TxPowerPolicy::ChannelInversion {
@@ -412,6 +419,7 @@ mod tests {
             },
             coordinator_tx: DBm::new(0.0),
             wakeup_margin: Seconds::from_millis(1.0),
+            corrupt_probs: None,
         };
         let ber = EmpiricalCc2420Ber::paper();
         let serial = Runner::serial().replicate_network(&base, 5, &ber);
@@ -425,10 +433,7 @@ mod tests {
             );
             assert_eq!(serial.failure_ratio, parallel.failure_ratio);
             assert_eq!(serial.mean_delay, parallel.mean_delay);
-            assert_eq!(
-                serial.power_standard_error,
-                parallel.power_standard_error
-            );
+            assert_eq!(serial.power_standard_error, parallel.power_standard_error);
         }
     }
 

@@ -20,6 +20,7 @@
 //! Pipeline: **scenario → per-channel configs → runner grid → merged
 //! accumulators → per-channel + overall summaries.**
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use wsn_channel::{
@@ -38,7 +39,8 @@ use crate::cfp::{plan_channel_cfp, CfpPlan};
 use crate::contention::ChannelSimConfig;
 use crate::faults::FaultPlan;
 use crate::network::{
-    NetworkAccumulator, NetworkConfig, NetworkSimulator, NetworkSummary, TxPowerPolicy,
+    corruption_probability, NetworkAccumulator, NetworkConfig, NetworkSimulator, NetworkSummary,
+    TxPowerPolicy,
 };
 use crate::runner::{replication_seed, Runner};
 
@@ -206,8 +208,7 @@ impl TrafficSpec {
     /// `true` when the spec schedules no contention-free traffic — the
     /// compiled channels carry a provably inert [`CfpPlan`].
     pub fn is_cap_only(&self) -> bool {
-        (self.gts_slots_per_node == 0 || self.gts_demand == Some(0))
-            && self.downlink_rate == 0.0
+        (self.gts_slots_per_node == 0 || self.gts_demand == Some(0)) && self.downlink_rate == 0.0
     }
 
     /// The GTS demand for a channel holding `nodes` nodes.
@@ -369,6 +370,22 @@ pub struct Scenario {
     /// ([`FaultPlan::inert`] by default — provably invisible; see
     /// [`crate::faults`]).
     pub faults: FaultPlan,
+    /// Spatial shards for the per-node energy accounting of each channel
+    /// job ([`NetworkSimulator::run_accumulate_sharded`]). `1` (the
+    /// default) keeps the serial per-job path; any value is bit-identical
+    /// to it. Raise for single huge channels, where the runner's
+    /// per-channel parallelism alone would pin one core.
+    pub shards: usize,
+}
+
+/// Full-population corruption table for the adaptive policy loop:
+/// `probs[c][i]` is node `i`'s packet-or-ACK corruption probability as-if
+/// assigned to channel `c` (channel loss offset, packet layout and BER
+/// model applied). Built once per distinct loss drift by
+/// [`Scenario::assignment_cache`]; each round's compile remaps it by
+/// global node index instead of re-deriving the BER math per replication.
+pub(crate) struct AssignmentCache {
+    probs: Vec<Vec<f64>>,
 }
 
 impl Scenario {
@@ -406,6 +423,7 @@ impl Scenario {
             min_cap_slots: 8,
             synchronized_arrivals: false,
             faults: FaultPlan::inert(),
+            shards: 1,
         }
     }
 
@@ -444,6 +462,14 @@ impl Scenario {
     /// Overrides the simulated superframes per replication.
     pub fn with_superframes(mut self, superframes: u32) -> Self {
         self.superframes = superframes;
+        self
+    }
+
+    /// Overrides the spatial-shard count for per-channel energy
+    /// accounting — bit-identical to the serial path for every value
+    /// (see [`NetworkSimulator::run_accumulate_sharded`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -814,7 +840,7 @@ impl Scenario {
     pub fn compile(&self) -> Vec<NetworkConfig> {
         assert!(self.channels > 0, "at least one channel required");
         assert!(self.nodes_per_channel > 0, "at least one node per channel");
-        let losses = self.channel_losses();
+        let losses: Vec<Arc<[Db]>> = self.channel_losses().into_iter().map(Arc::from).collect();
         (0..self.channels)
             .map(|c| {
                 let packet = self.channel_packet(c);
@@ -841,6 +867,7 @@ impl Scenario {
                     tx_policy: self.tx_policy.clone(),
                     coordinator_tx: self.coordinator_tx,
                     wakeup_margin: self.wakeup_margin,
+                    corrupt_probs: None,
                 }
             })
             .collect()
@@ -880,6 +907,60 @@ impl Scenario {
         losses: &[Db],
         assignment: &[usize],
         salt: u64,
+    ) -> Vec<NetworkConfig> {
+        self.compile_assignment_cached(losses, assignment, salt, None)
+    }
+
+    /// Builds the policy loop's full-population corruption table: for each
+    /// channel `c`, the corruption probability every node *would* have if
+    /// assigned to `c` (channel loss offset, packet layout and BER model
+    /// included), computed through the simulator's own
+    /// [`corruption_probability`] so a cached round is bit-identical to an
+    /// uncached one. The table depends only on `losses` — one build per
+    /// distinct loss drift covers every round and assignment at that
+    /// drift.
+    ///
+    /// Returns `None` for [`TxPowerPolicy::PerNode`]: explicit level
+    /// tables are positional within one compiled assignment, so there is
+    /// no assignment-independent per-node level to cache.
+    pub(crate) fn assignment_cache(
+        &self,
+        losses: &[Db],
+        bers: &[ResolvedBer],
+    ) -> Option<AssignmentCache> {
+        if matches!(self.tx_policy, TxPowerPolicy::PerNode(_)) {
+            return None;
+        }
+        assert_eq!(bers.len(), self.channels, "one BER model per channel");
+        let probs = (0..self.channels)
+            .map(|c| {
+                let offset = self.channel_loss_offset(c);
+                let packet = self.channel_packet(c);
+                let offset_losses: Vec<Db> = losses.iter().map(|&l| l + offset).collect();
+                let levels = self.tx_policy.resolve(&offset_losses);
+                offset_losses
+                    .iter()
+                    .zip(&levels)
+                    .map(|(&a, &lvl)| {
+                        corruption_probability(&bers[c], packet, self.coordinator_tx, a, lvl)
+                    })
+                    .collect()
+            })
+            .collect();
+        Some(AssignmentCache { probs })
+    }
+
+    /// [`compile_assignment_with_losses`](Self::compile_assignment_with_losses)
+    /// with an optional [`AssignmentCache`]: when present, each compiled
+    /// config carries its nodes' precomputed corruption probabilities
+    /// (remapped by global node index, O(nodes) per round) and the
+    /// simulator skips the per-replication BER math.
+    pub(crate) fn compile_assignment_cached(
+        &self,
+        losses: &[Db],
+        assignment: &[usize],
+        salt: u64,
+        cache: Option<&AssignmentCache>,
     ) -> Vec<NetworkConfig> {
         assert_eq!(
             assignment.len(),
@@ -922,6 +1003,7 @@ impl Scenario {
                     tx_policy: self.tx_policy.clone(),
                     coordinator_tx: self.coordinator_tx,
                     wakeup_margin: self.wakeup_margin,
+                    corrupt_probs: cache.map(|k| part.iter().map(|&i| k.probs[c][i]).collect()),
                 }
             })
             .collect()
@@ -950,7 +1032,9 @@ impl Scenario {
         runner: &Runner,
         configs: &[NetworkConfig],
     ) -> TimedScenarioRun {
-        let bers: Vec<ResolvedBer> = (0..configs.len()).map(|c| self.channel_ber(c).model()).collect();
+        let bers: Vec<ResolvedBer> = (0..configs.len())
+            .map(|c| self.channel_ber(c).model())
+            .collect();
         self.run_grid(runner, configs, &bers)
     }
 
@@ -1001,9 +1085,17 @@ impl Scenario {
         let t0 = Instant::now();
         let shards = runner.map_replicated(configs, self.replications.max(1), |i, cfg, r| {
             let t = Instant::now();
+            // O(1) view, not a deep copy: `path_losses` (and any `PerNode`
+            // level table) live behind `Arc`, so the only per-job state is
+            // the replication seed written below.
             let mut cfg = cfg.clone();
             cfg.channel.seed = replication_seed(cfg.channel.seed, r);
-            let acc = NetworkSimulator::new(cfg).run_accumulate(&bers[i]);
+            let sim = NetworkSimulator::new(cfg);
+            let acc = if self.shards > 1 {
+                sim.run_accumulate_sharded(&bers[i], self.shards)
+            } else {
+                sim.run_accumulate(&bers[i])
+            };
             (acc, t.elapsed().as_secs_f64() * 1e3)
         });
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -1080,10 +1172,7 @@ impl ScenarioOutcome {
     /// # Panics
     ///
     /// Panics if channels disagree on their replication count.
-    pub fn reduce(
-        name: impl Into<String>,
-        accs: &[Vec<NetworkAccumulator>],
-    ) -> ScenarioOutcome {
+    pub fn reduce(name: impl Into<String>, accs: &[Vec<NetworkAccumulator>]) -> ScenarioOutcome {
         let reps = accs.first().map_or(0, Vec::len);
         assert!(
             accs.iter().all(|channel_reps| channel_reps.len() == reps),
@@ -1369,7 +1458,10 @@ mod tests {
         let serial = s.run(&Runner::serial());
         for threads in [2, 4] {
             let parallel = s.run(&Runner::with_threads(threads));
-            assert_eq!(serial.overall.mean_node_power, parallel.overall.mean_node_power);
+            assert_eq!(
+                serial.overall.mean_node_power,
+                parallel.overall.mean_node_power
+            );
             assert_eq!(serial.overall.cap_power, parallel.overall.cap_power);
             assert_eq!(serial.overall.cfp_power, parallel.overall.cfp_power);
             assert_eq!(

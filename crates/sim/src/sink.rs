@@ -328,7 +328,10 @@ mod tests {
     #[test]
     fn tee_feeds_both_sinks() {
         let trace = run_channel_sim(&cfg(), |_| false);
-        let mut tee = TeeSink(StatsSink::new(), TraceCollector::new(trace.superframe_slots));
+        let mut tee = TeeSink(
+            StatsSink::new(),
+            TraceCollector::new(trace.superframe_slots),
+        );
         trace.replay(&mut tee);
         let TeeSink(stats, collector) = tee;
         let copy = collector.into_trace();

@@ -195,6 +195,65 @@ fn pop_order_matches_heap_for_cfp_class_storms() {
     }
 }
 
+/// Repeated `grow_ring` relinks while every bucket class is populated:
+/// each escalation round doubles the pushed span (256 → 512 → … slots),
+/// forcing the ring to grow with live FIFO chains in flight. Every round
+/// lands a full storm of all five priority classes exactly at the old
+/// window boundary (the last slot the previous ring could hold) and just
+/// past it, so the relink must preserve `(time, class, insertion)` order
+/// for buckets that move between ring positions.
+#[test]
+fn pop_order_matches_heap_across_repeated_ring_growth() {
+    for seed in 0..8u64 {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x9085_0000 + seed);
+        let mut calendar: EventQueue<u64> = EventQueue::new();
+        let mut reference = HeapQueue::default();
+        let mut payload = 0u64;
+        let mut push = |cal: &mut EventQueue<u64>, rf: &mut HeapQueue, t: u64, p: u8| {
+            cal.push(t, p, payload);
+            rf.push(t, p, payload);
+            payload += 1;
+        };
+
+        // The default ring holds 256 slots; escalate the span through six
+        // doublings so growth fires repeatedly on a populated queue.
+        let mut span = 256u64;
+        for _round in 0..6 {
+            let boundary = span - 1;
+            for class in 0..PRIORITY_CLASSES as u8 {
+                // Two pushes per class at the boundary slot itself (FIFO
+                // ties that must survive the relink) …
+                push(&mut calendar, &mut reference, boundary, class);
+                push(&mut calendar, &mut reference, boundary, class);
+                // … one just past it (the push that triggers growth) …
+                push(&mut calendar, &mut reference, boundary + 1, class);
+                // … and scattered filler throughout the widened span.
+                for _ in 0..3 {
+                    let t = rng.next_u64() % (span * 2);
+                    push(&mut calendar, &mut reference, t, class);
+                }
+            }
+            // Partially drain so the cursor advances into the grown ring
+            // while later rounds' chains are still linked.
+            for _ in 0..10 {
+                let a = calendar.pop();
+                let b = reference.pop();
+                assert_eq!(a, b, "seed={seed} span={span}: pop divergence");
+            }
+            assert_eq!(calendar.len(), reference.len(), "seed={seed} span={span}");
+            span *= 2;
+        }
+        loop {
+            let a = calendar.pop();
+            let b = reference.pop();
+            assert_eq!(a, b, "seed={seed}: drain divergence");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
 #[test]
 fn pop_order_matches_heap_for_all_pushes_then_all_pops() {
     // Arbitrary (time, priority) pushed up front — including pushes below

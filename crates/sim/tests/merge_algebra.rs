@@ -197,6 +197,7 @@ fn small_network(nodes: usize, seed: u64) -> NetworkConfig {
         },
         coordinator_tx: DBm::new(0.0),
         wakeup_margin: Seconds::from_millis(1.0),
+        corrupt_probs: None,
     }
 }
 
@@ -252,9 +253,7 @@ fn network_accumulator_merge_is_split_invariant() {
     assert!((left.attempts.mean() - right.attempts.mean()).abs() < 1e-9);
     let ls = left.summary();
     let rs = right.summary();
-    assert!(
-        (ls.mean_node_power.microwatts() - rs.mean_node_power.microwatts()).abs() < 1e-9
-    );
+    assert!((ls.mean_node_power.microwatts() - rs.mean_node_power.microwatts()).abs() < 1e-9);
     assert_eq!(ls.failure_ratio, rs.failure_ratio);
 }
 
@@ -266,8 +265,7 @@ fn cfp_counters_merge_exactly() {
     let accs: Vec<NetworkAccumulator> = (0..3u64)
         .map(|c| {
             let mut cfg = small_network(12, 0xCF9 + c);
-            cfg.channel.cfp =
-                wsn_sim::plan_channel_cfp(cfg.channel.nodes as u32, 12, 1, 8, 0.5);
+            cfg.channel.cfp = wsn_sim::plan_channel_cfp(cfg.channel.nodes as u32, 12, 1, 8, 0.5);
             NetworkSimulator::new(cfg).run_accumulate(&ber)
         })
         .collect();
@@ -279,11 +277,16 @@ fn cfp_counters_merge_exactly() {
         merged.gts_failures.trials(),
         accs.iter().map(|a| a.gts_failures.trials()).sum::<u64>()
     );
-    assert!(merged.gts_failures.trials() > 0, "the probe carried GTS traffic");
+    assert!(
+        merged.gts_failures.trials() > 0,
+        "the probe carried GTS traffic"
+    );
     assert_eq!(merged.gts_denied, 15, "5 denied per shard, summed");
     assert_eq!(
         merged.downlink_failures.trials(),
-        accs.iter().map(|a| a.downlink_failures.trials()).sum::<u64>()
+        accs.iter()
+            .map(|a| a.downlink_failures.trials())
+            .sum::<u64>()
     );
     assert_eq!(
         merged.downlink_deferred,
@@ -342,7 +345,9 @@ fn fault_counters_merge_exactly() {
     );
     assert_eq!(
         merged.reassoc_delay_secs.count(),
-        accs.iter().map(|a| a.reassoc_delay_secs.count()).sum::<u64>()
+        accs.iter()
+            .map(|a| a.reassoc_delay_secs.count())
+            .sum::<u64>()
     );
     assert_eq!(
         merged.dormant_nodes,
@@ -356,9 +361,7 @@ fn fault_counters_merge_exactly() {
     }
     assert_eq!(rev.deaths, merged.deaths);
     assert_eq!(rev.join_failures, merged.join_failures);
-    assert!(
-        (rev.reassoc_delay_secs.mean() - merged.reassoc_delay_secs.mean()).abs() < 1e-12
-    );
+    assert!((rev.reassoc_delay_secs.mean() - merged.reassoc_delay_secs.mean()).abs() < 1e-12);
     // Orphan scans and re-association exchanges bill a distinct ledger
     // phase, pooled like every other phase.
     assert!(
@@ -378,12 +381,93 @@ fn fault_counters_merge_exactly() {
 }
 
 #[test]
+fn sharded_energy_accounting_is_bit_identical_at_1_3_7_shards() {
+    // The spatial-shard path must reproduce the serial accounting bit for
+    // bit at every shard count — the single-channel analogue of the
+    // runner's thread-count contract. The probe carries CAP, CFP (GTS +
+    // downlink) and fault traffic so every record kind crosses the
+    // engine→shard relay.
+    let ber = EmpiricalCc2420Ber::paper();
+    let mut cfg = small_network(30, 0x5AAD);
+    cfg.channel.superframes = 8;
+    cfg.channel.cfp = wsn_sim::plan_channel_cfp(cfg.channel.nodes as u32, 12, 1, 8, 0.5);
+    cfg.channel.faults = wsn_sim::FaultPlan::inert()
+        .with_churn(0.06, 1, 1)
+        .with_outages(0.12, 1);
+    let sim = NetworkSimulator::new(cfg);
+    let mut reference = sim.run_accumulate(&ber);
+    reference.seal_replication();
+    let want = reference.summary();
+    assert!(want.deaths > 0, "the probe actually churned");
+    assert!(want.gts_transactions > 0, "the probe carried GTS traffic");
+
+    for shards in [1usize, 3, 7] {
+        let mut acc = sim.run_accumulate_sharded(&ber, shards);
+        acc.seal_replication();
+        let got = acc.summary();
+        assert_eq!(
+            got.mean_node_power.microwatts().to_bits(),
+            want.mean_node_power.microwatts().to_bits(),
+            "shards {shards}: mean power"
+        );
+        assert_eq!(got.node_powers.len(), want.node_powers.len());
+        for (i, (a, b)) in got.node_powers.iter().zip(&want.node_powers).enumerate() {
+            assert_eq!(
+                a.microwatts().to_bits(),
+                b.microwatts().to_bits(),
+                "shards {shards}: node {i} power"
+            );
+        }
+        assert_eq!(
+            got.ledger.total_energy().joules().to_bits(),
+            want.ledger.total_energy().joules().to_bits(),
+            "shards {shards}: total energy"
+        );
+        for phase in PhaseTag::ALL {
+            assert_eq!(
+                got.ledger.energy_in_phase(phase).joules().to_bits(),
+                want.ledger.energy_in_phase(phase).joules().to_bits(),
+                "shards {shards}: phase {phase}"
+            );
+        }
+        assert_eq!(got.failure_ratio, want.failure_ratio, "shards {shards}");
+        assert_eq!(got.transactions, want.transactions, "shards {shards}");
+        assert_eq!(
+            got.mean_delay.secs().to_bits(),
+            want.mean_delay.secs().to_bits(),
+            "shards {shards}: delay"
+        );
+        assert_eq!(
+            got.cap_power.microwatts().to_bits(),
+            want.cap_power.microwatts().to_bits(),
+            "shards {shards}: CAP power"
+        );
+        assert_eq!(
+            got.cfp_power.microwatts().to_bits(),
+            want.cfp_power.microwatts().to_bits(),
+            "shards {shards}: CFP power"
+        );
+        assert_eq!(
+            got.gts_failure_ratio, want.gts_failure_ratio,
+            "shards {shards}"
+        );
+        assert_eq!(got.deaths, want.deaths, "shards {shards}");
+        assert_eq!(got.orphan_scans, want.orphan_scans, "shards {shards}");
+        assert_eq!(got.join_attempts, want.join_attempts, "shards {shards}");
+        assert_eq!(
+            got.energy_per_bit_nj.to_bits(),
+            want.energy_per_bit_nj.to_bits(),
+            "shards {shards}: energy/bit"
+        );
+    }
+}
+
+#[test]
 fn sealed_replications_drive_the_standard_errors() {
     let ber = EmpiricalCc2420Ber::paper();
     let mut total = NetworkAccumulator::new();
     for r in 0..4u64 {
-        let mut shard =
-            NetworkSimulator::new(small_network(10, 0x5EA1 + r)).run_accumulate(&ber);
+        let mut shard = NetworkSimulator::new(small_network(10, 0x5EA1 + r)).run_accumulate(&ber);
         shard.seal_replication();
         total.merge(&shard);
     }

@@ -37,6 +37,7 @@ fn network_point(nodes: usize, seed: u64) -> NetworkConfig {
         },
         coordinator_tx: DBm::new(0.0),
         wakeup_margin: Seconds::from_millis(1.0),
+        corrupt_probs: None,
     }
 }
 
@@ -75,7 +76,10 @@ fn assert_summaries_identical(a: &NetworkSummary, b: &NetworkSummary, context: &
         a.cfp_power_standard_error, b.cfp_power_standard_error,
         "{context}: cfp power se"
     );
-    assert_eq!(a.gts_transactions, b.gts_transactions, "{context}: gts txns");
+    assert_eq!(
+        a.gts_transactions, b.gts_transactions,
+        "{context}: gts txns"
+    );
     assert_eq!(
         a.gts_failure_ratio, b.gts_failure_ratio,
         "{context}: gts failures"
@@ -257,10 +261,7 @@ fn policy_loop_is_bit_identical_across_1_2_4_threads() {
 
     let serial = engine.run(&Runner::with_threads(1), &mut GreedyRebalance::new(2));
     for threads in [2, 4] {
-        let parallel = engine.run(
-            &Runner::with_threads(threads),
-            &mut GreedyRebalance::new(2),
-        );
+        let parallel = engine.run(&Runner::with_threads(threads), &mut GreedyRebalance::new(2));
         assert_eq!(
             serial.converged_at, parallel.converged_at,
             "threads={threads}: convergence round"
@@ -289,6 +290,78 @@ fn policy_loop_is_bit_identical_across_1_2_4_threads() {
     // The rebalancer actually acted in this configuration — the guarantee
     // above is not vacuous.
     assert!(serial.rounds.iter().any(|r| r.moved > 0));
+}
+
+/// The policy loop's per-drift corruption cache must be invisible: every
+/// round of a cached engine run reproduces, bit-for-bit, a manual
+/// replication of the same round through the *uncached* compile path
+/// (`compile_assignment_with_losses` carries no precomputed
+/// probabilities). Drifting faults exercise several distinct cache keys,
+/// downlink-burst rounds pin that the boost composes with caching.
+#[test]
+fn policy_corruption_cache_matches_uncached_rounds_bitwise() {
+    let scenario = Scenario::new(
+        "cache equivalence probe",
+        2,
+        10,
+        DeploymentSpec::UniformLossGrid {
+            min_db: 58.0,
+            max_db: 90.0,
+        },
+    )
+    .with_superframes(4)
+    .with_replications(2)
+    .with_faults(FaultPlan::inert().with_drift(2.5, 3).with_bursts(4, 0.3));
+    let runner = Runner::with_threads(1);
+    let rounds = 5usize;
+    let engine = PolicyEngine::new(scenario.clone())
+        .with_rounds(rounds)
+        .run_all_rounds();
+    let trace = engine.run(&runner, &mut wsn_sim::policy::StaticAllocation);
+    assert_eq!(trace.rounds.len(), rounds);
+
+    // Manual uncached replication: StaticAllocation never moves a node, so
+    // every round re-runs the initial assignment at salt = round.
+    let losses = scenario.population_losses();
+    let assignment = scenario.initial_assignment();
+    for (round, recorded) in trace.rounds.iter().enumerate() {
+        let drift = scenario.faults.loss_drift_db(round as u32);
+        let round_losses: Vec<Db> = losses.iter().map(|&l| l + Db::new(drift)).collect();
+        let mut configs =
+            scenario.compile_assignment_with_losses(&round_losses, &assignment, round as u64);
+        for cfg in &mut configs {
+            assert!(
+                cfg.corrupt_probs.is_none(),
+                "public compile path must stay uncached"
+            );
+            let boost = scenario.faults.downlink_boost(round as u32);
+            cfg.channel.cfp.downlink_rate = (cfg.channel.cfp.downlink_rate + boost).min(1.0);
+        }
+        let uncached = scenario.run_compiled(&runner, &configs);
+        let context = format!("round={round} (drift {drift} dB)");
+        assert_summaries_identical(
+            &recorded.outcome.overall,
+            &uncached.overall,
+            &format!("{context} overall"),
+        );
+        for (c, (a, b)) in recorded
+            .outcome
+            .per_channel
+            .iter()
+            .zip(&uncached.per_channel)
+            .enumerate()
+        {
+            assert_summaries_identical(a, b, &format!("{context} ch{c}"));
+        }
+    }
+    // The probe exercised at least two distinct drift values (cache keys).
+    let drifts: std::collections::BTreeSet<u64> = (0..rounds)
+        .map(|r| scenario.faults.loss_drift_db(r as u32).to_bits())
+        .collect();
+    assert!(
+        drifts.len() >= 2,
+        "want multiple cache keys, got {drifts:?}"
+    );
 }
 
 /// ProportionalFair reshuffles many nodes at once; pin its loop too.
@@ -407,8 +480,14 @@ fn faulted_scenario_is_bit_identical_across_1_2_4_threads() {
     // The probe actually exercises the fault machinery — the determinism
     // guarantee below is not vacuous.
     assert!(serial.overall.deaths > 0, "plan must kill nodes");
-    assert!(serial.overall.orphan_scans > 0, "outages must trigger scans");
-    assert!(serial.overall.join_attempts > 0, "deaths must trigger joins");
+    assert!(
+        serial.overall.orphan_scans > 0,
+        "outages must trigger scans"
+    );
+    assert!(
+        serial.overall.join_attempts > 0,
+        "deaths must trigger joins"
+    );
     assert!(
         serial.overall.energy_per_delivered_packet_uj.is_finite(),
         "the degraded network still delivers"
@@ -453,7 +532,9 @@ fn inert_fault_plan_is_invisible() {
         .with_replications(2)
     };
     let plain = build().run(&Runner::from_env());
-    let inert = build().with_faults(FaultPlan::inert()).run(&Runner::from_env());
+    let inert = build()
+        .with_faults(FaultPlan::inert())
+        .run(&Runner::from_env());
 
     assert_summaries_identical(&plain.overall, &inert.overall, "inert overall");
     for (c, (a, b)) in plain.per_channel.iter().zip(&inert.per_channel).enumerate() {
@@ -539,12 +620,17 @@ fn move_cost_settles_greedy_on_ring_stratified_scenario() {
     let static_trace = engine.run(&runner, &mut wsn_sim::StaticAllocation);
     let mut undamped = GreedyRebalance::new(2).with_tolerance(0.0);
     let undamped_trace = engine.run(&runner, &mut undamped);
-    let mut damped = GreedyRebalance::new(2).with_tolerance(0.0).with_move_cost(0.05);
+    let mut damped = GreedyRebalance::new(2)
+        .with_tolerance(0.0)
+        .with_move_cost(0.05);
     let damped_trace = engine.run(&runner, &mut damped);
 
     // Zero tolerance without damping oscillates to the round budget.
     assert_eq!(undamped_trace.converged_at, None);
-    assert!(undamped_trace.rounds.iter().all(|r| r.round + 1 == 10 || r.moved > 0));
+    assert!(undamped_trace
+        .rounds
+        .iter()
+        .all(|r| r.round + 1 == 10 || r.moved > 0));
     // The damped run stabilizes mid-budget and stays stable.
     let settled = damped_trace
         .converged_at
@@ -553,7 +639,6 @@ fn move_cost_settles_greedy_on_ring_stratified_scenario() {
     assert!(damped_trace.rounds[settled..].iter().all(|r| r.moved == 0));
     // Damping does not cost the rebalancing win.
     assert!(
-        damped_trace.final_round().worst_failure()
-            < static_trace.final_round().worst_failure()
+        damped_trace.final_round().worst_failure() < static_trace.final_round().worst_failure()
     );
 }

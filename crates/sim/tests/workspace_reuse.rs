@@ -90,6 +90,7 @@ fn network_runs_are_identical_across_thread_local_reuse() {
         },
         coordinator_tx: DBm::new(0.0),
         wakeup_margin: Seconds::from_millis(1.0),
+        corrupt_probs: None,
     };
     let ber = EmpiricalCc2420Ber::paper();
     let run = {

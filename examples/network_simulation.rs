@@ -45,10 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = NetworkSimulator::new(NetworkConfig {
         channel,
         radio: RadioModel::cc2420(),
-        path_losses: losses.clone(),
+        path_losses: losses.clone().into(),
         tx_policy: TxPowerPolicy::PerNode(levels),
         coordinator_tx: DBm::new(0.0),
         wakeup_margin: Seconds::from_millis(1.0),
+        corrupt_probs: None,
     });
     let report = sim.run(&ber);
 

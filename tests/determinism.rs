@@ -27,10 +27,11 @@ fn network_sim_is_bit_reproducible() {
         NetworkSimulator::new(NetworkConfig {
             channel,
             radio: RadioModel::cc2420(),
-            path_losses: vec![Db::new(75.0); nodes],
+            path_losses: vec![Db::new(75.0); nodes].into(),
             tx_policy: TxPowerPolicy::Fixed(TxPowerLevel::Neg5),
             coordinator_tx: DBm::new(0.0),
             wakeup_margin: Seconds::from_millis(1.0),
+            corrupt_probs: None,
         })
         .run(&EmpiricalCc2420Ber::paper())
     };

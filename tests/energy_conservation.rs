@@ -23,10 +23,11 @@ fn simulator_ledger_balances_between_views() {
     let sim = NetworkSimulator::new(NetworkConfig {
         channel,
         radio: RadioModel::cc2420(),
-        path_losses: vec![Db::new(75.0); nodes],
+        path_losses: vec![Db::new(75.0); nodes].into(),
         tx_policy: TxPowerPolicy::Fixed(TxPowerLevel::Neg5),
         coordinator_tx: DBm::new(0.0),
         wakeup_margin: Seconds::from_millis(1.0),
+        corrupt_probs: None,
     });
     let report = sim.run(&EmpiricalCc2420Ber::paper());
 
@@ -110,10 +111,11 @@ fn per_superframe_energy_is_population_invariant_at_fixed_load() {
         let sim = NetworkSimulator::new(NetworkConfig {
             channel,
             radio: RadioModel::cc2420(),
-            path_losses: vec![Db::new(70.0); nodes],
+            path_losses: vec![Db::new(70.0); nodes].into(),
             tx_policy: TxPowerPolicy::Fixed(TxPowerLevel::Neg5),
             coordinator_tx: DBm::new(0.0),
             wakeup_margin: Seconds::from_millis(1.0),
+            corrupt_probs: None,
         });
         let report = sim.run(&EmpiricalCc2420Ber::paper());
         report.mean_node_power.watts() * t_ib.secs()

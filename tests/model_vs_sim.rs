@@ -34,10 +34,11 @@ fn compare(loss_db: f64, level: TxPowerLevel, load: f64, seed: u64) -> Compariso
     let sim = NetworkSimulator::new(NetworkConfig {
         channel: channel.clone(),
         radio: RadioModel::cc2420(),
-        path_losses: vec![Db::new(loss_db); nodes],
+        path_losses: vec![Db::new(loss_db); nodes].into(),
         tx_policy: TxPowerPolicy::Fixed(level),
         coordinator_tx: DBm::new(0.0),
         wakeup_margin: Seconds::from_millis(1.0),
+        corrupt_probs: None,
     });
     let net = sim.run(&ber);
 
