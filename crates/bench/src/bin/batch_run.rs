@@ -1,0 +1,164 @@
+//! Batch simulation service CLI — run a directory or manifest of saved
+//! scenarios ([`wsn_sim::persist`]) as one deterministic job grid.
+//!
+//! Every scenario file is loaded and validated before anything runs; the
+//! whole set then executes through one shared worker pool
+//! ([`wsn_sim::BatchSet::run`]), streaming one compact JSON record per
+//! scenario (JSON-lines on stdout) plus a final aggregate record. Results
+//! are bit-identical to running each scenario alone, for every
+//! `--threads` value and any file ordering.
+//!
+//! With `--json`, a `BENCH_batch.json` document is also written:
+//! scenarios/sec over the batch, per-scenario wall-clock and `host_cpus`,
+//! mirroring the other `BENCH_*.json` schemas.
+//!
+//! Usage:
+//! `batch_run (--dir DIR | --manifest FILE) [--threads N] [--json]`
+
+use std::path::Path;
+
+use wsn_bench::{Json, BENCH_BATCH_PATH};
+use wsn_sim::{BatchSet, Runner};
+
+struct BatchArgs {
+    dir: Option<String>,
+    manifest: Option<String>,
+    threads: Option<usize>,
+    json: bool,
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!("usage: batch_run (--dir DIR | --manifest FILE) [--threads N] [--json]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> BatchArgs {
+    let mut out = BatchArgs {
+        dir: None,
+        manifest: None,
+        threads: None,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => match args.next() {
+                Some(path) if !path.is_empty() => out.dir = Some(path),
+                _ => usage("--dir requires a directory path"),
+            },
+            "--manifest" => match args.next() {
+                Some(path) if !path.is_empty() => out.manifest = Some(path),
+                _ => usage("--manifest requires a file path"),
+            },
+            "--threads" => {
+                let value = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0);
+                match value {
+                    Some(n) => out.threads = Some(n),
+                    None => usage("--threads requires a positive integer"),
+                }
+            }
+            "--json" => out.json = true,
+            other => usage(&format!("unrecognized argument `{other}`")),
+        }
+    }
+    if out.dir.is_some() == out.manifest.is_some() {
+        usage("exactly one of --dir or --manifest is required");
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let runner = match args.threads {
+        Some(n) => Runner::with_threads(n),
+        None => Runner::from_env(),
+    };
+
+    let set = if let Some(dir) = &args.dir {
+        BatchSet::load_dir(Path::new(dir))
+    } else {
+        BatchSet::load_manifest(Path::new(args.manifest.as_deref().expect("checked in parse")))
+    };
+    let set = match set {
+        Ok(set) => set,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "# batch: {} scenarios, {} threads{}",
+        set.entries().len(),
+        runner.threads(),
+        match set.batch_seed() {
+            Some(seed) => format!(", manifest seed {seed}"),
+            None => ", saved seeds".to_string(),
+        }
+    );
+
+    let stdout = std::io::stdout();
+    let mut sink = stdout.lock();
+    let report = match set.run(&runner, &mut sink) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: cannot stream results: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "# done: {} scenarios, {} jobs, {:.0} ms ({:.2} scenarios/s)",
+        report.records.len(),
+        report.jobs,
+        report.wall_ms,
+        report.scenarios_per_sec()
+    );
+
+    if args.json {
+        let points: Vec<Json> = report
+            .records
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("scenario", Json::Str(r.name.clone())),
+                    ("seed", Json::Str(r.seed.to_string())),
+                    ("job_ms", Json::Num(r.job_ms)),
+                    (
+                        "power_uw",
+                        Json::Num(r.outcome.overall.mean_node_power.microwatts()),
+                    ),
+                    (
+                        "pr_fail",
+                        Json::Num(r.outcome.overall.failure_ratio.value()),
+                    ),
+                    (
+                        "transactions",
+                        Json::Int(r.outcome.overall.transactions as i64),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("benchmark", Json::Str("batch_run".into())),
+            ("scenarios", Json::Int(report.records.len() as i64)),
+            ("jobs", Json::Int(report.jobs as i64)),
+            ("threads", Json::Int(runner.threads() as i64)),
+            (
+                "host_cpus",
+                Json::Int(
+                    std::thread::available_parallelism()
+                        .map(|n| n.get() as i64)
+                        .unwrap_or(1),
+                ),
+            ),
+            ("wall_ms", Json::Num(report.wall_ms)),
+            ("scenarios_per_sec", Json::Num(report.scenarios_per_sec())),
+            ("points", Json::Arr(points)),
+        ]);
+        std::fs::write(BENCH_BATCH_PATH, doc.render()).expect("write benchmark JSON");
+        eprintln!("wrote {BENCH_BATCH_PATH}");
+    }
+}

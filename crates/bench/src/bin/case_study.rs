@@ -23,7 +23,7 @@
 //!
 //! Usage: `cargo run --release -p wsn-bench --bin case_study [superframes] [--threads N] [--reps N] [--json]`
 
-use wsn_bench::{network_bench_json, RunArgs, BENCH_NETWORK_PATH};
+use wsn_bench::{export_scenario_file, network_bench_json, RunArgs, BENCH_NETWORK_PATH};
 use wsn_core::activation::ActivationModel;
 use wsn_core::case_study::CaseStudy;
 use wsn_core::contention::{ContentionModel, IdealContention, MonteCarloContention};
@@ -36,6 +36,22 @@ fn main() {
     let runner = args.runner();
 
     let study = CaseStudy::paper(ActivationModel::paper_defaults(RadioModel::cc2420()));
+
+    // `--export-scenario`: write the study's exact Scenario as saved JSON
+    // (the batch-service fixture) instead of running anything. The export
+    // is the plain scenario — the link-adapted per-node levels
+    // `simulate_timed` swaps in are a runtime refinement, not scenario
+    // state — so `Scenario::run` on the loaded file is the bit-identity
+    // reference.
+    if let Some(path) = &args.export_scenario {
+        let scenario = study
+            .scenario()
+            .with_superframes(args.superframes)
+            .with_replications(reps);
+        export_scenario_file(path, &wsn_sim::SavedScenario::open_loop(scenario));
+        return;
+    }
+
     let ber = EmpiricalCc2420Ber::paper();
     let mc = MonteCarloContention::figure6().with_superframes(args.superframes);
     mc.prewarm(&runner, &[(study.load(), study.packet())]);

@@ -28,7 +28,7 @@
 //!
 //! Usage: `cargo run --release -p wsn-bench --bin churn_study [superframes] [--threads N] [--reps N] [--json]`
 
-use wsn_bench::{elapsed_ms, Json, RunArgs, BENCH_FAULTS_PATH};
+use wsn_bench::{elapsed_ms, export_scenario_file, Json, RunArgs, BENCH_FAULTS_PATH};
 use wsn_sim::scenario::{DeploymentSpec, Scenario, TrafficSpec};
 use wsn_sim::{FaultPlan, Runner, ScenarioOutcome};
 
@@ -105,6 +105,18 @@ fn run_sweep(runner: &Runner, superframes: u32, reps: u32) -> (Vec<SweepPoint>, 
 fn main() {
     let args = RunArgs::parse(20);
     let reps = args.reps_or(3);
+
+    // `--export-scenario`: write the sweep's max-stress point (highest
+    // churn, outages on) as saved JSON — the fault-plan fixture for the
+    // batch service — instead of running the sweep.
+    if let Some(path) = &args.export_scenario {
+        let death = DEATH_RATES[DEATH_RATES.len() - 1];
+        let out_sf = OUTAGE_SF[OUTAGE_SF.len() - 1];
+        let s = scenario(death, out_sf, args.superframes, reps);
+        export_scenario_file(path, &wsn_sim::SavedScenario::open_loop(s));
+        return;
+    }
+
     let runner = args.runner();
 
     println!(

@@ -16,8 +16,11 @@ use wsn_sim::Runner;
 /// turn overrides auto-detection), `--reps N` (independent replications
 /// per Monte-Carlo point, for replication-based standard errors),
 /// `--rounds N` (closed-loop policy rounds, where the binary runs one),
-/// and `--json` (emit machine-readable benchmark output where the binary
-/// supports it).
+/// `--json` (emit machine-readable benchmark output where the binary
+/// supports it), `--export-scenario <path>` (write the binary's scenario
+/// as saved JSON instead of running it, where supported) and
+/// `--save-dir <path>` (write a sweep's scenarios into a directory
+/// instead of running them, where supported).
 #[derive(Debug, Clone)]
 pub struct RunArgs {
     /// Superframes simulated per Monte-Carlo point.
@@ -32,6 +35,12 @@ pub struct RunArgs {
     pub rounds: Option<u32>,
     /// `--json`: write machine-readable benchmark output.
     pub json: bool,
+    /// `--export-scenario <path>`: write the scenario as saved JSON
+    /// ([`wsn_sim::persist`]) and exit, where the binary supports it.
+    pub export_scenario: Option<String>,
+    /// `--save-dir <path>`: write a sweep's scenarios as saved JSON
+    /// files into the directory and exit, where the binary supports it.
+    pub save_dir: Option<String>,
 }
 
 impl RunArgs {
@@ -46,6 +55,8 @@ impl RunArgs {
             reps: None,
             rounds: None,
             json: false,
+            export_scenario: None,
+            save_dir: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -81,6 +92,14 @@ impl RunArgs {
                     }
                 }
                 "--json" => out.json = true,
+                "--export-scenario" => match args.next() {
+                    Some(path) if !path.is_empty() => out.export_scenario = Some(path),
+                    _ => usage("--export-scenario requires a file path"),
+                },
+                "--save-dir" => match args.next() {
+                    Some(path) if !path.is_empty() => out.save_dir = Some(path),
+                    _ => usage("--save-dir requires a directory path"),
+                },
                 other => match other.parse::<u32>() {
                     Ok(sf) if sf >= 2 => out.superframes = sf,
                     Ok(_) => usage("superframes must be at least 2 (the first is warm-up)"),
@@ -113,7 +132,10 @@ impl RunArgs {
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!("usage: <binary> [superframes] [--threads N] [--reps N] [--rounds N] [--json]");
+    eprintln!(
+        "usage: <binary> [superframes] [--threads N] [--reps N] [--rounds N] [--json] \
+         [--export-scenario PATH] [--save-dir PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -147,6 +169,42 @@ pub const BENCH_FAULTS_PATH: &str = "BENCH_faults.json";
 /// count (10³ → 10⁶), carrying events/s and µW per node, plus the
 /// sharded-vs-unsharded bit-identity verdict.
 pub const BENCH_SCALE_PATH: &str = "BENCH_scale.json";
+
+/// Canonical output path of the batch-service benchmark emitted by
+/// `batch_run --json`: scenarios/sec over the whole batch, per-scenario
+/// wall-clock and `host_cpus`.
+pub const BENCH_BATCH_PATH: &str = "BENCH_batch.json";
+
+/// Writes a scenario as saved JSON at `path` (the `--export-scenario`
+/// implementation shared by the study binaries), creating parent
+/// directories as needed.
+///
+/// # Panics
+///
+/// Aborts the process with a message on serialization or I/O failure —
+/// these binaries are CLIs, not libraries.
+pub fn export_scenario_file(path: &str, saved: &wsn_sim::SavedScenario) {
+    let text = match wsn_sim::save_scenario(saved) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot save scenario: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create {}: {e}", parent.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, &text) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {path} ({} bytes)", text.len());
+}
 
 /// Builds the `BENCH_network.json` document, mirroring
 /// `BENCH_contention.json`'s schema: per-point (here: per-channel)

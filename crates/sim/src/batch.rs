@@ -1,0 +1,859 @@
+//! Batch simulation service: run a directory of saved scenarios as one
+//! deterministic job grid.
+//!
+//! [`crate::persist`] makes scenarios data; this module makes them a
+//! workload. A [`BatchSet`] loads every scenario file in a directory
+//! ([`BatchSet::load_dir`]) or the files a manifest lists
+//! ([`BatchSet::load_manifest`]), validates **all** of them up front
+//! (one bad file fails the batch before any simulation starts), and
+//! [`BatchSet::run`] executes the whole set through one [`Runner`]:
+//!
+//! * **One shared worker pool.** Every open-loop scenario's
+//!   channels × replications jobs flatten into a single job list on one
+//!   [`Runner::map`] call — a 10 000-scenario directory saturates every
+//!   core for the entire batch instead of draining one small grid at a
+//!   time. Each job reproduces exactly what [`Scenario::run`] computes
+//!   for that (channel, replication), and each scenario reduces through
+//!   [`ScenarioOutcome::reduce`] in fixed order, so every per-scenario
+//!   summary is **bit-identical** to running that scenario alone — for
+//!   any thread count and any file ordering (results are keyed by
+//!   scenario, not by position). Scenarios carrying a
+//!   [`PolicyChoice`](crate::persist::PolicyChoice) are closed-loop and
+//!   sequential by nature; they run after the grid, one
+//!   [`PolicyEngine`] each, on the same runner.
+//! * **Deterministic seeds.** By default every scenario runs with the
+//!   master seed saved in its file. A manifest may instead set a batch
+//!   seed: each scenario then runs with
+//!   [`scenario_master_seed`]`(batch_seed, name)` — a pure function of
+//!   the manifest seed and the scenario *name*, so reordering or adding
+//!   files never changes any scenario's stream.
+//! * **Streamed results.** Each finished scenario emits one compact JSON
+//!   record (JSON-lines) with the full [`NetworkSummary`] surface —
+//!   CAP/CFP split, fault counters and standard errors included — and
+//!   the batch ends with one aggregate record, all through a caller
+//!   `Write` sink.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::network::{NetworkAccumulator, NetworkConfig, NetworkSimulator, NetworkSummary};
+use crate::persist::{
+    self, load_scenario, render_compact, Node, ParseError, PolicyChoice, SavedScenario, Value,
+};
+use crate::policy::PolicyEngine;
+use crate::runner::{replication_seed, Runner};
+use crate::scenario::{ResolvedBer, Scenario, ScenarioOutcome};
+
+/// The per-scenario master seed under a manifest batch seed: a pure
+/// function of `(batch_seed, name)` (FNV-1a over the name, fed through
+/// the runner's SplitMix64 derivation), so a scenario's streams do not
+/// depend on its position in the manifest or directory.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::batch::scenario_master_seed;
+///
+/// assert_eq!(
+///     scenario_master_seed(7, "churn"),
+///     scenario_master_seed(7, "churn"),
+/// );
+/// assert_ne!(
+///     scenario_master_seed(7, "churn"),
+///     scenario_master_seed(7, "case-study"),
+/// );
+/// ```
+pub fn scenario_master_seed(batch_seed: u64, name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+    for &b in name.as_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    replication_seed(batch_seed, hash)
+}
+
+/// Why a batch failed to load or validate. Everything is diagnosed up
+/// front: no simulation starts while any entry is bad.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchError {
+    /// A file or directory could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The OS error text.
+        error: String,
+    },
+    /// A scenario (or manifest) file failed to parse or decode.
+    Parse {
+        /// The offending file.
+        path: PathBuf,
+        /// The typed position-carrying diagnostic.
+        error: ParseError,
+    },
+    /// A scenario parsed but is structurally inconsistent
+    /// ([`Scenario::validate`]).
+    Invalid {
+        /// The offending file.
+        path: PathBuf,
+        /// The first violated invariant.
+        error: String,
+    },
+    /// Two entries share a scenario name — results are keyed by name, so
+    /// names must be unique.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// The directory or manifest listed no scenarios.
+    Empty,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Io { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+            BatchError::Parse { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+            BatchError::Invalid { path, error } => {
+                write!(f, "{}: invalid scenario: {error}", path.display())
+            }
+            BatchError::DuplicateName { name } => {
+                write!(f, "duplicate scenario name `{name}`")
+            }
+            BatchError::Empty => write!(f, "no scenario files to run"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// One loaded batch entry: a saved scenario plus where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEntry {
+    /// The scenario's name (unique within the batch).
+    pub name: String,
+    /// The file it was loaded from.
+    pub path: PathBuf,
+    /// The decoded scenario + optional policy choice.
+    pub saved: SavedScenario,
+}
+
+/// A validated set of scenarios ready to run as one job grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSet {
+    entries: Vec<BatchEntry>,
+    batch_seed: Option<u64>,
+}
+
+/// One scenario's results within a batch run.
+#[derive(Debug, Clone)]
+pub struct ScenarioRecord {
+    /// The scenario's name.
+    pub name: String,
+    /// The master seed it effectively ran with.
+    pub seed: u64,
+    /// The reduced outcome — bit-identical to [`Scenario::run`] of the
+    /// same (seed-adjusted) scenario for open-loop entries; for policy
+    /// entries, the final round's outcome.
+    pub outcome: ScenarioOutcome,
+    /// The policy that closed the loop, if any, with the rounds it ran.
+    pub policy: Option<(PolicyChoice, usize)>,
+    /// Summed per-job wall-clock in milliseconds (CPU cost, not elapsed
+    /// time, under parallelism).
+    pub job_ms: f64,
+}
+
+/// A completed batch: per-scenario records plus batch-level timing.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One record per scenario, in entry order.
+    pub records: Vec<ScenarioRecord>,
+    /// Elapsed wall-clock of the whole batch in milliseconds.
+    pub wall_ms: f64,
+    /// Jobs executed on the shared pool (open-loop channels ×
+    /// replications; policy rounds are counted per round grid).
+    pub jobs: usize,
+}
+
+impl BatchReport {
+    /// Scenarios completed per second of batch wall-clock.
+    pub fn scenarios_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.records.len() as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// One open-loop scenario prepared for the shared grid.
+struct PlainPrep {
+    entry: usize,
+    configs: Vec<NetworkConfig>,
+    bers: Vec<ResolvedBer>,
+    replications: u32,
+    shards: usize,
+}
+
+impl BatchSet {
+    /// Wraps already-loaded entries (the test seam). Validates like the
+    /// file loaders.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BatchError`] among the entries.
+    pub fn from_entries(
+        entries: Vec<BatchEntry>,
+        batch_seed: Option<u64>,
+    ) -> Result<Self, BatchError> {
+        if entries.is_empty() {
+            return Err(BatchError::Empty);
+        }
+        for (i, entry) in entries.iter().enumerate() {
+            entry
+                .saved
+                .scenario
+                .validate()
+                .map_err(|error| BatchError::Invalid {
+                    path: entry.path.clone(),
+                    error,
+                })?;
+            if entries[..i].iter().any(|e| e.name == entry.name) {
+                return Err(BatchError::DuplicateName {
+                    name: entry.name.clone(),
+                });
+            }
+        }
+        Ok(BatchSet {
+            entries,
+            batch_seed,
+        })
+    }
+
+    /// Loads every `*.json` scenario file in `dir` (sorted by file name;
+    /// `manifest.json` is skipped), each running with its saved seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O, parse, validation or duplicate-name
+    /// failure — nothing runs until the whole directory is good.
+    pub fn load_dir(dir: &Path) -> Result<Self, BatchError> {
+        let read = std::fs::read_dir(dir).map_err(|e| BatchError::Io {
+            path: dir.to_path_buf(),
+            error: e.to_string(),
+        })?;
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for dirent in read {
+            let dirent = dirent.map_err(|e| BatchError::Io {
+                path: dir.to_path_buf(),
+                error: e.to_string(),
+            })?;
+            let path = dirent.path();
+            let is_scenario = path.extension().is_some_and(|x| x == "json")
+                && path.file_name().is_some_and(|f| f != "manifest.json");
+            if is_scenario {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        let entries = paths
+            .into_iter()
+            .map(load_entry)
+            .collect::<Result<_, _>>()?;
+        BatchSet::from_entries(entries, None)
+    }
+
+    /// Loads the scenarios a manifest lists. The manifest is itself
+    /// format-1 JSON:
+    ///
+    /// ```json
+    /// {
+    ///   "format": 1,
+    ///   "seed": null,
+    ///   "scenarios": ["case_study_s5.json", "churn_outage.json"]
+    /// }
+    /// ```
+    ///
+    /// Paths are relative to the manifest's directory. A non-null `seed`
+    /// overrides every scenario's saved master seed via
+    /// [`scenario_master_seed`]; `null` keeps the saved seeds (so the
+    /// batch reproduces each in-code study bit for bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O, parse, validation or duplicate-name
+    /// failure.
+    pub fn load_manifest(path: &Path) -> Result<Self, BatchError> {
+        let text = std::fs::read_to_string(path).map_err(|e| BatchError::Io {
+            path: path.to_path_buf(),
+            error: e.to_string(),
+        })?;
+        let root = persist::parse_document(&text).map_err(|error| BatchError::Parse {
+            path: path.to_path_buf(),
+            error,
+        })?;
+        let parse_err = |error: ParseError| BatchError::Parse {
+            path: path.to_path_buf(),
+            error,
+        };
+        let (batch_seed, files) = decode_manifest(&root).map_err(parse_err)?;
+        let base = path.parent().unwrap_or(Path::new("."));
+        let entries = files
+            .into_iter()
+            .map(|f| load_entry(base.join(f)))
+            .collect::<Result<_, _>>()?;
+        BatchSet::from_entries(entries, batch_seed)
+    }
+
+    /// The validated entries, in load order.
+    pub fn entries(&self) -> &[BatchEntry] {
+        &self.entries
+    }
+
+    /// The manifest batch seed, if one overrides the saved seeds.
+    pub fn batch_seed(&self) -> Option<u64> {
+        self.batch_seed
+    }
+
+    /// The scenario an entry effectively runs: the saved scenario, with
+    /// its master seed re-derived when the batch carries a manifest seed.
+    pub fn effective_scenario(&self, entry: &BatchEntry) -> Scenario {
+        let mut scenario = entry.saved.scenario.clone();
+        if let Some(batch_seed) = self.batch_seed {
+            scenario.seed = scenario_master_seed(batch_seed, &entry.name);
+        }
+        scenario
+    }
+
+    /// Runs the whole batch on `runner`, streaming one compact JSON
+    /// record per scenario (plus a final aggregate record) into `sink`.
+    ///
+    /// Open-loop scenarios execute as one flat job grid on the shared
+    /// pool; policy-bearing scenarios follow sequentially, each through a
+    /// [`PolicyEngine`] on the same runner. Records stream in entry
+    /// order. Per-scenario summaries are bit-identical to running each
+    /// scenario alone, for every thread count and entry ordering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `sink` write failures; simulation itself is
+    /// infallible once the set validated.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on invariants [`Scenario::validate`] already ruled
+    /// out.
+    pub fn run(&self, runner: &Runner, sink: &mut dyn Write) -> io::Result<BatchReport> {
+        let t0 = Instant::now();
+
+        let scenarios: Vec<Scenario> = self
+            .entries
+            .iter()
+            .map(|e| self.effective_scenario(e))
+            .collect();
+
+        // Compile every open-loop scenario up front; the grid borrows the
+        // prepared configs/BER models by index.
+        let mut preps: Vec<PlainPrep> = Vec::new();
+        for (i, (entry, scenario)) in self.entries.iter().zip(&scenarios).enumerate() {
+            if entry.saved.policy.is_some() {
+                continue;
+            }
+            let configs = scenario.compile();
+            let bers: Vec<ResolvedBer> = (0..configs.len())
+                .map(|c| scenario.channel_ber(c).model())
+                .collect();
+            preps.push(PlainPrep {
+                entry: i,
+                configs,
+                bers,
+                replications: scenario.replications.max(1),
+                shards: scenario.shards.max(1),
+            });
+        }
+
+        // The shared grid: every (scenario, channel, replication) triple
+        // is one job on one pool. Each job reproduces Scenario::run_grid's
+        // per-job computation exactly — pure in (prep, channel, rep) — so
+        // the per-scenario reductions below are bit-identical to running
+        // each scenario alone.
+        let jobs: Vec<(usize, usize, u64)> = preps
+            .iter()
+            .enumerate()
+            .flat_map(|(p, prep)| {
+                (0..prep.configs.len()).flat_map(move |c| {
+                    (0..prep.replications as u64).map(move |r| (p, c, r))
+                })
+            })
+            .collect();
+        let results: Vec<(NetworkAccumulator, f64)> = runner.map(&jobs, |_, &(p, c, r)| {
+            let prep = &preps[p];
+            let t = Instant::now();
+            let mut cfg = prep.configs[c].clone();
+            cfg.channel.seed = replication_seed(cfg.channel.seed, r);
+            let sim = NetworkSimulator::new(cfg);
+            let acc = if prep.shards > 1 {
+                sim.run_accumulate_sharded(&prep.bers[c], prep.shards)
+            } else {
+                sim.run_accumulate(&prep.bers[c])
+            };
+            (acc, t.elapsed().as_secs_f64() * 1e3)
+        });
+
+        // Reduce per scenario in fixed order, then lay the records out in
+        // entry order (policy slots filled below).
+        let mut records: Vec<Option<ScenarioRecord>> = (0..self.entries.len()).map(|_| None).collect();
+        let mut cursor = results.into_iter();
+        let mut jobs_run = jobs.len();
+        for prep in &preps {
+            let scenario = &scenarios[prep.entry];
+            let mut accs: Vec<Vec<NetworkAccumulator>> = Vec::with_capacity(prep.configs.len());
+            let mut job_ms = 0.0;
+            for _ in 0..prep.configs.len() {
+                let mut reps = Vec::with_capacity(prep.replications as usize);
+                for _ in 0..prep.replications {
+                    let (acc, ms) = cursor.next().expect("one result per grid job");
+                    reps.push(acc);
+                    job_ms += ms;
+                }
+                accs.push(reps);
+            }
+            let mut outcome = ScenarioOutcome::reduce(scenario.name.clone(), &accs);
+            outcome.gts_denied = prep
+                .configs
+                .iter()
+                .map(|c| c.channel.cfp.gts_denied)
+                .collect();
+            records[prep.entry] = Some(ScenarioRecord {
+                name: self.entries[prep.entry].name.clone(),
+                seed: scenario.seed,
+                outcome,
+                policy: None,
+                job_ms,
+            });
+        }
+
+        // Closed-loop entries: inherently sequential round loops, run on
+        // the same pool after the grid drains.
+        for (i, (entry, scenario)) in self.entries.iter().zip(&scenarios).enumerate() {
+            let Some(choice) = entry.saved.policy else {
+                continue;
+            };
+            let t = Instant::now();
+            let mut policy = choice.build();
+            let trace = PolicyEngine::new(scenario.clone())
+                .with_rounds(choice.rounds() as usize)
+                .run(runner, &mut *policy);
+            let rounds_run = trace.rounds.len();
+            jobs_run += rounds_run * scenario.channels * scenario.replications.max(1) as usize;
+            let outcome = trace
+                .rounds
+                .into_iter()
+                .last()
+                .map(|round| round.outcome)
+                .expect("a policy loop runs at least one round");
+            records[i] = Some(ScenarioRecord {
+                name: entry.name.clone(),
+                seed: scenario.seed,
+                outcome,
+                policy: Some((choice, rounds_run)),
+                job_ms: t.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+
+        let records: Vec<ScenarioRecord> = records
+            .into_iter()
+            .map(|r| r.expect("every entry produces a record"))
+            .collect();
+        for record in &records {
+            writeln!(sink, "{}", render_compact(&record.to_json()))?;
+        }
+
+        let report = BatchReport {
+            records,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            jobs: jobs_run,
+        };
+        writeln!(sink, "{}", render_compact(&report.aggregate_json()))?;
+        Ok(report)
+    }
+}
+
+fn load_entry(path: PathBuf) -> Result<BatchEntry, BatchError> {
+    let text = std::fs::read_to_string(&path).map_err(|e| BatchError::Io {
+        path: path.clone(),
+        error: e.to_string(),
+    })?;
+    let saved = load_scenario(&text).map_err(|error| BatchError::Parse {
+        path: path.clone(),
+        error,
+    })?;
+    Ok(BatchEntry {
+        name: saved.scenario.name.clone(),
+        path,
+        saved,
+    })
+}
+
+fn decode_manifest(root: &Node) -> Result<(Option<u64>, Vec<String>), ParseError> {
+    let pairs = match &root.value {
+        Value::Obj(pairs) => pairs,
+        _ => {
+            return Err(ParseError {
+                line: root.line,
+                col: root.col,
+                expected: "a manifest object".into(),
+            })
+        }
+    };
+    let mut seed: Option<u64> = None;
+    let mut files: Option<Vec<String>> = None;
+    let mut format_seen = false;
+    for (key, node) in pairs {
+        match key.name.as_str() {
+            "format" => {
+                format_seen = true;
+                match node.value {
+                    Value::UInt(v) if v == persist::FORMAT_VERSION => {}
+                    _ => {
+                        return Err(ParseError {
+                            line: node.line,
+                            col: node.col,
+                            expected: format!("format {}", persist::FORMAT_VERSION),
+                        })
+                    }
+                }
+            }
+            "seed" => match node.value {
+                Value::Null => {}
+                Value::UInt(v) => seed = Some(v),
+                _ => {
+                    return Err(ParseError {
+                        line: node.line,
+                        col: node.col,
+                        expected: "a seed (unsigned integer) or null".into(),
+                    })
+                }
+            },
+            "scenarios" => {
+                let items = match &node.value {
+                    Value::Arr(items) => items,
+                    _ => {
+                        return Err(ParseError {
+                            line: node.line,
+                            col: node.col,
+                            expected: "an array of scenario file paths".into(),
+                        })
+                    }
+                };
+                let mut list = Vec::with_capacity(items.len());
+                for item in items {
+                    match &item.value {
+                        Value::Str(s) => list.push(s.clone()),
+                        _ => {
+                            return Err(ParseError {
+                                line: item.line,
+                                col: item.col,
+                                expected: "a scenario file path string".into(),
+                            })
+                        }
+                    }
+                }
+                files = Some(list);
+            }
+            other => {
+                return Err(ParseError {
+                    line: key.line,
+                    col: key.col,
+                    expected: format!("no field `{other}` in the manifest"),
+                })
+            }
+        }
+    }
+    if !format_seen {
+        return Err(ParseError {
+            line: root.line,
+            col: root.col,
+            expected: "field `format` in the manifest".into(),
+        });
+    }
+    let files = files.ok_or_else(|| ParseError {
+        line: root.line,
+        col: root.col,
+        expected: "field `scenarios` in the manifest".into(),
+    })?;
+    Ok((seed, files))
+}
+
+// ---------------------------------------------------------------------------
+// Record rendering
+// ---------------------------------------------------------------------------
+
+fn jkey(name: &str) -> persist::Key {
+    persist::Key {
+        name: name.to_string(),
+        line: 0,
+        col: 0,
+    }
+}
+
+fn jobj(pairs: Vec<(&str, Node)>) -> Node {
+    Node {
+        line: 0,
+        col: 0,
+        value: Value::Obj(pairs.into_iter().map(|(k, v)| (jkey(k), v)).collect()),
+    }
+}
+
+fn jval(value: Value) -> Node {
+    Node {
+        line: 0,
+        col: 0,
+        value,
+    }
+}
+
+fn jnum(x: f64) -> Node {
+    // Result records are data, not fixtures: map the non-finite
+    // energy-per-packet sentinel to null rather than refusing to stream.
+    if x.is_finite() {
+        jval(Value::Float(x))
+    } else {
+        jval(Value::Null)
+    }
+}
+
+fn juint(u: u64) -> Node {
+    jval(Value::UInt(u))
+}
+
+fn summary_json(s: &NetworkSummary) -> Node {
+    jobj(vec![
+        ("power_uw", jnum(s.mean_node_power.microwatts())),
+        ("power_se_uw", jnum(s.power_standard_error.microwatts())),
+        ("cap_power_uw", jnum(s.cap_power.microwatts())),
+        ("cap_power_se_uw", jnum(s.cap_power_standard_error.microwatts())),
+        ("cfp_power_uw", jnum(s.cfp_power.microwatts())),
+        ("cfp_power_se_uw", jnum(s.cfp_power_standard_error.microwatts())),
+        ("pr_fail", jnum(s.failure_ratio.value())),
+        ("pr_fail_se", jnum(s.failure_standard_error)),
+        ("delay_s", jnum(s.mean_delay.secs())),
+        ("delay_se_s", jnum(s.delay_standard_error.secs())),
+        ("attempts", jnum(s.mean_attempts)),
+        ("transactions", juint(s.transactions)),
+        ("energy_per_bit_nj", jnum(s.energy_per_bit_nj)),
+        ("energy_per_packet_uj", jnum(s.energy_per_delivered_packet_uj)),
+        ("replications", juint(s.replications as u64)),
+        ("gts_transactions", juint(s.gts_transactions)),
+        ("gts_failure_ratio", jnum(s.gts_failure_ratio.value())),
+        ("gts_denied", juint(s.gts_denied)),
+        ("downlink_polls", juint(s.downlink_polls)),
+        ("downlink_failure_ratio", jnum(s.downlink_failure_ratio.value())),
+        ("downlink_deferred", juint(s.downlink_deferred)),
+        ("deaths", juint(s.deaths)),
+        ("orphan_scans", juint(s.orphan_scans)),
+        ("join_attempts", juint(s.join_attempts)),
+        ("join_failure_ratio", jnum(s.join_failure_ratio.value())),
+        ("reassociation_delay_s", jnum(s.mean_reassociation_delay.secs())),
+        ("dormant_nodes", juint(s.dormant_nodes)),
+    ])
+}
+
+impl ScenarioRecord {
+    /// The streamed record: identity, seed, timing, the overall summary
+    /// and the per-channel breakdown.
+    pub fn to_json(&self) -> Node {
+        let policy = match &self.policy {
+            None => jval(Value::Null),
+            Some((choice, rounds_run)) => jobj(vec![
+                ("name", jval(Value::Str(choice.name().to_string()))),
+                ("rounds_run", juint(*rounds_run as u64)),
+            ]),
+        };
+        jobj(vec![
+            ("scenario", jval(Value::Str(self.name.clone()))),
+            ("seed", juint(self.seed)),
+            ("channels", juint(self.outcome.per_channel.len() as u64)),
+            ("job_ms", jnum(self.job_ms)),
+            ("policy", policy),
+            ("overall", summary_json(&self.outcome.overall)),
+            (
+                "per_channel",
+                jval(Value::Arr(
+                    self.outcome.per_channel.iter().map(summary_json).collect(),
+                )),
+            ),
+            (
+                "gts_denied_per_channel",
+                jval(Value::Arr(
+                    self.outcome
+                        .gts_denied
+                        .iter()
+                        .map(|&d| juint(d as u64))
+                        .collect(),
+                )),
+            ),
+        ])
+    }
+}
+
+impl BatchReport {
+    /// The final aggregate record: batch-level counts, timing and pooled
+    /// transaction totals.
+    pub fn aggregate_json(&self) -> Node {
+        let total_transactions: u64 = self
+            .records
+            .iter()
+            .map(|r| r.outcome.overall.transactions)
+            .sum();
+        let total_failures: f64 = self
+            .records
+            .iter()
+            .map(|r| {
+                r.outcome.overall.failure_ratio.value() * r.outcome.overall.transactions as f64
+            })
+            .sum();
+        let pooled_failure = if total_transactions > 0 {
+            total_failures / total_transactions as f64
+        } else {
+            0.0
+        };
+        let total_deaths: u64 = self.records.iter().map(|r| r.outcome.overall.deaths).sum();
+        let mean_power = if self.records.is_empty() {
+            0.0
+        } else {
+            self.records
+                .iter()
+                .map(|r| r.outcome.overall.mean_node_power.microwatts())
+                .sum::<f64>()
+                / self.records.len() as f64
+        };
+        jobj(vec![
+            ("aggregate", jval(Value::Bool(true))),
+            ("scenarios", juint(self.records.len() as u64)),
+            ("jobs", juint(self.jobs as u64)),
+            ("wall_ms", jnum(self.wall_ms)),
+            ("scenarios_per_sec", jnum(self.scenarios_per_sec())),
+            ("total_transactions", juint(total_transactions)),
+            ("pooled_failure_ratio", jnum(pooled_failure)),
+            ("total_deaths", juint(total_deaths)),
+            ("mean_scenario_power_uw", jnum(mean_power)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::DeploymentSpec;
+
+    fn tiny(name: &str, seed: u64) -> SavedScenario {
+        SavedScenario::open_loop(
+            Scenario::new(
+                name,
+                2,
+                8,
+                DeploymentSpec::UniformLossGrid {
+                    min_db: 60.0,
+                    max_db: 85.0,
+                },
+            )
+            .with_superframes(3)
+            .with_replications(2)
+            .with_seed(seed),
+        )
+    }
+
+    fn entry(name: &str, seed: u64) -> BatchEntry {
+        BatchEntry {
+            name: name.to_string(),
+            path: PathBuf::from(format!("{name}.json")),
+            saved: tiny(name, seed),
+        }
+    }
+
+    #[test]
+    fn batch_matches_standalone_runs_bit_for_bit() {
+        let set =
+            BatchSet::from_entries(vec![entry("a", 11), entry("b", 22)], None).unwrap();
+        let runner = Runner::serial();
+        let mut sink = Vec::new();
+        let report = set.run(&runner, &mut sink).unwrap();
+        for record in &report.records {
+            let alone = set
+                .entries()
+                .iter()
+                .find(|e| e.name == record.name)
+                .map(|e| set.effective_scenario(e).run(&runner))
+                .unwrap();
+            assert_eq!(
+                record.outcome.overall.mean_node_power,
+                alone.overall.mean_node_power
+            );
+            assert_eq!(record.outcome.overall.failure_ratio, alone.overall.failure_ratio);
+            assert_eq!(
+                record.outcome.overall.power_standard_error,
+                alone.overall.power_standard_error
+            );
+        }
+        // One JSONL line per scenario plus the aggregate.
+        let text = String::from_utf8(sink).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().last().unwrap().contains("\"aggregate\":true"));
+    }
+
+    #[test]
+    fn manifest_seed_overrides_saved_seeds_by_name() {
+        let set = BatchSet::from_entries(vec![entry("a", 11), entry("b", 22)], Some(99)).unwrap();
+        let a = set.effective_scenario(&set.entries()[0]);
+        let b = set.effective_scenario(&set.entries()[1]);
+        assert_eq!(a.seed, scenario_master_seed(99, "a"));
+        assert_eq!(b.seed, scenario_master_seed(99, "b"));
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn validation_runs_before_anything_else() {
+        let mut bad = entry("bad", 1);
+        bad.saved.scenario.channels = 0;
+        let err = BatchSet::from_entries(vec![entry("ok", 2), bad], None).unwrap_err();
+        assert!(matches!(err, BatchError::Invalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let err =
+            BatchSet::from_entries(vec![entry("same", 1), entry("same", 2)], None).unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::DuplicateName {
+                name: "same".into()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_rejected() {
+        assert_eq!(
+            BatchSet::from_entries(Vec::new(), None).unwrap_err(),
+            BatchError::Empty
+        );
+    }
+
+    #[test]
+    fn policy_entries_run_closed_loop() {
+        let mut e = entry("looped", 5);
+        e.saved.policy = Some(PolicyChoice::Static { rounds: 2 });
+        let set = BatchSet::from_entries(vec![e], None).unwrap();
+        let mut sink = Vec::new();
+        let report = set.run(&Runner::serial(), &mut sink).unwrap();
+        let (choice, rounds_run) = report.records[0].policy.unwrap();
+        assert_eq!(choice.name(), "static");
+        assert!(rounds_run >= 1);
+        assert!(report.records[0].outcome.overall.transactions > 0);
+    }
+}

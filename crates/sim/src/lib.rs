@@ -70,6 +70,13 @@
 //! next round's node→channel assignment — adaptive channel assignment
 //! evaluated entirely on the same deterministic pipeline.
 //!
+//! Scenarios are also **data**: [`persist`] saves and loads the full
+//! [`scenario::Scenario`] surface (plus an optional policy choice) as
+//! versioned, canonical JSON — the format-1 schema is documented key by
+//! key in the repository's `SCHEMA.md` — and [`batch`] runs a directory
+//! or manifest of saved scenarios as one deterministic job grid on a
+//! shared worker pool, streaming per-scenario JSON result records.
+//!
 //! Everything is reproducible: equal seeds give bit-identical traces, and
 //! every parallel reduction — contention sweeps, network replications,
 //! whole scenarios, closed policy loops — is bit-identical to the serial
@@ -90,17 +97,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cfp;
 pub mod contention;
 pub mod events;
 pub mod faults;
 pub mod network;
+pub mod persist;
 pub mod policy;
 pub mod rng;
 pub mod runner;
 pub mod scenario;
 pub mod sink;
 pub mod stats;
+
+pub use batch::{scenario_master_seed, BatchEntry, BatchError, BatchReport, BatchSet, ScenarioRecord};
+pub use persist::{
+    load_scenario, save_scenario, ParseError, PolicyChoice, SaveError, SavedScenario,
+};
 
 pub use cfp::{plan_channel_cfp, CfpPlan, DownlinkOutcome, DownlinkRecord, GtsRecord};
 pub use contention::{

@@ -39,7 +39,7 @@ use crate::sink::{StatsSink, TeeSink, TraceCollector, TraceSink};
 use crate::stats::{Accumulator, Counter};
 
 /// Per-node transmit power assignment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TxPowerPolicy {
     /// Every node transmits at the same level.
     Fixed(TxPowerLevel),

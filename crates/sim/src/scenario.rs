@@ -312,7 +312,7 @@ impl BerModel for ResolvedBer {
 /// assert_eq!(configs.len(), 16);
 /// assert!(configs.iter().all(|c| c.channel.nodes == 100));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Human-readable scenario name (printed by the experiment binaries).
     pub name: String,
@@ -824,6 +824,138 @@ impl Scenario {
         } else {
             deployment.path_losses(&model)
         }
+    }
+
+    /// Checks every structural invariant [`compile`](Self::compile) and
+    /// the run path would otherwise `assert!` — the non-panicking front
+    /// door for scenarios that arrive as data ([`crate::persist`],
+    /// [`crate::batch`]) rather than as code.
+    ///
+    /// Returns the first violation as a human-readable message. A
+    /// scenario that validates cleanly compiles and runs without
+    /// panicking.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("at least one channel required".into());
+        }
+        if self.nodes_per_channel == 0 {
+            return Err("at least one node per channel required".into());
+        }
+        if self.superframes < 2 {
+            return Err(format!(
+                "at least 2 superframes required (first is warm-up), got {}",
+                self.superframes
+            ));
+        }
+        if let PayloadSpec::PerChannel { payload_bytes } = &self.traffic.payloads {
+            if payload_bytes.len() < self.channels {
+                return Err(format!(
+                    "one payload per channel required ({} < {})",
+                    payload_bytes.len(),
+                    self.channels
+                ));
+            }
+        }
+        let interval = self.beacon_order.beacon_interval().secs();
+        for c in 0..self.channels {
+            let bytes = match &self.traffic.payloads {
+                PayloadSpec::Uniform { payload_bytes } => *payload_bytes,
+                PayloadSpec::PerChannel { payload_bytes } => payload_bytes[c],
+            };
+            let packet = PacketLayout::with_payload(bytes)
+                .map_err(|e| format!("channel {c} payload: {e}"))?;
+            let load = self.nodes_per_channel as f64 * packet.duration().secs() / interval;
+            if !(load > 0.0 && load < 1.0) {
+                return Err(format!(
+                    "channel {c} load {load:.3} outside (0,1) — lower the traffic or raise BO"
+                ));
+            }
+        }
+        if let Some(bers) = &self.channel_ber {
+            if bers.len() < self.channels {
+                return Err(format!(
+                    "one BER choice per channel required ({} < {})",
+                    bers.len(),
+                    self.channels
+                ));
+            }
+        }
+        if let Some(offsets) = &self.channel_loss_offsets_db {
+            if offsets.len() < self.channels {
+                return Err(format!(
+                    "one loss offset per channel required ({} < {})",
+                    offsets.len(),
+                    self.channels
+                ));
+            }
+            if let Some(bad) = offsets.iter().find(|o| !o.is_finite()) {
+                return Err(format!("non-finite channel loss offset {bad}"));
+            }
+        }
+        if self.min_cap_slots > 15 {
+            return Err(format!(
+                "min_cap_slots must stay within the 16-slot superframe, got {}",
+                self.min_cap_slots
+            ));
+        }
+        let t = &self.traffic;
+        if !(0.0..=1.0).contains(&t.downlink_rate) {
+            return Err(format!(
+                "downlink rate must be a fraction of superframes, got {}",
+                t.downlink_rate
+            ));
+        }
+        let demand_nonzero =
+            t.gts_slots_per_node > 0 && t.gts_demand.map_or(true, |d| d > 0);
+        if demand_nonzero && t.gts_slots_per_node > 15 {
+            return Err(format!(
+                "a GTS allocation must span 1..=15 slots, got {}",
+                t.gts_slots_per_node
+            ));
+        }
+        let f = &self.faults;
+        for (field, rate) in [
+            ("death_rate", f.death_rate),
+            ("outage_rate", f.outage_rate),
+        ] {
+            if !(0.0..1.0).contains(&rate) {
+                return Err(format!("fault {field} must lie in [0,1), got {rate}"));
+            }
+        }
+        if !(0.0..=1.0).contains(&f.burst_downlink_rate) {
+            return Err(format!(
+                "fault burst_downlink_rate must lie in [0,1], got {}",
+                f.burst_downlink_rate
+            ));
+        }
+        if f.outage_rate > 0.0 && f.outage_superframes == 0 {
+            return Err("a nonzero outage rate needs a nonzero outage window".into());
+        }
+        if !f.drift_amplitude_db.is_finite() || f.drift_amplitude_db < 0.0 {
+            return Err(format!(
+                "fault drift amplitude must be finite and non-negative, got {}",
+                f.drift_amplitude_db
+            ));
+        }
+        if let DeploymentSpec::Rings { radii_m, .. } = &self.deployment {
+            if radii_m.is_empty() || self.total_nodes() % radii_m.len() != 0 {
+                return Err(format!(
+                    "total node count {} must divide over {} rings",
+                    self.total_nodes(),
+                    radii_m.len()
+                ));
+            }
+        }
+        if let TxPowerPolicy::PerNode(levels) = &self.tx_policy {
+            if levels.len() != self.nodes_per_channel {
+                return Err(format!(
+                    "per-node level table holds {} levels for {} nodes per channel",
+                    levels.len(),
+                    self.nodes_per_channel
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Compiles the scenario into one [`NetworkConfig`] per channel.

@@ -12,7 +12,8 @@ use wsn_sim::network::{NetworkConfig, NetworkSummary, TxPowerPolicy};
 use wsn_sim::policy::{GreedyRebalance, PolicyEngine, ProportionalFair};
 use wsn_sim::scenario::{BerChoice, ChannelAllocation, DeploymentSpec, Scenario, TrafficSpec};
 use wsn_sim::{
-    simulate_contention, ChannelSimConfig, FaultPlan, NetworkSimulator, Runner, StatsSink,
+    simulate_contention, BatchSet, ChannelSimConfig, FaultPlan, NetworkSimulator, Runner,
+    StatsSink,
 };
 use wsn_units::{DBm, Db, Seconds};
 
@@ -641,4 +642,78 @@ fn move_cost_settles_greedy_on_ring_stratified_scenario() {
     assert!(
         damped_trace.final_round().worst_failure() < static_trace.final_round().worst_failure()
     );
+}
+
+/// The committed saved-scenario fixtures at the repository root.
+fn fixture_batch() -> BatchSet {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    BatchSet::load_dir(&dir).expect("the committed fixture directory loads")
+}
+
+/// The batch service flattens every scenario's jobs onto one shared pool,
+/// so its per-scenario records inherit the runner's contract: bit-identical
+/// for 1, 2 and 4 worker threads across the whole committed fixture set.
+#[test]
+fn batch_of_fixtures_is_bit_identical_across_1_2_4_threads() {
+    let set = fixture_batch();
+    assert!(set.entries().len() >= 4, "the fixture set stays non-trivial");
+
+    let mut sink = Vec::new();
+    let serial = set.run(&Runner::with_threads(1), &mut sink).unwrap();
+    for threads in [2, 4] {
+        let parallel = set.run(&Runner::with_threads(threads), &mut Vec::new()).unwrap();
+        assert_eq!(serial.records.len(), parallel.records.len());
+        assert_eq!(serial.jobs, parallel.jobs, "threads={threads}");
+        for (a, b) in serial.records.iter().zip(&parallel.records) {
+            let context = format!("batch `{}` threads={threads}", a.name);
+            assert_eq!(a.name, b.name, "{context}: record order");
+            assert_eq!(a.seed, b.seed, "{context}: seed");
+            assert_summaries_identical(&a.outcome.overall, &b.outcome.overall, &context);
+            for (c, (x, y)) in a
+                .outcome
+                .per_channel
+                .iter()
+                .zip(&b.outcome.per_channel)
+                .enumerate()
+            {
+                assert_summaries_identical(x, y, &format!("{context} ch{c}"));
+            }
+            assert_eq!(a.outcome.gts_denied, b.outcome.gts_denied, "{context}: gts denied");
+        }
+    }
+}
+
+/// Results are keyed by scenario, not by position: reversing the entry
+/// order (as a reordered manifest would) changes nothing about any
+/// scenario's record.
+#[test]
+fn batch_results_are_invariant_to_entry_ordering() {
+    let forward = fixture_batch();
+    let mut reversed_entries: Vec<_> = forward.entries().to_vec();
+    reversed_entries.reverse();
+    let reversed = BatchSet::from_entries(reversed_entries, None).unwrap();
+
+    let runner = Runner::from_env();
+    let a = forward.run(&runner, &mut Vec::new()).unwrap();
+    let b = reversed.run(&runner, &mut Vec::new()).unwrap();
+    assert_eq!(a.records.len(), b.records.len());
+    for record in &a.records {
+        let twin = b
+            .records
+            .iter()
+            .find(|r| r.name == record.name)
+            .unwrap_or_else(|| panic!("`{}` present in both orders", record.name));
+        let context = format!("ordering `{}`", record.name);
+        assert_eq!(record.seed, twin.seed, "{context}: seed");
+        assert_summaries_identical(&record.outcome.overall, &twin.outcome.overall, &context);
+        for (c, (x, y)) in record
+            .outcome
+            .per_channel
+            .iter()
+            .zip(&twin.outcome.per_channel)
+            .enumerate()
+        {
+            assert_summaries_identical(x, y, &format!("{context} ch{c}"));
+        }
+    }
 }

@@ -1,22 +1,38 @@
 //! The scenario layer in one sweep: the same 4-channel network under
-//! three deployments — the paper's uniform loss population, a
-//! ring-stratified indoor disc, and per-channel clusters — each run as
-//! parallel replicated simulations with replication-based standard
-//! errors.
+//! four configurations — the paper's uniform loss population, a
+//! ring-stratified indoor disc, per-channel clusters, and a GTS +
+//! downlink variant — each run as parallel replicated simulations with
+//! replication-based standard errors.
 //!
 //! Accepts the figure binaries' flags: `[superframes] [--threads N]
-//! [--reps N]`.
+//! [--reps N]`, plus `--save-dir DIR` to write the sweep as saved
+//! scenario JSON files (the `wsn_sim::persist` format) instead of
+//! running it — ready for `batch_run --dir DIR`.
 //!
-//! Run with: `cargo run --release --example scenario_sweep -- [superframes] [--threads N] [--reps N]`
+//! Run with: `cargo run --release --example scenario_sweep -- [superframes] [--threads N] [--reps N] [--save-dir DIR]`
 
 use ieee802154_energy::sim::scenario::{
     ChannelAllocation, DeploymentSpec, Scenario, TrafficSpec,
 };
-use wsn_bench::RunArgs;
+use wsn_bench::{export_scenario_file, RunArgs};
+use wsn_sim::SavedScenario;
+
+/// The scenario name as a file stem: lowercase alphanumerics, runs of
+/// anything else collapsed to `_`.
+fn file_stem(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    out.trim_matches('_').to_string()
+}
 
 fn main() {
     let args = RunArgs::parse(12);
-    let runner = args.runner();
     let reps = args.reps_or(4);
     let scenarios = [
         Scenario::new(
@@ -52,8 +68,31 @@ fn main() {
         )
         .with_allocation(ChannelAllocation::Contiguous)
         .with_traffic(TrafficSpec::per_channel(vec![40, 80, 120, 123])),
+        Scenario::new(
+            "uniform with GTS and downlink",
+            4,
+            50,
+            DeploymentSpec::UniformLossGrid {
+                min_db: 55.0,
+                max_db: 90.0,
+            },
+        )
+        .with_traffic(TrafficSpec::uniform(120).with_gts(1).with_downlink(0.2)),
     ];
 
+    // `--save-dir`: write the sweep as saved scenario files and exit.
+    if let Some(dir) = &args.save_dir {
+        for scenario in scenarios {
+            let scenario = scenario
+                .with_superframes(args.superframes)
+                .with_replications(reps);
+            let path = format!("{dir}/{}.json", file_stem(&scenario.name));
+            export_scenario_file(&path, &SavedScenario::open_loop(scenario));
+        }
+        return;
+    }
+
+    let runner = args.runner();
     println!(
         "scenario sweep — 4 channels × 50 nodes, {} superframes × {reps} replications ({} threads)\n",
         args.superframes,
