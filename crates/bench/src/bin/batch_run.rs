@@ -1,35 +1,67 @@
 //! Batch simulation service CLI — run a directory or manifest of saved
-//! scenarios ([`wsn_sim::persist`]) as one deterministic job grid.
+//! scenarios ([`wsn_sim::persist`]) as one fault-tolerant job farm.
 //!
 //! Every scenario file is loaded and validated before anything runs; the
 //! whole set then executes through one shared worker pool
-//! ([`wsn_sim::BatchSet::run`]), streaming one compact JSON record per
-//! scenario (JSON-lines on stdout) plus a final aggregate record. Results
-//! are bit-identical to running each scenario alone, for every
-//! `--threads` value and any file ordering.
+//! ([`wsn_sim::BatchSet::run_with`]), streaming one compact JSON record
+//! per scenario (JSON-lines) plus a final aggregate record. Results are
+//! bit-identical to running each scenario alone, for every `--threads`
+//! value, any file ordering and any resume point.
+//!
+//! Fault tolerance:
+//!
+//! * `--journal FILE` appends an fsync'd progress record per completed
+//!   scenario; `--resume` (requires `--journal`) skips scenarios whose
+//!   config fingerprint already completed and re-runs changed ones, so a
+//!   `kill -9` mid-farm loses at most one wave of work.
+//! * A panicking scenario becomes a `"status":"failed"` record (retried
+//!   `--retries` times) and the rest of the farm keeps running;
+//!   `--timeout-s` turns runaway scenarios into `"timeout"` records.
+//! * Results go to stdout, a file (`--out`, repaired and appended on
+//!   `--resume`) or a TCP peer (`--tcp HOST:PORT`) that reconnects with
+//!   seeded exponential backoff; `--tcp-ack` requires a 1-byte ack per
+//!   line (at-least-once delivery) and `--overflow FILE` spills to disk
+//!   while the peer is down, draining on reconnect.
+//!
+//! Exit codes: 0 all scenarios ok, 2 usage error, 3 when any scenario
+//! failed or timed out (`--strict` additionally stops the farm at the
+//! first such record), 1 on operational errors (load, journal, sink).
 //!
 //! With `--json`, a `BENCH_batch.json` document is also written:
-//! scenarios/sec over the batch, per-scenario wall-clock and `host_cpus`,
-//! mirroring the other `BENCH_*.json` schemas.
-//!
-//! Usage:
-//! `batch_run (--dir DIR | --manifest FILE) [--threads N] [--json]`
+//! scenarios/sec over the batch, per-scenario wall-clock, `host_cpus`,
+//! and the resume/retry/sink counters.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use wsn_bench::{Json, BENCH_BATCH_PATH};
-use wsn_sim::{BatchSet, Runner};
+use wsn_sim::{
+    repair_jsonl_tail, BatchSet, ResultSink, RunConfig, Runner, ScenarioStatus, TcpSink, WriteSink,
+};
 
 struct BatchArgs {
     dir: Option<String>,
     manifest: Option<String>,
     threads: Option<usize>,
     json: bool,
+    journal: Option<PathBuf>,
+    resume: bool,
+    strict: bool,
+    retries: u32,
+    timeout_s: Option<f64>,
+    out: Option<PathBuf>,
+    tcp: Option<String>,
+    tcp_ack: bool,
+    overflow: Option<PathBuf>,
 }
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!("usage: batch_run (--dir DIR | --manifest FILE) [--threads N] [--json]");
+    eprintln!(
+        "usage: batch_run (--dir DIR | --manifest FILE) [--threads N] [--json]\n\
+         \x20                [--journal FILE] [--resume] [--strict] [--retries N] [--timeout-s S]\n\
+         \x20                [--out FILE | --tcp HOST:PORT [--tcp-ack] [--overflow FILE]]"
+    );
     std::process::exit(2);
 }
 
@@ -39,6 +71,15 @@ fn parse_args() -> BatchArgs {
         manifest: None,
         threads: None,
         json: false,
+        journal: None,
+        resume: false,
+        strict: false,
+        retries: 0,
+        timeout_s: None,
+        out: None,
+        tcp: None,
+        tcp_ack: false,
+        overflow: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,13 +103,60 @@ fn parse_args() -> BatchArgs {
                 }
             }
             "--json" => out.json = true,
+            "--journal" => match args.next() {
+                Some(path) if !path.is_empty() => out.journal = Some(PathBuf::from(path)),
+                _ => usage("--journal requires a file path"),
+            },
+            "--resume" => out.resume = true,
+            "--strict" => out.strict = true,
+            "--retries" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => out.retries = n,
+                None => usage("--retries requires a non-negative integer"),
+            },
+            "--timeout-s" => {
+                let value = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|&s| s.is_finite() && s >= 0.0);
+                match value {
+                    Some(s) => out.timeout_s = Some(s),
+                    None => usage("--timeout-s requires a non-negative number of seconds"),
+                }
+            }
+            "--out" => match args.next() {
+                Some(path) if !path.is_empty() => out.out = Some(PathBuf::from(path)),
+                _ => usage("--out requires a file path"),
+            },
+            "--tcp" => match args.next() {
+                Some(addr) if !addr.is_empty() => out.tcp = Some(addr),
+                _ => usage("--tcp requires a HOST:PORT address"),
+            },
+            "--tcp-ack" => out.tcp_ack = true,
+            "--overflow" => match args.next() {
+                Some(path) if !path.is_empty() => out.overflow = Some(PathBuf::from(path)),
+                _ => usage("--overflow requires a file path"),
+            },
             other => usage(&format!("unrecognized argument `{other}`")),
         }
     }
     if out.dir.is_some() == out.manifest.is_some() {
         usage("exactly one of --dir or --manifest is required");
     }
+    if out.resume && out.journal.is_none() {
+        usage("--resume requires --journal (the journal records what completed)");
+    }
+    if out.out.is_some() && out.tcp.is_some() {
+        usage("--out and --tcp are mutually exclusive");
+    }
+    if (out.tcp_ack || out.overflow.is_some()) && out.tcp.is_none() {
+        usage("--tcp-ack/--overflow only apply to a --tcp sink");
+    }
     out
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
 }
 
 fn main() {
@@ -85,65 +173,124 @@ fn main() {
     };
     let set = match set {
         Ok(set) => set,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail(e),
     };
     eprintln!(
-        "# batch: {} scenarios, {} threads{}",
+        "# batch: {} scenarios, {} threads{}{}",
         set.entries().len(),
         runner.threads(),
         match set.batch_seed() {
             Some(seed) => format!(", manifest seed {seed}"),
             None => ", saved seeds".to_string(),
-        }
+        },
+        if args.resume { ", resuming" } else { "" }
     );
 
-    let stdout = std::io::stdout();
-    let mut sink = stdout.lock();
-    let report = match set.run(&runner, &mut sink) {
-        Ok(report) => report,
-        Err(e) => {
-            eprintln!("error: cannot stream results: {e}");
-            std::process::exit(1);
-        }
+    let config = RunConfig {
+        journal: args.journal.clone(),
+        resume: args.resume,
+        strict: args.strict,
+        timeout: args.timeout_s.map(Duration::from_secs_f64),
+        retries: args.retries,
     };
+
+    // Build the result sink: stdout, an (append-on-resume) file, or a
+    // retrying TCP stream.
+    let stdout = std::io::stdout();
+    let mut sink: Box<dyn ResultSink> = if let Some(addr) = &args.tcp {
+        let mut tcp = TcpSink::new(addr.clone())
+            .with_seed(set.batch_seed().unwrap_or(0))
+            .with_ack(args.tcp_ack);
+        if let Some(overflow) = &args.overflow {
+            tcp = tcp.with_overflow(overflow.clone());
+        }
+        Box::new(tcp)
+    } else if let Some(path) = &args.out {
+        if args.resume {
+            // Drop the torn final line a killed run left, then append —
+            // the concatenated stream stays clean JSONL.
+            if let Err(e) = repair_jsonl_tail(path) {
+                fail(format_args!("cannot repair {}: {e}", path.display()));
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(args.resume)
+            .write(true)
+            .truncate(!args.resume)
+            .open(path);
+        match file {
+            // Unbuffered on purpose: a record must reach the OS before its
+            // journal entry is fsync'd, or a kill -9 could lose an output
+            // line the journal says is done (emit-then-journal). One
+            // line-sized write syscall per scenario is noise next to the
+            // simulation itself.
+            Ok(file) => Box::new(WriteSink::new(file)),
+            Err(e) => fail(format_args!("cannot open {}: {e}", path.display())),
+        }
+    } else {
+        Box::new(WriteSink::new(stdout.lock()))
+    };
+
+    let report = match set.run_with(&runner, sink.as_mut(), &config) {
+        Ok(report) => report,
+        Err(e) => fail(e),
+    };
+    let counters = sink.counters();
+    drop(sink);
+
     eprintln!(
-        "# done: {} scenarios, {} jobs, {:.0} ms ({:.2} scenarios/s)",
+        "# done: {} scenarios ({} skipped, {} failed, {} timed out), {} jobs, {:.0} ms ({:.2} scenarios/s)",
         report.records.len(),
+        report.skipped,
+        report.failed(),
+        report.timed_out(),
         report.jobs,
         report.wall_ms,
         report.scenarios_per_sec()
     );
+    if counters != Default::default() {
+        eprintln!(
+            "# sink: {} connect retries, {} reconnects, {} spilled, {} drained",
+            counters.connect_retries,
+            counters.reconnects,
+            counters.spilled_lines,
+            counters.drained_lines
+        );
+    }
 
     if args.json {
         let points: Vec<Json> = report
             .records
             .iter()
             .map(|r| {
+                let (power, pr_fail, transactions) = match &r.outcome {
+                    Some(o) => (
+                        Json::Num(o.overall.mean_node_power.microwatts()),
+                        Json::Num(o.overall.failure_ratio.value()),
+                        Json::Int(o.overall.transactions as i64),
+                    ),
+                    None => (Json::Null, Json::Null, Json::Null),
+                };
                 Json::Obj(vec![
                     ("scenario", Json::Str(r.name.clone())),
                     ("seed", Json::Str(r.seed.to_string())),
+                    ("status", Json::Str(r.status.as_str().into())),
+                    ("attempts", Json::Int(i64::from(r.attempts))),
                     ("job_ms", Json::Num(r.job_ms)),
-                    (
-                        "power_uw",
-                        Json::Num(r.outcome.overall.mean_node_power.microwatts()),
-                    ),
-                    (
-                        "pr_fail",
-                        Json::Num(r.outcome.overall.failure_ratio.value()),
-                    ),
-                    (
-                        "transactions",
-                        Json::Int(r.outcome.overall.transactions as i64),
-                    ),
+                    ("power_uw", power),
+                    ("pr_fail", pr_fail),
+                    ("transactions", transactions),
                 ])
             })
             .collect();
         let doc = Json::Obj(vec![
             ("benchmark", Json::Str("batch_run".into())),
             ("scenarios", Json::Int(report.records.len() as i64)),
+            ("skipped", Json::Int(report.skipped as i64)),
+            ("failed", Json::Int(report.failed() as i64)),
+            ("timed_out", Json::Int(report.timed_out() as i64)),
+            ("strict_aborted", Json::Bool(report.strict_aborted)),
             ("jobs", Json::Int(report.jobs as i64)),
             ("threads", Json::Int(runner.threads() as i64)),
             (
@@ -156,9 +303,34 @@ fn main() {
             ),
             ("wall_ms", Json::Num(report.wall_ms)),
             ("scenarios_per_sec", Json::Num(report.scenarios_per_sec())),
+            (
+                "sink",
+                Json::Obj(vec![
+                    ("connect_retries", Json::Int(counters.connect_retries as i64)),
+                    ("reconnects", Json::Int(counters.reconnects as i64)),
+                    ("spilled_lines", Json::Int(counters.spilled_lines as i64)),
+                    ("drained_lines", Json::Int(counters.drained_lines as i64)),
+                ]),
+            ),
             ("points", Json::Arr(points)),
         ]);
         std::fs::write(BENCH_BATCH_PATH, doc.render()).expect("write benchmark JSON");
         eprintln!("wrote {BENCH_BATCH_PATH}");
+    }
+
+    // Scripts must be able to tell a clean farm from a degraded one.
+    if !report.all_ok() {
+        let first_bad = report
+            .records
+            .iter()
+            .find(|r| !r.status.is_ok())
+            .map(|r| match &r.status {
+                ScenarioStatus::Failed { panic } => format!("{}: failed: {panic}", r.name),
+                ScenarioStatus::Timeout => format!("{}: timeout", r.name),
+                ScenarioStatus::Ok => unreachable!(),
+            })
+            .unwrap_or_else(|| "strict abort".to_string());
+        eprintln!("# degraded: {first_bad}");
+        std::process::exit(3);
     }
 }

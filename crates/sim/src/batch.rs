@@ -30,21 +30,35 @@
 //! * **Streamed results.** Each finished scenario emits one compact JSON
 //!   record (JSON-lines) with the full [`NetworkSummary`] surface —
 //!   CAP/CFP split, fault counters and standard errors included — and
-//!   the batch ends with one aggregate record, all through a caller
-//!   `Write` sink.
+//!   the batch ends with one aggregate record, all through a
+//!   [`ResultSink`] (any `Write` via [`WriteSink`], or a retrying
+//!   [`TcpSink`](crate::sink::TcpSink)).
+//! * **Fault tolerance.** [`BatchSet::run_with`] takes a [`RunConfig`]:
+//!   an fsync'd progress [journal](crate::journal) makes a killed farm
+//!   resumable ([`RunConfig::resume`] skips scenarios whose
+//!   [config fingerprint](crate::persist::fingerprint_scenario) already
+//!   completed, and re-runs ones whose file changed — resumed records are
+//!   bit-identical to an uninterrupted run), a panicking scenario is
+//!   isolated into a typed `"status":"failed"` record (with a retry
+//!   budget) while the rest of the farm keeps running, and a per-scenario
+//!   wall-clock watchdog turns runaway configs into `"timeout"` records.
 
 use std::fmt;
 use std::io::{self, Write};
+use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crate::journal::{load_journal, JournalError, JournalRecord, JournalWriter};
 use crate::network::{NetworkAccumulator, NetworkConfig, NetworkSimulator, NetworkSummary};
 use crate::persist::{
-    self, load_scenario, render_compact, Node, ParseError, PolicyChoice, SavedScenario, Value,
+    self, fingerprint_scenario, load_scenario, render_compact, Node, ParseError, PolicyChoice,
+    SavedScenario, Value,
 };
 use crate::policy::PolicyEngine;
-use crate::runner::{replication_seed, Runner};
+use crate::runner::{panic_message, replication_seed, JobPanic, Runner};
 use crate::scenario::{ResolvedBer, Scenario, ScenarioOutcome};
+use crate::sink::{ResultSink, WriteSink};
 
 /// The per-scenario master seed under a manifest batch seed: a pure
 /// function of `(batch_seed, name)` (FNV-1a over the name, fed through
@@ -108,6 +122,17 @@ pub enum BatchError {
     },
     /// The directory or manifest listed no scenarios.
     Empty,
+    /// The progress journal could not be loaded or appended.
+    Journal {
+        /// The typed journal diagnostic.
+        error: JournalError,
+    },
+    /// The result sink failed — the record could be neither delivered nor
+    /// durably queued, so continuing would silently drop results.
+    Sink {
+        /// The I/O error text.
+        error: String,
+    },
 }
 
 impl fmt::Display for BatchError {
@@ -126,6 +151,8 @@ impl fmt::Display for BatchError {
                 write!(f, "duplicate scenario name `{name}`")
             }
             BatchError::Empty => write!(f, "no scenario files to run"),
+            BatchError::Journal { error } => write!(f, "journal: {error}"),
+            BatchError::Sink { error } => write!(f, "result sink: {error}"),
         }
     }
 }
@@ -150,6 +177,71 @@ pub struct BatchSet {
     batch_seed: Option<u64>,
 }
 
+/// How the farm runs a batch: journaling, resume, isolation and
+/// watchdog knobs. [`Default`] reproduces the original always-run-everything
+/// behaviour (no journal, no retries, no watchdog).
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Progress journal path. Every completed scenario appends one
+    /// fsync'd [`JournalRecord`] *after* its result record was emitted
+    /// (emit-then-journal: a crash between the two duplicates at most one
+    /// record on resume — identifiable by fingerprint — and never loses
+    /// one).
+    pub journal: Option<PathBuf>,
+    /// With a journal: skip scenarios whose config fingerprint already
+    /// completed `ok` in the journal, append to the journal instead of
+    /// truncating it, and tolerate the torn final journal line a kill
+    /// leaves behind. Scenarios whose file changed (different
+    /// fingerprint) or that previously failed or timed out re-run.
+    pub resume: bool,
+    /// Stop after emitting the first `failed`/`timeout` record instead of
+    /// completing the rest of the farm.
+    pub strict: bool,
+    /// Per-scenario wall-clock watchdog. Cooperative: the deadline is
+    /// checked before each grid job (open-loop) or before the entry
+    /// starts (closed-loop), so a scenario that blows its budget becomes
+    /// a `"timeout"` record instead of hanging the farm. `Some(ZERO)`
+    /// times every scenario out deterministically (the test hook). When
+    /// set, scenarios run one wave each so the clock measures a single
+    /// scenario. Timed-out scenarios are not retried.
+    pub timeout: Option<Duration>,
+    /// Extra attempts for a scenario whose jobs panicked (0 = one
+    /// attempt). Simulation is deterministic, so this matters for panics
+    /// from the *environment* (allocation failure, filesystem pressure
+    /// under a custom sink) rather than from the config itself.
+    pub retries: u32,
+}
+
+/// How a scenario ended within a batch run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioStatus {
+    /// Ran to completion; the record carries the outcome.
+    Ok,
+    /// Every attempt panicked; the record carries the panic text.
+    Failed {
+        /// The (first) panic payload of the final attempt.
+        panic: String,
+    },
+    /// The wall-clock watchdog fired before the jobs finished.
+    Timeout,
+}
+
+impl ScenarioStatus {
+    /// The JSONL `status` field value: `ok`, `failed` or `timeout`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScenarioStatus::Ok => "ok",
+            ScenarioStatus::Failed { .. } => "failed",
+            ScenarioStatus::Timeout => "timeout",
+        }
+    }
+
+    /// True for [`ScenarioStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ScenarioStatus::Ok)
+    }
+}
+
 /// One scenario's results within a batch run.
 #[derive(Debug, Clone)]
 pub struct ScenarioRecord {
@@ -157,10 +249,20 @@ pub struct ScenarioRecord {
     pub name: String,
     /// The master seed it effectively ran with.
     pub seed: u64,
+    /// [`fingerprint_scenario`] of the effective saved scenario (seed
+    /// adjustments and policy choice included) — the resume key.
+    pub fingerprint: String,
+    /// How the scenario ended.
+    pub status: ScenarioStatus,
+    /// Attempts consumed (1 + retries used).
+    pub attempts: u32,
+    /// Channels the scenario spans (available even when it failed).
+    pub channels: usize,
     /// The reduced outcome — bit-identical to [`Scenario::run`] of the
     /// same (seed-adjusted) scenario for open-loop entries; for policy
-    /// entries, the final round's outcome.
-    pub outcome: ScenarioOutcome,
+    /// entries, the final round's outcome. `None` unless
+    /// [`status`](Self::status) is `Ok`.
+    pub outcome: Option<ScenarioOutcome>,
     /// The policy that closed the loop, if any, with the rounds it ran.
     pub policy: Option<(PolicyChoice, usize)>,
     /// Summed per-job wall-clock in milliseconds (CPU cost, not elapsed
@@ -171,8 +273,15 @@ pub struct ScenarioRecord {
 /// A completed batch: per-scenario records plus batch-level timing.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
-    /// One record per scenario, in entry order.
+    /// One record per scenario that *ran*, in entry order (resume-skipped
+    /// scenarios have no record; a strict abort stops the list early).
     pub records: Vec<ScenarioRecord>,
+    /// Scenarios skipped by resume (journaled `ok` with a matching
+    /// fingerprint).
+    pub skipped: usize,
+    /// True when [`RunConfig::strict`] stopped the batch at the first
+    /// non-`ok` record.
+    pub strict_aborted: bool,
     /// Elapsed wall-clock of the whole batch in milliseconds.
     pub wall_ms: f64,
     /// Jobs executed on the shared pool (open-loop channels ×
@@ -188,15 +297,75 @@ impl BatchReport {
         }
         self.records.len() as f64 / (self.wall_ms / 1e3)
     }
+
+    /// Records that ended `failed`.
+    pub fn failed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.status, ScenarioStatus::Failed { .. }))
+            .count()
+    }
+
+    /// Records that ended `timeout`.
+    pub fn timed_out(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.status == ScenarioStatus::Timeout)
+            .count()
+    }
+
+    /// True when every record is `ok` and nothing was aborted (skipped
+    /// scenarios count as ok — they completed in a previous run).
+    pub fn all_ok(&self) -> bool {
+        !self.strict_aborted && self.records.iter().all(|r| r.status.is_ok())
+    }
 }
 
 /// One open-loop scenario prepared for the shared grid.
 struct PlainPrep {
-    entry: usize,
     configs: Vec<NetworkConfig>,
     bers: Vec<ResolvedBer>,
     replications: u32,
     shards: usize,
+}
+
+/// One job's result on the shared grid: the accumulator and its wall
+/// clock, `None` when the watchdog deadline had already passed.
+type GridJobResult = Result<Option<(NetworkAccumulator, f64)>, JobPanic>;
+
+/// One attempt over a scenario's jobs, classified.
+enum AttemptResult {
+    /// Every job ran: the accumulators in (channel, replication) order.
+    Done(Vec<(NetworkAccumulator, f64)>),
+    /// At least one job panicked (the first message, in job order —
+    /// deterministic because results are indexed, not raced).
+    Panicked(String),
+    /// At least one job was skipped by the watchdog deadline.
+    TimedOut,
+}
+
+fn classify_attempt(attempt: Vec<GridJobResult>) -> AttemptResult {
+    let mut done = Vec::with_capacity(attempt.len());
+    let mut timed_out = false;
+    let mut panic: Option<String> = None;
+    for result in attempt {
+        match result {
+            Err(p) => {
+                if panic.is_none() {
+                    panic = Some(p.message);
+                }
+            }
+            Ok(None) => timed_out = true,
+            Ok(Some(job)) => done.push(job),
+        }
+    }
+    if let Some(panic) = panic {
+        AttemptResult::Panicked(panic)
+    } else if timed_out {
+        AttemptResult::TimedOut
+    } else {
+        AttemptResult::Done(done)
+    }
 }
 
 impl BatchSet {
@@ -329,25 +498,52 @@ impl BatchSet {
         scenario
     }
 
-    /// Runs the whole batch on `runner`, streaming one compact JSON
-    /// record per scenario (plus a final aggregate record) into `sink`.
-    ///
-    /// Open-loop scenarios execute as one flat job grid on the shared
-    /// pool; policy-bearing scenarios follow sequentially, each through a
-    /// [`PolicyEngine`] on the same runner. Records stream in entry
-    /// order. Per-scenario summaries are bit-identical to running each
-    /// scenario alone, for every thread count and entry ordering.
+    /// Runs the whole batch with the default [`RunConfig`] (no journal,
+    /// no retries, no watchdog) into any `Write` — the original entry
+    /// point, kept for callers that just want the stream.
     ///
     /// # Errors
     ///
     /// Propagates `sink` write failures; simulation itself is
     /// infallible once the set validated.
-    ///
-    /// # Panics
-    ///
-    /// Panics only on invariants [`Scenario::validate`] already ruled
-    /// out.
     pub fn run(&self, runner: &Runner, sink: &mut dyn Write) -> io::Result<BatchReport> {
+        let mut sink = WriteSink::new(sink);
+        self.run_with(runner, &mut sink, &RunConfig::default())
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+
+    /// Runs the whole batch on `runner`, streaming one compact JSON
+    /// record per scenario (plus a final aggregate record) into `sink`,
+    /// under the fault-tolerance knobs in `config`.
+    ///
+    /// Consecutive open-loop scenarios execute in *waves*: each wave is
+    /// one flat job grid on the shared pool, sized to keep every worker
+    /// busy, and its records emit (and journal) as soon as it completes —
+    /// so a killed farm loses at most one wave of work. Policy-bearing
+    /// scenarios run alone, each through a [`PolicyEngine`] on the same
+    /// runner. Records stream in entry order. Per-scenario summaries are
+    /// bit-identical to running each scenario alone, for every thread
+    /// count, entry ordering, wave split and resume point.
+    ///
+    /// A panicking scenario — in `compile` or in any job — becomes a
+    /// `"status":"failed"` record (after [`RunConfig::retries`] extra
+    /// attempts) and the rest of the farm keeps running; the
+    /// [`RunConfig::timeout`] watchdog likewise yields `"timeout"`
+    /// records. With [`RunConfig::strict`], the batch stops after the
+    /// first non-`ok` record.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Sink`] when a record can be neither delivered nor
+    /// durably queued; [`BatchError::Journal`] when the progress journal
+    /// cannot be read, repaired or appended. Simulation failures are
+    /// *not* errors — they are typed records.
+    pub fn run_with(
+        &self,
+        runner: &Runner,
+        sink: &mut dyn ResultSink,
+        config: &RunConfig,
+    ) -> Result<BatchReport, BatchError> {
         let t0 = Instant::now();
 
         let scenarios: Vec<Scenario> = self
@@ -355,43 +551,196 @@ impl BatchSet {
             .iter()
             .map(|e| self.effective_scenario(e))
             .collect();
-
-        // Compile every open-loop scenario up front; the grid borrows the
-        // prepared configs/BER models by index.
-        let mut preps: Vec<PlainPrep> = Vec::new();
-        for (i, (entry, scenario)) in self.entries.iter().zip(&scenarios).enumerate() {
-            if entry.saved.policy.is_some() {
-                continue;
-            }
-            let configs = scenario.compile();
-            let bers: Vec<ResolvedBer> = (0..configs.len())
-                .map(|c| scenario.channel_ber(c).model())
-                .collect();
-            preps.push(PlainPrep {
-                entry: i,
-                configs,
-                bers,
-                replications: scenario.replications.max(1),
-                shards: scenario.shards.max(1),
-            });
-        }
-
-        // The shared grid: every (scenario, channel, replication) triple
-        // is one job on one pool. Each job reproduces Scenario::run_grid's
-        // per-job computation exactly — pure in (prep, channel, rep) — so
-        // the per-scenario reductions below are bit-identical to running
-        // each scenario alone.
-        let jobs: Vec<(usize, usize, u64)> = preps
+        let fingerprints: Vec<String> = self
+            .entries
             .iter()
-            .enumerate()
-            .flat_map(|(p, prep)| {
-                (0..prep.configs.len()).flat_map(move |c| {
-                    (0..prep.replications as u64).map(move |r| (p, c, r))
+            .zip(&scenarios)
+            .map(|(entry, scenario)| {
+                fingerprint_scenario(&SavedScenario {
+                    scenario: scenario.clone(),
+                    policy: entry.saved.policy,
                 })
             })
             .collect();
-        let results: Vec<(NetworkAccumulator, f64)> = runner.map(&jobs, |_, &(p, c, r)| {
-            let prep = &preps[p];
+
+        // Resume: decide what to skip before anything runs. Only an `ok`
+        // journal entry with a matching fingerprint skips — a changed
+        // file, a failure or a timeout re-runs.
+        let mut skip = vec![false; self.entries.len()];
+        let mut skipped = 0usize;
+        if config.resume {
+            if let Some(path) = &config.journal {
+                let prior = load_journal(path).map_err(|error| BatchError::Journal { error })?;
+                for (i, entry) in self.entries.iter().enumerate() {
+                    if prior
+                        .latest(&entry.name)
+                        .is_some_and(|r| r.skippable(&fingerprints[i]))
+                    {
+                        skip[i] = true;
+                        skipped += 1;
+                    }
+                }
+            }
+        }
+
+        let mut journal = match &config.journal {
+            Some(path) => {
+                let writer = if config.resume {
+                    // Drop the torn final line a kill left behind, so
+                    // appended records concatenate cleanly.
+                    crate::journal::repair_jsonl_tail(path).map_err(|e| BatchError::Journal {
+                        error: JournalError::Io {
+                            path: path.clone(),
+                            error: e.to_string(),
+                        },
+                    })?;
+                    JournalWriter::resume(path)
+                } else {
+                    JournalWriter::create(path)
+                };
+                Some(writer.map_err(|error| BatchError::Journal { error })?)
+            }
+            None => None,
+        };
+
+        let mut records: Vec<ScenarioRecord> = Vec::new();
+        let mut jobs_run = 0usize;
+        let mut strict_aborted = false;
+
+        // Wave sizing: chunk consecutive open-loop entries until a wave
+        // carries enough jobs to saturate the pool, so incremental
+        // journalable emission costs almost no parallelism. A watchdog
+        // forces one scenario per wave so the clock measures a single
+        // scenario.
+        let wave_target = runner.threads().max(1) * 4;
+
+        let mut i = 0usize;
+        'entries: while i < self.entries.len() {
+            if skip[i] {
+                i += 1;
+                continue;
+            }
+            let policy_entry = self.entries[i].saved.policy.is_some();
+            let wave: Vec<usize> = if policy_entry {
+                let idx = i;
+                i += 1;
+                vec![idx]
+            } else {
+                let mut wave = Vec::new();
+                let mut wave_jobs = 0usize;
+                while i < self.entries.len() && self.entries[i].saved.policy.is_none() {
+                    if skip[i] {
+                        i += 1;
+                        continue;
+                    }
+                    let s = &scenarios[i];
+                    wave.push(i);
+                    wave_jobs += s.channels * s.replications.max(1) as usize;
+                    i += 1;
+                    if wave_jobs >= wave_target || config.timeout.is_some() {
+                        break;
+                    }
+                }
+                wave
+            };
+
+            let wave_records = if policy_entry {
+                vec![self.run_policy_entry(
+                    runner,
+                    wave[0],
+                    &scenarios[wave[0]],
+                    &fingerprints[wave[0]],
+                    config,
+                    &mut jobs_run,
+                )]
+            } else {
+                self.run_wave(runner, &wave, &scenarios, &fingerprints, config, &mut jobs_run)
+            };
+
+            for record in wave_records {
+                let line = render_compact(&record.to_json());
+                sink.emit(&line).map_err(|e| BatchError::Sink {
+                    error: e.to_string(),
+                })?;
+                if let Some(journal) = journal.as_mut() {
+                    journal
+                        .append(&JournalRecord {
+                            scenario: record.name.clone(),
+                            fingerprint: record.fingerprint.clone(),
+                            status: record.status.as_str().to_string(),
+                            attempts: u64::from(record.attempts),
+                            elapsed_ms: record.job_ms,
+                        })
+                        .map_err(|error| BatchError::Journal { error })?;
+                }
+                let ok = record.status.is_ok();
+                records.push(record);
+                if !ok && config.strict {
+                    strict_aborted = true;
+                    break 'entries;
+                }
+            }
+        }
+
+        let report = BatchReport {
+            records,
+            skipped,
+            strict_aborted,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            jobs: jobs_run,
+        };
+        sink.emit(&render_compact(&report.aggregate_json()))
+            .map_err(|e| BatchError::Sink {
+                error: e.to_string(),
+            })?;
+        sink.done().map_err(|e| BatchError::Sink {
+            error: e.to_string(),
+        })?;
+        Ok(report)
+    }
+
+    /// Runs one wave of open-loop entries as a shared grid with panic
+    /// isolation, the watchdog and the retry budget. Records come back in
+    /// wave (= entry) order.
+    fn run_wave(
+        &self,
+        runner: &Runner,
+        wave: &[usize],
+        scenarios: &[Scenario],
+        fingerprints: &[String],
+        config: &RunConfig,
+        jobs_run: &mut usize,
+    ) -> Vec<ScenarioRecord> {
+        // Compile with panic isolation: a config that blows up in
+        // `compile` (main-thread work) must poison only itself. Compile
+        // panics are deterministic, so they are not retried.
+        let preps: Vec<Result<PlainPrep, String>> = wave
+            .iter()
+            .map(|&idx| {
+                let scenario = &scenarios[idx];
+                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let configs = scenario.compile();
+                    let bers: Vec<ResolvedBer> = (0..configs.len())
+                        .map(|c| scenario.channel_ber(c).model())
+                        .collect();
+                    PlainPrep {
+                        configs,
+                        bers,
+                        replications: scenario.replications.max(1),
+                        shards: scenario.shards.max(1),
+                    }
+                }))
+                .map_err(panic_message)
+            })
+            .collect();
+
+        let timeout_zero = config.timeout == Some(Duration::ZERO);
+        let deadline = config.timeout.map(|t| Instant::now() + t);
+
+        // One job, pure in (prep, channel, replication) — reproduces
+        // Scenario::run_grid's per-job computation exactly, so reductions
+        // stay bit-identical to standalone runs (and to any retry).
+        let run_job = |prep: &PlainPrep, c: usize, r: u64| -> (NetworkAccumulator, f64) {
             let t = Instant::now();
             let mut cfg = prep.configs[c].clone();
             cfg.channel.seed = replication_seed(cfg.channel.seed, r);
@@ -402,84 +751,196 @@ impl BatchSet {
                 sim.run_accumulate(&prep.bers[c])
             };
             (acc, t.elapsed().as_secs_f64() * 1e3)
-        });
-
-        // Reduce per scenario in fixed order, then lay the records out in
-        // entry order (policy slots filled below).
-        let mut records: Vec<Option<ScenarioRecord>> = (0..self.entries.len()).map(|_| None).collect();
-        let mut cursor = results.into_iter();
-        let mut jobs_run = jobs.len();
-        for prep in &preps {
-            let scenario = &scenarios[prep.entry];
-            let mut accs: Vec<Vec<NetworkAccumulator>> = Vec::with_capacity(prep.configs.len());
-            let mut job_ms = 0.0;
-            for _ in 0..prep.configs.len() {
-                let mut reps = Vec::with_capacity(prep.replications as usize);
-                for _ in 0..prep.replications {
-                    let (acc, ms) = cursor.next().expect("one result per grid job");
-                    reps.push(acc);
-                    job_ms += ms;
-                }
-                accs.push(reps);
-            }
-            let mut outcome = ScenarioOutcome::reduce(scenario.name.clone(), &accs);
-            outcome.gts_denied = prep
-                .configs
-                .iter()
-                .map(|c| c.channel.cfp.gts_denied)
-                .collect();
-            records[prep.entry] = Some(ScenarioRecord {
-                name: self.entries[prep.entry].name.clone(),
-                seed: scenario.seed,
-                outcome,
-                policy: None,
-                job_ms,
-            });
-        }
-
-        // Closed-loop entries: inherently sequential round loops, run on
-        // the same pool after the grid drains.
-        for (i, (entry, scenario)) in self.entries.iter().zip(&scenarios).enumerate() {
-            let Some(choice) = entry.saved.policy else {
-                continue;
-            };
-            let t = Instant::now();
-            let mut policy = choice.build();
-            let trace = PolicyEngine::new(scenario.clone())
-                .with_rounds(choice.rounds() as usize)
-                .run(runner, &mut *policy);
-            let rounds_run = trace.rounds.len();
-            jobs_run += rounds_run * scenario.channels * scenario.replications.max(1) as usize;
-            let outcome = trace
-                .rounds
-                .into_iter()
-                .last()
-                .map(|round| round.outcome)
-                .expect("a policy loop runs at least one round");
-            records[i] = Some(ScenarioRecord {
-                name: entry.name.clone(),
-                seed: scenario.seed,
-                outcome,
-                policy: Some((choice, rounds_run)),
-                job_ms: t.elapsed().as_secs_f64() * 1e3,
-            });
-        }
-
-        let records: Vec<ScenarioRecord> = records
-            .into_iter()
-            .map(|r| r.expect("every entry produces a record"))
-            .collect();
-        for record in &records {
-            writeln!(sink, "{}", render_compact(&record.to_json()))?;
-        }
-
-        let report = BatchReport {
-            records,
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-            jobs: jobs_run,
         };
-        writeln!(sink, "{}", render_compact(&report.aggregate_json()))?;
-        Ok(report)
+
+        // Attempt 1: every compiled prep's jobs on one shared grid.
+        let grid_jobs: Vec<(usize, usize, u64)> = preps
+            .iter()
+            .enumerate()
+            .filter_map(|(p, prep)| prep.as_ref().ok().map(|prep| (p, prep)))
+            .flat_map(|(p, prep)| {
+                (0..prep.configs.len()).flat_map(move |c| {
+                    (0..prep.replications as u64).map(move |r| (p, c, r))
+                })
+            })
+            .collect();
+        let results: Vec<GridJobResult> = runner.map_catching(&grid_jobs, |_, &(p, c, r)| {
+            if timeout_zero || deadline.is_some_and(|d| Instant::now() >= d) {
+                return None;
+            }
+            let prep = preps[p].as_ref().expect("only compiled preps enqueue jobs");
+            Some(run_job(prep, c, r))
+        });
+        *jobs_run += grid_jobs.len();
+
+        let mut records = Vec::with_capacity(wave.len());
+        let mut cursor = results.into_iter();
+        for (p, prep) in preps.iter().enumerate() {
+            let idx = wave[p];
+            let scenario = &scenarios[idx];
+            let base = ScenarioRecord {
+                name: self.entries[idx].name.clone(),
+                seed: scenario.seed,
+                fingerprint: fingerprints[idx].clone(),
+                status: ScenarioStatus::Ok,
+                attempts: 1,
+                channels: scenario.channels,
+                outcome: None,
+                policy: None,
+                job_ms: 0.0,
+            };
+            let prep = match prep {
+                Err(panic) => {
+                    records.push(ScenarioRecord {
+                        status: ScenarioStatus::Failed {
+                            panic: panic.clone(),
+                        },
+                        ..base
+                    });
+                    continue;
+                }
+                Ok(prep) => prep,
+            };
+            let njobs = prep.configs.len() * prep.replications as usize;
+            let mut attempt = classify_attempt(cursor.by_ref().take(njobs).collect());
+            let mut attempts = 1u32;
+
+            // Retry budget: only panicked attempts retry (timeouts would
+            // just burn another budget on the same runaway config).
+            while matches!(attempt, AttemptResult::Panicked(_)) && attempts <= config.retries {
+                attempts += 1;
+                let retry_jobs: Vec<(usize, u64)> = (0..prep.configs.len())
+                    .flat_map(|c| (0..prep.replications as u64).map(move |r| (c, r)))
+                    .collect();
+                let retry_deadline = config.timeout.map(|t| Instant::now() + t);
+                let retry: Vec<GridJobResult> =
+                    runner.map_catching(&retry_jobs, |_, &(c, r)| {
+                        if timeout_zero || retry_deadline.is_some_and(|d| Instant::now() >= d) {
+                            return None;
+                        }
+                        Some(run_job(prep, c, r))
+                    });
+                *jobs_run += retry_jobs.len();
+                attempt = classify_attempt(retry);
+            }
+
+            records.push(match attempt {
+                AttemptResult::Panicked(panic) => ScenarioRecord {
+                    status: ScenarioStatus::Failed { panic },
+                    attempts,
+                    ..base
+                },
+                AttemptResult::TimedOut => ScenarioRecord {
+                    status: ScenarioStatus::Timeout,
+                    attempts,
+                    ..base
+                },
+                AttemptResult::Done(done) => {
+                    let mut accs: Vec<Vec<NetworkAccumulator>> =
+                        Vec::with_capacity(prep.configs.len());
+                    let mut job_ms = 0.0;
+                    let mut it = done.into_iter();
+                    for _ in 0..prep.configs.len() {
+                        let mut reps = Vec::with_capacity(prep.replications as usize);
+                        for _ in 0..prep.replications {
+                            let (acc, ms) = it.next().expect("one result per grid job");
+                            reps.push(acc);
+                            job_ms += ms;
+                        }
+                        accs.push(reps);
+                    }
+                    let mut outcome = ScenarioOutcome::reduce(scenario.name.clone(), &accs);
+                    outcome.gts_denied = prep
+                        .configs
+                        .iter()
+                        .map(|c| c.channel.cfp.gts_denied)
+                        .collect();
+                    ScenarioRecord {
+                        attempts,
+                        outcome: Some(outcome),
+                        job_ms,
+                        ..base
+                    }
+                }
+            });
+        }
+        records
+    }
+
+    /// Runs one closed-loop (policy) entry with panic isolation and the
+    /// retry budget. The watchdog is checked before the entry starts (a
+    /// policy loop is inherently sequential; only the `Some(ZERO)`
+    /// deterministic hook can interrupt it).
+    fn run_policy_entry(
+        &self,
+        runner: &Runner,
+        idx: usize,
+        scenario: &Scenario,
+        fingerprint: &str,
+        config: &RunConfig,
+        jobs_run: &mut usize,
+    ) -> ScenarioRecord {
+        let entry = &self.entries[idx];
+        let choice = entry.saved.policy.expect("policy entry");
+        let base = ScenarioRecord {
+            name: entry.name.clone(),
+            seed: scenario.seed,
+            fingerprint: fingerprint.to_string(),
+            status: ScenarioStatus::Ok,
+            attempts: 1,
+            channels: scenario.channels,
+            outcome: None,
+            policy: None,
+            job_ms: 0.0,
+        };
+        if config.timeout == Some(Duration::ZERO) {
+            return ScenarioRecord {
+                status: ScenarioStatus::Timeout,
+                ..base
+            };
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let t = Instant::now();
+            let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut policy = choice.build();
+                PolicyEngine::new(scenario.clone())
+                    .with_rounds(choice.rounds() as usize)
+                    .run(runner, &mut *policy)
+            }));
+            match run {
+                Ok(trace) => {
+                    let rounds_run = trace.rounds.len();
+                    *jobs_run +=
+                        rounds_run * scenario.channels * scenario.replications.max(1) as usize;
+                    let outcome = trace
+                        .rounds
+                        .into_iter()
+                        .last()
+                        .map(|round| round.outcome)
+                        .expect("a policy loop runs at least one round");
+                    return ScenarioRecord {
+                        attempts,
+                        outcome: Some(outcome),
+                        policy: Some((choice, rounds_run)),
+                        job_ms: t.elapsed().as_secs_f64() * 1e3,
+                        ..base.clone()
+                    };
+                }
+                Err(payload) => {
+                    if attempts > config.retries {
+                        return ScenarioRecord {
+                            status: ScenarioStatus::Failed {
+                                panic: panic_message(payload),
+                            },
+                            attempts,
+                            ..base.clone()
+                        };
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -664,8 +1125,10 @@ fn summary_json(s: &NetworkSummary) -> Node {
 }
 
 impl ScenarioRecord {
-    /// The streamed record: identity, seed, timing, the overall summary
-    /// and the per-channel breakdown.
+    /// The streamed record: identity, seed, resume fingerprint, status,
+    /// timing, the overall summary and the per-channel breakdown. A
+    /// non-`ok` record carries `"overall":null`, empty per-channel
+    /// arrays and (for failures) the panic text under `"panic"`.
     pub fn to_json(&self) -> Node {
         let policy = match &self.policy {
             None => jval(Value::Null),
@@ -674,67 +1137,77 @@ impl ScenarioRecord {
                 ("rounds_run", juint(*rounds_run as u64)),
             ]),
         };
+        let panic = match &self.status {
+            ScenarioStatus::Failed { panic } => jval(Value::Str(panic.clone())),
+            _ => jval(Value::Null),
+        };
+        let (overall, per_channel, gts_denied) = match &self.outcome {
+            Some(outcome) => (
+                summary_json(&outcome.overall),
+                jval(Value::Arr(
+                    outcome.per_channel.iter().map(summary_json).collect(),
+                )),
+                jval(Value::Arr(
+                    outcome.gts_denied.iter().map(|&d| juint(d as u64)).collect(),
+                )),
+            ),
+            None => (
+                jval(Value::Null),
+                jval(Value::Arr(Vec::new())),
+                jval(Value::Arr(Vec::new())),
+            ),
+        };
         jobj(vec![
             ("scenario", jval(Value::Str(self.name.clone()))),
             ("seed", juint(self.seed)),
-            ("channels", juint(self.outcome.per_channel.len() as u64)),
+            ("fingerprint", jval(Value::Str(self.fingerprint.clone()))),
+            ("status", jval(Value::Str(self.status.as_str().to_string()))),
+            ("attempts", juint(u64::from(self.attempts))),
+            ("channels", juint(self.channels as u64)),
             ("job_ms", jnum(self.job_ms)),
             ("policy", policy),
-            ("overall", summary_json(&self.outcome.overall)),
-            (
-                "per_channel",
-                jval(Value::Arr(
-                    self.outcome.per_channel.iter().map(summary_json).collect(),
-                )),
-            ),
-            (
-                "gts_denied_per_channel",
-                jval(Value::Arr(
-                    self.outcome
-                        .gts_denied
-                        .iter()
-                        .map(|&d| juint(d as u64))
-                        .collect(),
-                )),
-            ),
+            ("panic", panic),
+            ("overall", overall),
+            ("per_channel", per_channel),
+            ("gts_denied_per_channel", gts_denied),
         ])
     }
 }
 
 impl BatchReport {
-    /// The final aggregate record: batch-level counts, timing and pooled
-    /// transaction totals.
+    /// The final aggregate record: batch-level counts (including the
+    /// skipped/failed/timed-out tallies resume and isolation produce),
+    /// timing and pooled transaction totals over the `ok` records.
     pub fn aggregate_json(&self) -> Node {
-        let total_transactions: u64 = self
-            .records
+        let outcomes: Vec<&ScenarioOutcome> =
+            self.records.iter().filter_map(|r| r.outcome.as_ref()).collect();
+        let total_transactions: u64 = outcomes.iter().map(|o| o.overall.transactions).sum();
+        let total_failures: f64 = outcomes
             .iter()
-            .map(|r| r.outcome.overall.transactions)
-            .sum();
-        let total_failures: f64 = self
-            .records
-            .iter()
-            .map(|r| {
-                r.outcome.overall.failure_ratio.value() * r.outcome.overall.transactions as f64
-            })
+            .map(|o| o.overall.failure_ratio.value() * o.overall.transactions as f64)
             .sum();
         let pooled_failure = if total_transactions > 0 {
             total_failures / total_transactions as f64
         } else {
             0.0
         };
-        let total_deaths: u64 = self.records.iter().map(|r| r.outcome.overall.deaths).sum();
-        let mean_power = if self.records.is_empty() {
+        let total_deaths: u64 = outcomes.iter().map(|o| o.overall.deaths).sum();
+        let mean_power = if outcomes.is_empty() {
             0.0
         } else {
-            self.records
+            outcomes
                 .iter()
-                .map(|r| r.outcome.overall.mean_node_power.microwatts())
+                .map(|o| o.overall.mean_node_power.microwatts())
                 .sum::<f64>()
-                / self.records.len() as f64
+                / outcomes.len() as f64
         };
         jobj(vec![
             ("aggregate", jval(Value::Bool(true))),
             ("scenarios", juint(self.records.len() as u64)),
+            ("skipped", juint(self.skipped as u64)),
+            ("failed", juint(self.failed() as u64)),
+            ("timed_out", juint(self.timed_out() as u64)),
+            ("strict_aborted", jval(Value::Bool(self.strict_aborted))),
             ("jobs", juint(self.jobs as u64)),
             ("wall_ms", jnum(self.wall_ms)),
             ("scenarios_per_sec", jnum(self.scenarios_per_sec())),
@@ -783,6 +1256,7 @@ mod tests {
         let runner = Runner::serial();
         let mut sink = Vec::new();
         let report = set.run(&runner, &mut sink).unwrap();
+        assert!(report.all_ok());
         for record in &report.records {
             let alone = set
                 .entries()
@@ -790,13 +1264,11 @@ mod tests {
                 .find(|e| e.name == record.name)
                 .map(|e| set.effective_scenario(e).run(&runner))
                 .unwrap();
+            let outcome = record.outcome.as_ref().unwrap();
+            assert_eq!(outcome.overall.mean_node_power, alone.overall.mean_node_power);
+            assert_eq!(outcome.overall.failure_ratio, alone.overall.failure_ratio);
             assert_eq!(
-                record.outcome.overall.mean_node_power,
-                alone.overall.mean_node_power
-            );
-            assert_eq!(record.outcome.overall.failure_ratio, alone.overall.failure_ratio);
-            assert_eq!(
-                record.outcome.overall.power_standard_error,
+                outcome.overall.power_standard_error,
                 alone.overall.power_standard_error
             );
         }
@@ -854,6 +1326,173 @@ mod tests {
         let (choice, rounds_run) = report.records[0].policy.unwrap();
         assert_eq!(choice.name(), "static");
         assert!(rounds_run >= 1);
-        assert!(report.records[0].outcome.overall.transactions > 0);
+        assert!(report.records[0].outcome.as_ref().unwrap().overall.transactions > 0);
+    }
+
+    /// A scenario that passes [`Scenario::validate`] but panics in
+    /// `compile` (the deliberate poison used by the resilience suite):
+    /// `validate` does not check the disc radius sign, and
+    /// `uniform_disc` asserts it is positive.
+    fn poisoned(name: &str) -> BatchEntry {
+        let mut e = entry(name, 3);
+        e.saved.scenario.deployment = DeploymentSpec::Disc {
+            radius_m: -1.0,
+            exponent: 3.0,
+            shadowing_db: 0.0,
+        };
+        e
+    }
+
+    #[test]
+    fn a_panicking_scenario_poisons_only_itself() {
+        let set = BatchSet::from_entries(
+            vec![entry("a", 11), poisoned("boom"), entry("b", 22)],
+            None,
+        )
+        .unwrap();
+        let mut sink = WriteSink::new(Vec::new());
+        let report = set
+            .run_with(&Runner::serial(), &mut sink, &RunConfig::default())
+            .unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert!(!report.all_ok());
+        assert_eq!(report.failed(), 1);
+        let bad = report.records.iter().find(|r| r.name == "boom").unwrap();
+        assert_eq!(bad.attempts, 1);
+        match &bad.status {
+            ScenarioStatus::Failed { panic } => {
+                assert!(panic.contains("radius"), "panic text: {panic}")
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(bad.outcome.is_none());
+        for name in ["a", "b"] {
+            let good = report.records.iter().find(|r| r.name == name).unwrap();
+            assert!(good.status.is_ok());
+            assert!(good.outcome.is_some());
+        }
+        // The failed record is typed JSONL with a panic field.
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let line = text.lines().find(|l| l.contains("\"boom\"")).unwrap();
+        assert!(line.contains("\"status\":\"failed\""), "{line}");
+        assert!(line.contains("\"panic\":\""), "{line}");
+        assert!(line.contains("\"overall\":null"), "{line}");
+    }
+
+    #[test]
+    fn strict_mode_stops_at_the_first_failure() {
+        let set = BatchSet::from_entries(
+            vec![entry("a", 11), poisoned("boom"), entry("b", 22)],
+            None,
+        )
+        .unwrap();
+        let mut sink = WriteSink::new(Vec::new());
+        let config = RunConfig {
+            strict: true,
+            ..RunConfig::default()
+        };
+        let report = set.run_with(&Runner::serial(), &mut sink, &config).unwrap();
+        assert!(report.strict_aborted);
+        assert!(!report.all_ok());
+        // `a` may share the failing wave, but `b` never runs.
+        assert!(report.records.iter().all(|r| r.name != "b"));
+        assert!(report
+            .records
+            .iter()
+            .any(|r| matches!(r.status, ScenarioStatus::Failed { .. })));
+    }
+
+    #[test]
+    fn zero_timeout_times_every_scenario_out_deterministically() {
+        let mut policy_entry = entry("looped", 5);
+        policy_entry.saved.policy = Some(PolicyChoice::Static { rounds: 2 });
+        let set = BatchSet::from_entries(vec![entry("a", 11), policy_entry], None).unwrap();
+        let mut sink = WriteSink::new(Vec::new());
+        let config = RunConfig {
+            timeout: Some(Duration::ZERO),
+            ..RunConfig::default()
+        };
+        let report = set.run_with(&Runner::serial(), &mut sink, &config).unwrap();
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.timed_out(), 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"status\":\"timeout\""))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn journal_resume_skips_completed_scenarios_and_reruns_changed_ones() {
+        let dir = std::env::temp_dir();
+        let journal = dir.join(format!("wsn_batch_resume_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&journal);
+
+        let runner = Runner::serial();
+        let config = RunConfig {
+            journal: Some(journal.clone()),
+            ..RunConfig::default()
+        };
+        let set = BatchSet::from_entries(vec![entry("a", 11), entry("b", 22)], None).unwrap();
+        let mut sink = WriteSink::new(Vec::new());
+        let first = set.run_with(&runner, &mut sink, &config).unwrap();
+        assert!(first.all_ok());
+
+        // Resume with nothing changed: everything skips, nothing re-runs.
+        let resume = RunConfig {
+            resume: true,
+            ..config.clone()
+        };
+        let mut sink = WriteSink::new(Vec::new());
+        let second = set.run_with(&runner, &mut sink, &resume).unwrap();
+        assert_eq!(second.skipped, 2);
+        assert_eq!(second.records.len(), 0);
+        assert_eq!(second.jobs, 0);
+
+        // Change one scenario's config: only it re-runs, bit-identical to
+        // a fresh standalone run.
+        let changed = BatchSet::from_entries(vec![entry("a", 11), entry("b", 23)], None).unwrap();
+        let mut sink = WriteSink::new(Vec::new());
+        let third = changed.run_with(&runner, &mut sink, &resume).unwrap();
+        assert_eq!(third.skipped, 1);
+        assert_eq!(third.records.len(), 1);
+        assert_eq!(third.records[0].name, "b");
+        let alone = changed.effective_scenario(&changed.entries()[1]).run(&runner);
+        assert_eq!(
+            third.records[0].outcome.as_ref().unwrap().overall.mean_node_power,
+            alone.overall.mean_node_power
+        );
+        std::fs::remove_file(&journal).unwrap();
+    }
+
+    #[test]
+    fn resume_reruns_previously_failed_scenarios() {
+        let dir = std::env::temp_dir();
+        let journal = dir.join(format!("wsn_batch_refail_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&journal);
+
+        let runner = Runner::serial();
+        let config = RunConfig {
+            journal: Some(journal.clone()),
+            ..RunConfig::default()
+        };
+        let set = BatchSet::from_entries(vec![poisoned("boom")], None).unwrap();
+        let mut sink = WriteSink::new(Vec::new());
+        let first = set.run_with(&runner, &mut sink, &config).unwrap();
+        assert_eq!(first.failed(), 1);
+
+        // A failed record is never skippable: the same scenario re-runs.
+        let resume = RunConfig {
+            resume: true,
+            ..config
+        };
+        let mut sink = WriteSink::new(Vec::new());
+        let second = set.run_with(&runner, &mut sink, &resume).unwrap();
+        assert_eq!(second.skipped, 0);
+        assert_eq!(second.records.len(), 1);
+        assert_eq!(second.failed(), 1);
+        std::fs::remove_file(&journal).unwrap();
     }
 }

@@ -77,6 +77,19 @@
 //! or manifest of saved scenarios as one deterministic job grid on a
 //! shared worker pool, streaming per-scenario JSON result records.
 //!
+//! The batch service is a **fault-tolerant farm**: [`journal`] keeps an
+//! fsync'd progress journal keyed by config fingerprint
+//! ([`persist::fingerprint_scenario`]) so a killed run resumes exactly
+//! where it stopped ([`batch::RunConfig::resume`]), records flow through
+//! a retrying [`sink::ResultSink`] (plain writers via [`sink::WriteSink`],
+//! or [`sink::TcpSink`] with bounded exponential backoff, write timeouts
+//! and an on-disk overflow queue), and each scenario is isolated — a
+//! panicking config or a wall-clock overrun becomes a typed
+//! `"status":"failed"` / `"timeout"` record while the rest of the farm
+//! keeps running ([`runner::Runner::map_catching`]). The journal and
+//! record schemas — including the `status` field and the sink/backoff
+//! knobs — are documented in `SCHEMA.md` alongside the scenario format.
+//!
 //! Everything is reproducible: equal seeds give bit-identical traces, and
 //! every parallel reduction — contention sweeps, network replications,
 //! whole scenarios, closed policy loops — is bit-identical to the serial
@@ -102,6 +115,7 @@ pub mod cfp;
 pub mod contention;
 pub mod events;
 pub mod faults;
+pub mod journal;
 pub mod network;
 pub mod persist;
 pub mod policy;
@@ -111,9 +125,16 @@ pub mod scenario;
 pub mod sink;
 pub mod stats;
 
-pub use batch::{scenario_master_seed, BatchEntry, BatchError, BatchReport, BatchSet, ScenarioRecord};
+pub use batch::{
+    scenario_master_seed, BatchEntry, BatchError, BatchReport, BatchSet, RunConfig,
+    ScenarioRecord, ScenarioStatus,
+};
+pub use journal::{
+    load_journal, repair_jsonl_tail, JournalError, JournalLoad, JournalRecord, JournalWriter,
+};
 pub use persist::{
-    load_scenario, save_scenario, ParseError, PolicyChoice, SaveError, SavedScenario,
+    fingerprint_scenario, load_scenario, save_scenario, ParseError, PolicyChoice, SaveError,
+    SavedScenario,
 };
 
 pub use cfp::{plan_channel_cfp, CfpPlan, DownlinkOutcome, DownlinkRecord, GtsRecord};
@@ -132,10 +153,12 @@ pub use policy::{
     ProportionalFair, RoundObservation, StaticAllocation,
 };
 pub use rng::Xoshiro256StarStar;
-pub use runner::{replication_seed, Runner, THREADS_ENV};
+pub use runner::{replication_seed, JobPanic, Runner, THREADS_ENV};
 pub use scenario::{
     BerChoice, ChannelAllocation, DeploymentSpec, ResolvedBer, Scenario, ScenarioOutcome,
     TimedScenarioRun, TrafficSpec,
 };
-pub use sink::{StatsSink, TraceCollector, TraceSink};
+pub use sink::{
+    ResultSink, SinkCounters, StatsSink, TcpSink, TraceCollector, TraceSink, WriteSink,
+};
 pub use stats::{Accumulator, ContentionAccumulator, ContentionStats, Counter, Extrema};

@@ -1107,6 +1107,31 @@ pub fn save_scenario(saved: &SavedScenario) -> Result<String, SaveError> {
     Ok(render_document(&encode_scenario(saved)?))
 }
 
+/// Stable config fingerprint: FNV-1a 64 over the canonical format-1
+/// rendering, printed as 16 lowercase hex digits.
+///
+/// The canonical rendering already embeds every field that affects a run —
+/// including the seed and the policy choice — so two saved scenarios share a
+/// fingerprint exactly when a batch would produce bit-identical records for
+/// them. The resume journal matches on this value: a changed file gets a new
+/// fingerprint and is re-run instead of being skipped.
+///
+/// Scenarios format 1 cannot represent still get a digest (over the debug
+/// rendering, which `save_scenario` never emits), so they never collide with
+/// a journaled fingerprint and are always re-run.
+pub fn fingerprint_scenario(saved: &SavedScenario) -> String {
+    let text = match save_scenario(saved) {
+        Ok(text) => text,
+        Err(e) => format!("unsaveable:{e}:{saved:?}"),
+    };
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in text.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{hash:016x}")
+}
+
 // ---------------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------------

@@ -49,6 +49,8 @@
 //! perturb the determinism guarantee; the `workspace_reuse` suite pins
 //! that.
 
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -85,6 +87,39 @@ fn splitmix64_mix(mut z: u64) -> u64 {
 /// ```
 pub fn replication_seed(master: u64, index: u64) -> u64 {
     splitmix64_mix(master.wrapping_add((index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// A job that panicked under [`Runner::map_catching`], reduced to its
+/// panic message.
+///
+/// The runner's plain [`Runner::map`] propagates job panics to the caller
+/// — correct for in-code experiments, fatal for a batch farm where one
+/// poisoned saved scenario must not take down 10 000 healthy ones.
+/// [`Runner::map_catching`] confines each panic to its own job slot and
+/// hands the caller this typed residue instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload, downcast to text where possible.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A fixed-size pool of scoped worker threads executing embarrassingly
@@ -175,6 +210,34 @@ impl Runner {
         debug_assert_eq!(pairs.len(), jobs.len(), "every job produces one result");
         pairs.sort_unstable_by_key(|&(i, _)| i);
         pairs.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Like [`map`](Self::map), but a panicking job yields
+    /// `Err(`[`JobPanic`]`)` in its slot instead of taking down the whole
+    /// map call (and, under parallelism, the sibling workers' results).
+    ///
+    /// Each job runs under `catch_unwind`; the `AssertUnwindSafe` wrapper
+    /// is sound here because jobs are pure functions of their index — a
+    /// panicked job's only observable effect is its discarded result
+    /// slot, so no shared state can be seen half-mutated. Results keep
+    /// the deterministic job-index order; which jobs panic is as
+    /// reproducible as any other job output.
+    ///
+    /// The caught panic still flows through the global panic hook first
+    /// (so the default "thread panicked" line appears on stderr once per
+    /// poisoned job); the process, and every other job, keeps running.
+    pub fn map_catching<T, R, F>(&self, jobs: &[T], f: F) -> Vec<Result<R, JobPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map(jobs, |i, job| {
+            std::panic::catch_unwind(AssertUnwindSafe(|| f(i, job)))
+                .map_err(|payload| JobPanic {
+                    message: panic_message(payload),
+                })
+        })
     }
 
     /// Simulates every configuration of a parameter sweep in parallel,
@@ -435,6 +498,43 @@ mod tests {
             assert_eq!(serial.mean_delay, parallel.mean_delay);
             assert_eq!(serial.power_standard_error, parallel.power_standard_error);
         }
+    }
+
+    #[test]
+    fn map_catching_confines_panics_to_their_job_slot() {
+        let jobs: Vec<u64> = (0..23).collect();
+        for threads in [1, 4] {
+            let runner = Runner::with_threads(threads);
+            let out = runner.map_catching(&jobs, |_, &x| {
+                if x % 7 == 3 {
+                    panic!("poisoned job {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), jobs.len(), "threads={threads}");
+            for (i, result) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let err = result.as_ref().unwrap_err();
+                    assert_eq!(err.message, format!("poisoned job {i}"));
+                } else {
+                    assert_eq!(*result.as_ref().unwrap(), i as u64 * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_catching_is_deterministic_across_thread_counts() {
+        let jobs: Vec<u64> = (0..31).collect();
+        let run = |threads| {
+            Runner::with_threads(threads).map_catching(&jobs, |_, &x| {
+                if x == 11 {
+                    panic!("always fails");
+                }
+                x
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! The batch farm's fault-tolerance contract, end to end:
+//!
+//! * **kill and resume** — a run killed mid-farm (torn journal tail, torn
+//!   output tail) resumes from its journal, and the concatenated record
+//!   stream is bit-identical (modulo per-record wall-clock) to an
+//!   uninterrupted run over the committed fixture set;
+//! * **flaky TCP sink** — an in-process listener that drops the
+//!   connection every N lines still receives every record at least once
+//!   (ack mode), through seeded-backoff reconnects;
+//! * **overflow queue** — with the peer down the farm never blocks:
+//!   records spill to the on-disk queue and drain, in order, once the
+//!   peer returns.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use wsn_sim::scenario::{DeploymentSpec, Scenario};
+use wsn_sim::{
+    load_journal, repair_jsonl_tail, BatchEntry, BatchSet, ResultSink, RunConfig, Runner,
+    SavedScenario, TcpSink, WriteSink,
+};
+
+/// The committed fixture directory at the repository root.
+fn fixture_batch() -> BatchSet {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    BatchSet::load_dir(&dir).expect("the committed fixture directory loads")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("wsn_resilience_{tag}_{}", std::process::id()))
+}
+
+/// A cheap open-loop entry for the sink tests (the fixture set is
+/// reserved for the resume test, which needs the committed files).
+fn tiny_entry(name: &str, seed: u64) -> BatchEntry {
+    let scenario = Scenario::new(
+        name,
+        2,
+        8,
+        DeploymentSpec::UniformLossGrid {
+            min_db: 60.0,
+            max_db: 85.0,
+        },
+    )
+    .with_superframes(3)
+    .with_replications(2)
+    .with_seed(seed);
+    BatchEntry {
+        name: name.to_string(),
+        path: PathBuf::from(format!("{name}.json")),
+        saved: SavedScenario::open_loop(scenario),
+    }
+}
+
+/// Drops the per-record wall-clock field — the only nondeterministic
+/// bytes in a scenario record.
+fn strip_job_ms(line: &str) -> String {
+    let start = line.find("\"job_ms\":").expect("record carries job_ms");
+    let end = start + line[start..].find(',').expect("job_ms is not last") + 1;
+    format!("{}{}", &line[..start], &line[end..])
+}
+
+/// Scenario record lines of a captured sink (everything but the final
+/// aggregate line), wall-clock stripped.
+fn record_lines(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| !l.contains("\"aggregate\":true"))
+        .map(strip_job_ms)
+        .collect()
+}
+
+/// The committed-fixture kill-and-resume contract: tear both the journal
+/// and the output file mid-record (what a `kill -9` under a buffered
+/// writer leaves behind), repair, resume — and the deduplicated
+/// concatenation of surviving + resumed records is bit-identical to an
+/// uninterrupted run.
+#[test]
+fn killed_and_resumed_fixture_batch_matches_an_uninterrupted_run() {
+    let set = fixture_batch();
+    assert_eq!(set.entries().len(), 6, "the committed fixture set");
+    let runner = Runner::with_threads(2);
+    let journal_path = temp_path("resume_journal");
+    let output_path = temp_path("resume_output");
+    let _ = std::fs::remove_file(&journal_path);
+
+    // Reference: the uninterrupted run.
+    let mut reference_sink = WriteSink::new(Vec::new());
+    let clean = set
+        .run_with(&runner, &mut reference_sink, &RunConfig::default())
+        .unwrap();
+    assert!(clean.all_ok());
+    let reference: BTreeSet<String> = record_lines(
+        std::str::from_utf8(&reference_sink.into_inner()).unwrap(),
+    )
+    .into_iter()
+    .collect();
+    assert_eq!(reference.len(), 6);
+
+    // First leg: run with a journal, then simulate the kill. The journal
+    // is fsync'd per record, so it tears mid-append of record 4; the
+    // output rides a buffered writer, so an arbitrary byte prefix is on
+    // disk — here 4 full lines plus half of line 5.
+    let mut first_sink = WriteSink::new(Vec::new());
+    let config = RunConfig {
+        journal: Some(journal_path.clone()),
+        ..RunConfig::default()
+    };
+    set.run_with(&runner, &mut first_sink, &config).unwrap();
+    let first_text = String::from_utf8(first_sink.into_inner()).unwrap();
+    let first_lines: Vec<&str> = first_text.lines().collect();
+    let torn_output = format!(
+        "{}\n{}",
+        first_lines[..4].join("\n"),
+        &first_lines[4][..first_lines[4].len() / 2]
+    );
+    std::fs::write(&output_path, torn_output).unwrap();
+
+    let journal_text = std::fs::read_to_string(&journal_path).unwrap();
+    let journal_lines: Vec<&str> = journal_text.lines().collect();
+    assert_eq!(journal_lines.len(), 6);
+    let torn_journal = format!(
+        "{}\n{}",
+        journal_lines[..3].join("\n"),
+        &journal_lines[3][..journal_lines[3].len() / 2]
+    );
+    std::fs::write(&journal_path, torn_journal).unwrap();
+
+    // Second leg: repair the torn output tail (what `batch_run --resume
+    // --out` does) and resume from the journal. Three scenarios are
+    // journaled `ok` and skip; the torn fourth and the never-run tail
+    // re-run.
+    let dropped = repair_jsonl_tail(&output_path).unwrap();
+    assert!(dropped > 0, "the torn output line is dropped");
+    let mut resume_sink = WriteSink::new(Vec::new());
+    let resume_config = RunConfig {
+        resume: true,
+        ..config
+    };
+    let resumed = set
+        .run_with(&runner, &mut resume_sink, &resume_config)
+        .unwrap();
+    assert_eq!(resumed.skipped, 3);
+    assert_eq!(resumed.records.len(), 3);
+    assert!(resumed.all_ok());
+
+    // The concatenated stream: 4 surviving lines + 3 resumed records = 7,
+    // with scenario 4 duplicated (it was emitted before its journal
+    // append tore — emit-then-journal duplicates, never loses). The
+    // deduplicated set is bit-identical to the uninterrupted run.
+    let mut combined: Vec<String> =
+        record_lines(&std::fs::read_to_string(&output_path).unwrap());
+    combined.extend(record_lines(
+        std::str::from_utf8(resume_sink.into_inner().as_slice()).unwrap(),
+    ));
+    assert_eq!(combined.len(), 7, "one duplicate from the torn append");
+    let combined: BTreeSet<String> = combined.into_iter().collect();
+    assert_eq!(combined, reference);
+
+    // The repaired-and-appended journal now carries an `ok` latest record
+    // for every fixture.
+    let journal = load_journal(&journal_path).unwrap();
+    for entry in set.entries() {
+        let latest = journal.latest(&entry.name).expect("every fixture journaled");
+        assert_eq!(latest.status, "ok");
+    }
+
+    std::fs::remove_file(&journal_path).unwrap();
+    std::fs::remove_file(&output_path).unwrap();
+}
+
+/// An in-process TCP consumer that acks each line and drops the
+/// connection after `lines_per_conn` lines. Received lines accumulate in
+/// order across connections.
+fn flaky_listener(lines_per_conn: usize) -> (String, Arc<Mutex<Vec<String>>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap().to_string();
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&received);
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { break };
+            let mut reader = BufReader::new(stream);
+            for _ in 0..lines_per_conn {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(n) if n > 0 => {
+                        sink.lock()
+                            .unwrap()
+                            .push(line.trim_end_matches('\n').to_string());
+                        if reader.get_mut().write_all(b"+").is_err() {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            // Dropping the stream mid-conversation is the fault injection.
+        }
+    });
+    (addr, received)
+}
+
+/// A peer that dies every 2 lines still ends up with every record: the
+/// ack turns delivery into at-least-once, and unacked lines are retried
+/// on the next (seeded-backoff) reconnect.
+#[test]
+fn flaky_tcp_sink_delivers_every_record_at_least_once() {
+    let set = BatchSet::from_entries(
+        vec![tiny_entry("a", 11), tiny_entry("b", 22), tiny_entry("c", 33)],
+        None,
+    )
+    .unwrap();
+    let runner = Runner::serial();
+
+    let mut reference_sink = WriteSink::new(Vec::new());
+    set.run_with(&runner, &mut reference_sink, &RunConfig::default())
+        .unwrap();
+    let reference: BTreeSet<String> = record_lines(
+        std::str::from_utf8(&reference_sink.into_inner()).unwrap(),
+    )
+    .into_iter()
+    .collect();
+
+    let (addr, received) = flaky_listener(2);
+    let mut sink = TcpSink::new(addr)
+        .with_seed(7)
+        .with_ack(true)
+        .with_write_timeout(Duration::from_secs(2))
+        .with_backoff(Duration::from_millis(1), Duration::from_millis(8), 20);
+    let report = set.run_with(&runner, &mut sink, &RunConfig::default()).unwrap();
+    assert!(report.all_ok());
+    let counters = sink.counters();
+    assert!(
+        counters.reconnects >= 1,
+        "4 lines over a drop-every-2 peer must reconnect: {counters:?}"
+    );
+
+    let received = received.lock().unwrap().clone();
+    assert!(received.len() >= 4, "3 records + aggregate, maybe re-sent");
+    let unique: BTreeSet<String> = received.into_iter().collect();
+    assert_eq!(
+        unique.iter().filter(|l| l.contains("\"aggregate\":true")).count(),
+        1
+    );
+    let records: BTreeSet<String> = unique
+        .iter()
+        .filter(|l| !l.contains("\"aggregate\":true"))
+        .map(|l| strip_job_ms(l))
+        .collect();
+    assert_eq!(records, reference);
+}
+
+/// With an overflow queue and the peer down, `emit` never blocks: every
+/// line spills to disk, and the final drain delivers the whole backlog in
+/// order once the peer is back.
+#[test]
+fn overflow_queue_spills_while_the_peer_is_down_and_drains_on_return() {
+    // Reserve a port, then free it: connects fail fast until the peer
+    // "comes back" on the same address.
+    let placeholder = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = placeholder.local_addr().unwrap().to_string();
+    drop(placeholder);
+
+    let overflow = temp_path("overflow_queue");
+    let _ = std::fs::remove_file(&overflow);
+    let mut sink = TcpSink::new(addr.clone())
+        .with_seed(3)
+        .with_overflow(overflow.clone())
+        .with_backoff(Duration::from_millis(1), Duration::from_millis(8), 30);
+
+    let lines: Vec<String> = (0..5).map(|i| format!("{{\"record\":{i}}}")).collect();
+    for line in &lines {
+        sink.emit(line).expect("a down peer must not fail emit");
+    }
+    assert!(sink.has_backlog());
+    assert_eq!(sink.counters().spilled_lines, 5);
+
+    // The peer returns on the same address; `done` drains the backlog.
+    let listener = TcpListener::bind(&addr).expect("rebind the reserved port");
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let drain = Arc::clone(&received);
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        for line in BufReader::new(stream).lines() {
+            let Ok(line) = line else { break };
+            drain.lock().unwrap().push(line);
+        }
+    });
+    sink.done().unwrap();
+    assert!(!sink.has_backlog());
+    let counters = sink.counters();
+    assert_eq!(counters.drained_lines, 5);
+    assert!(counters.connect_retries >= 1, "{counters:?}");
+    drop(sink); // close the stream so the reader sees EOF
+    server.join().unwrap();
+
+    assert_eq!(*received.lock().unwrap(), lines, "in order, nothing lost");
+    assert!(
+        !overflow.exists(),
+        "a fully drained queue file is removed"
+    );
+}

@@ -14,7 +14,7 @@
 use std::path::{Path, PathBuf};
 
 use wsn_sim::scenario::{ChannelAllocation, DeploymentSpec, Scenario, TrafficSpec};
-use wsn_sim::{load_scenario, save_scenario, FaultPlan, Runner};
+use wsn_sim::{fingerprint_scenario, load_scenario, save_scenario, FaultPlan, Runner};
 
 /// The committed fixture directory at the repository root.
 fn fixture_dir() -> PathBuf {
@@ -179,6 +179,31 @@ fn loaded_fixtures_run_bit_identically_to_the_in_code_scenarios() {
         {
             assert_eq!(a.node_powers, b.node_powers, "{file} ch{c}: node powers");
         }
+    }
+}
+
+/// The resume key: a fingerprint is stable across load/save round-trips
+/// of the same config and changes when any field (or the seed) does —
+/// pinned on the committed fixtures so a format change that silently
+/// invalidates every journal shows up here.
+#[test]
+fn fingerprints_are_stable_and_config_sensitive() {
+    for file in FIXTURES {
+        let saved = load_scenario(&fixture_text(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let fp = fingerprint_scenario(&saved);
+        assert_eq!(fp.len(), 16, "{file}: 64-bit hex digest");
+        assert!(fp.bytes().all(|b| b.is_ascii_hexdigit()), "{file}: {fp}");
+        // Round-tripping the text does not move the fingerprint.
+        let reparsed = load_scenario(&save_scenario(&saved).unwrap()).unwrap();
+        assert_eq!(fingerprint_scenario(&reparsed), fp, "{file}: round-trip");
+
+        let mut reseeded = saved.clone();
+        reseeded.scenario.seed = reseeded.scenario.seed.wrapping_add(1);
+        assert_ne!(fingerprint_scenario(&reseeded), fp, "{file}: seed-blind");
+
+        let mut retuned = saved.clone();
+        retuned.scenario.superframes += 1;
+        assert_ne!(fingerprint_scenario(&retuned), fp, "{file}: config-blind");
     }
 }
 

@@ -668,17 +668,13 @@ fn batch_of_fixtures_is_bit_identical_across_1_2_4_threads() {
             let context = format!("batch `{}` threads={threads}", a.name);
             assert_eq!(a.name, b.name, "{context}: record order");
             assert_eq!(a.seed, b.seed, "{context}: seed");
-            assert_summaries_identical(&a.outcome.overall, &b.outcome.overall, &context);
-            for (c, (x, y)) in a
-                .outcome
-                .per_channel
-                .iter()
-                .zip(&b.outcome.per_channel)
-                .enumerate()
-            {
+            assert_eq!(a.fingerprint, b.fingerprint, "{context}: fingerprint");
+            let (ao, bo) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            assert_summaries_identical(&ao.overall, &bo.overall, &context);
+            for (c, (x, y)) in ao.per_channel.iter().zip(&bo.per_channel).enumerate() {
                 assert_summaries_identical(x, y, &format!("{context} ch{c}"));
             }
-            assert_eq!(a.outcome.gts_denied, b.outcome.gts_denied, "{context}: gts denied");
+            assert_eq!(ao.gts_denied, bo.gts_denied, "{context}: gts denied");
         }
     }
 }
@@ -705,14 +701,12 @@ fn batch_results_are_invariant_to_entry_ordering() {
             .unwrap_or_else(|| panic!("`{}` present in both orders", record.name));
         let context = format!("ordering `{}`", record.name);
         assert_eq!(record.seed, twin.seed, "{context}: seed");
-        assert_summaries_identical(&record.outcome.overall, &twin.outcome.overall, &context);
-        for (c, (x, y)) in record
-            .outcome
-            .per_channel
-            .iter()
-            .zip(&twin.outcome.per_channel)
-            .enumerate()
-        {
+        let (ro, to) = (
+            record.outcome.as_ref().unwrap(),
+            twin.outcome.as_ref().unwrap(),
+        );
+        assert_summaries_identical(&ro.overall, &to.overall, &context);
+        for (c, (x, y)) in ro.per_channel.iter().zip(&to.per_channel).enumerate() {
             assert_summaries_identical(x, y, &format!("{context} ch{c}"));
         }
     }
