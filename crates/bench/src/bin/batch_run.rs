@@ -26,17 +26,24 @@
 //! Exit codes: 0 all scenarios ok, 2 usage error, 3 when any scenario
 //! failed or timed out (`--strict` additionally stops the farm at the
 //! first such record), 1 on operational errors (load, journal, sink).
+//! Once the farm has started, every exit path first prints a structured
+//! `# summary:` JSON record on stderr (outcome counts, sink counters,
+//! exit code) so scripts never have to scrape prose.
 //!
 //! With `--json`, a `BENCH_batch.json` document is also written:
 //! scenarios/sec over the batch, per-scenario wall-clock, `host_cpus`,
-//! and the resume/retry/sink counters.
+//! and the resume/retry/sink counters. With `--metrics PATH|-`, the
+//! [`wsn_sim::telemetry`] registry streams JSONL snapshots per wave
+//! plus a final one (see `SCHEMA.md` § OBSERVABILITY); telemetry is
+//! deterministically inert, so simulation output stays bit-identical.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use wsn_bench::{Json, BENCH_BATCH_PATH};
 use wsn_sim::{
-    repair_jsonl_tail, BatchSet, ResultSink, RunConfig, Runner, ScenarioStatus, TcpSink, WriteSink,
+    repair_jsonl_tail, BatchReport, BatchSet, ResultSink, RunConfig, Runner, ScenarioStatus,
+    SinkCounters, TcpSink, WriteSink,
 };
 
 struct BatchArgs {
@@ -53,16 +60,44 @@ struct BatchArgs {
     tcp: Option<String>,
     tcp_ack: bool,
     overflow: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
+
+const USAGE: &str = "usage: batch_run (--dir DIR | --manifest FILE) [--threads N] [--json]\n\
+     \x20                [--journal FILE] [--resume] [--strict] [--retries N] [--timeout-s S]\n\
+     \x20                [--out FILE | --tcp HOST:PORT [--tcp-ack] [--overflow FILE]]\n\
+     \x20                [--metrics PATH|-] [--help]";
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!(
-        "usage: batch_run (--dir DIR | --manifest FILE) [--threads N] [--json]\n\
-         \x20                [--journal FILE] [--resume] [--strict] [--retries N] [--timeout-s S]\n\
-         \x20                [--out FILE | --tcp HOST:PORT [--tcp-ack] [--overflow FILE]]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
+}
+
+fn help() -> ! {
+    println!("{USAGE}");
+    println!(
+        "\nRun a directory or manifest of saved scenarios as one fault-tolerant\n\
+         job farm. One JSON record per scenario (JSON-lines) plus a final\n\
+         aggregate record go to the sink; progress goes to stderr, including a\n\
+         rate-limited `# heartbeat: done/total done, N failed, eta S, R events/s`\n\
+         line per wave and a final structured `# summary:` JSON record.\n\
+         \n\
+         --metrics PATH|-  enable wsn_sim::telemetry and stream snapshot pairs\n\
+         \x20                 (one deterministic + one timing JSONL record per\n\
+         \x20                 wave, then a final pair with \"final\":true) to PATH,\n\
+         \x20                 `-` for stdout. Format: SCHEMA.md, OBSERVABILITY\n\
+         \x20                 section. Telemetry is deterministically inert:\n\
+         \x20                 simulation output is bit-identical with it on/off.\n\
+         \n\
+         Exit codes:\n\
+         \x20 0  every scenario completed ok\n\
+         \x20 1  operational error (scenario load, journal I/O, sink failure)\n\
+         \x20 2  usage error (bad or missing arguments)\n\
+         \x20 3  farm completed but at least one scenario failed or timed out\n\
+         \x20    (with --strict the farm stops at the first such record)"
+    );
+    std::process::exit(0);
 }
 
 fn parse_args() -> BatchArgs {
@@ -80,6 +115,7 @@ fn parse_args() -> BatchArgs {
         tcp: None,
         tcp_ack: false,
         overflow: None,
+        metrics: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -136,6 +172,11 @@ fn parse_args() -> BatchArgs {
                 Some(path) if !path.is_empty() => out.overflow = Some(PathBuf::from(path)),
                 _ => usage("--overflow requires a file path"),
             },
+            "--metrics" => match args.next() {
+                Some(path) if !path.is_empty() => out.metrics = Some(PathBuf::from(path)),
+                _ => usage("--metrics requires a file path or `-` for stdout"),
+            },
+            "--help" | "-h" => help(),
             other => usage(&format!("unrecognized argument `{other}`")),
         }
     }
@@ -150,6 +191,9 @@ fn parse_args() -> BatchArgs {
     }
     if (out.tcp_ack || out.overflow.is_some()) && out.tcp.is_none() {
         usage("--tcp-ack/--overflow only apply to a --tcp sink");
+    }
+    if out.metrics.as_deref() == Some(Path::new("-")) && out.out.is_none() && out.tcp.is_none() {
+        usage("--metrics - (stdout) requires --out or --tcp so scenario records keep their own stream");
     }
     out
 }
@@ -192,6 +236,8 @@ fn main() {
         strict: args.strict,
         timeout: args.timeout_s.map(Duration::from_secs_f64),
         retries: args.retries,
+        metrics: args.metrics.clone(),
+        heartbeat: true,
     };
 
     // Build the result sink: stdout, an (append-on-resume) file, or a
@@ -232,12 +278,20 @@ fn main() {
         Box::new(WriteSink::new(stdout.lock()))
     };
 
-    let report = match set.run_with(&runner, sink.as_mut(), &config) {
-        Ok(report) => report,
-        Err(e) => fail(e),
-    };
+    let run = set.run_with(&runner, sink.as_mut(), &config);
     let counters = sink.counters();
     drop(sink);
+
+    // The farm has started, so every exit path from here first prints
+    // the structured `# summary:` record (then exits 1, 3 or 0).
+    let report = match run {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            emit_summary(None, &counters, 1);
+            std::process::exit(1);
+        }
+    };
 
     eprintln!(
         "# done: {} scenarios ({} skipped, {} failed, {} timed out), {} jobs, {:.0} ms ({:.2} scenarios/s)",
@@ -318,9 +372,20 @@ fn main() {
         eprintln!("wrote {BENCH_BATCH_PATH}");
     }
 
-    // Scripts must be able to tell a clean farm from a degraded one.
-    if !report.all_ok() {
-        let first_bad = report
+    // Scripts must be able to tell a clean farm from a degraded one:
+    // the summary record carries the counts and the exit code.
+    let exit = if report.all_ok() { 0 } else { 3 };
+    emit_summary(Some(&report), &counters, exit);
+    std::process::exit(exit);
+}
+
+/// Prints the structured end-of-run record: one `# summary:` line of
+/// JSON on stderr with outcome counts, sink counters, the exit code and
+/// (when degraded) the first failing scenario. Emitted on every exit
+/// path once the farm has started.
+fn emit_summary(report: Option<&BatchReport>, counters: &SinkCounters, exit: i32) {
+    let first_bad = report.and_then(|report| {
+        report
             .records
             .iter()
             .find(|r| !r.status.is_ok())
@@ -329,8 +394,38 @@ fn main() {
                 ScenarioStatus::Timeout => format!("{}: timeout", r.name),
                 ScenarioStatus::Ok => unreachable!(),
             })
-            .unwrap_or_else(|| "strict abort".to_string());
-        eprintln!("# degraded: {first_bad}");
-        std::process::exit(3);
-    }
+            .or_else(|| report.strict_aborted.then(|| "strict abort".to_string()))
+    });
+    let count = |n: usize| Json::Int(n as i64);
+    let doc = Json::Obj(vec![
+        ("summary", Json::Int(1)),
+        (
+            "ok",
+            report.map_or(Json::Null, |r| {
+                count(r.records.iter().filter(|r| r.status.is_ok()).count())
+            }),
+        ),
+        ("failed", report.map_or(Json::Null, |r| count(r.failed()))),
+        ("timeout", report.map_or(Json::Null, |r| count(r.timed_out()))),
+        ("skipped", report.map_or(Json::Null, |r| count(r.skipped))),
+        (
+            "strict_aborted",
+            report.map_or(Json::Null, |r| Json::Bool(r.strict_aborted)),
+        ),
+        (
+            "first_degraded",
+            first_bad.map_or(Json::Null, Json::Str),
+        ),
+        ("exit", Json::Int(i64::from(exit))),
+        (
+            "sink",
+            Json::Obj(vec![
+                ("connect_retries", Json::Int(counters.connect_retries as i64)),
+                ("reconnects", Json::Int(counters.reconnects as i64)),
+                ("spilled_lines", Json::Int(counters.spilled_lines as i64)),
+                ("drained_lines", Json::Int(counters.drained_lines as i64)),
+            ]),
+        ),
+    ]);
+    eprintln!("# summary: {}", doc.render_compact());
 }

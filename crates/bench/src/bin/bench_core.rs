@@ -12,6 +12,13 @@
 //! 2. **Policy round** — one closed-loop round of the adaptive
 //!    ring-stratified scenario (the policy layer's per-round cost:
 //!    compile → grid → reduce → decide), timed end to end.
+//! 3. **Telemetry cost** — the same grid re-run with
+//!    [`wsn_sim::telemetry`] *enabled* (best of three), asserting the
+//!    event count is unchanged (telemetry is inert) and reporting the
+//!    enabled-path overhead. The main `events_per_sec` number is always
+//!    measured with telemetry disabled, so the committed baseline also
+//!    guards the disabled hot-path cost (a branch on an `Option`
+//!    handle) against regression.
 //!
 //! CI regenerates the document on every push and diffs `events_per_sec`
 //! against the committed baseline as a *warn-only* gate: host noise never
@@ -70,6 +77,9 @@ fn main() {
     // spread is pure host noise and the minimum is the cleanest estimate
     // of the loop's cost.
     let configs = grid(args.superframes);
+    // The headline number is always the disabled hot path, even under
+    // `--metrics`: the telemetry pass below measures the enabled cost.
+    wsn_sim::telemetry::set_enabled(false);
     let mut ws = SimWorkspace::new();
     let mut total_events = 0u64;
     let mut total_procedures = 0u64;
@@ -93,6 +103,30 @@ fn main() {
         }
     }
     let events_per_sec = total_events as f64 / (grid_wall_ms / 1e3);
+
+    // --- 1b. the same grid with telemetry enabled ----------------------
+    // Asserts the inertness contract (identical event count) and prices
+    // the enabled path; best of three like the disabled measurement.
+    wsn_sim::telemetry::set_enabled(true);
+    let mut telem_events = 0u64;
+    let mut telem_wall_ms = f64::INFINITY;
+    for pass in 0..3 {
+        let mut events = 0u64;
+        let t0 = Instant::now();
+        for cfg in &configs {
+            let timings = cfg.timings();
+            let mut sink = StatsSink::new();
+            events += run_channel_sim_into_ws(cfg, &timings, |_| false, &mut sink, &mut ws);
+        }
+        telem_wall_ms = telem_wall_ms.min(elapsed_ms(t0));
+        if pass == 0 {
+            telem_events = events;
+        }
+        assert_eq!(events, total_events, "telemetry must be inert");
+    }
+    wsn_sim::telemetry::set_enabled(args.metrics.is_some());
+    let telem_events_per_sec = telem_events as f64 / (telem_wall_ms / 1e3);
+    let telem_overhead_pct = (telem_wall_ms / grid_wall_ms - 1.0) * 100.0;
 
     // --- 2. one closed policy round ------------------------------------
     let scenario = policy_scenario(args.superframes.min(12));
@@ -118,6 +152,10 @@ fn main() {
         scenario.nodes_per_channel,
         policy_wall_ms,
         runner.threads()
+    );
+    println!(
+        "telemetry on    : {:.1} ms ⇒ {:.0} events/s ({:+.1}% vs disabled, events identical)",
+        telem_wall_ms, telem_events_per_sec, telem_overhead_pct
     );
 
     if args.json {
@@ -153,8 +191,19 @@ fn main() {
                     ("wall_ms", Json::Num(policy_wall_ms)),
                 ]),
             ),
+            (
+                "telemetry",
+                Json::Obj(vec![
+                    ("events", Json::Int(telem_events as i64)),
+                    ("inert", Json::Bool(telem_events == total_events)),
+                    ("wall_ms", Json::Num(telem_wall_ms)),
+                    ("enabled_events_per_sec", Json::Num(telem_events_per_sec)),
+                    ("enabled_overhead_pct", Json::Num(telem_overhead_pct)),
+                ]),
+            ),
         ]);
         std::fs::write(BENCH_CORE_PATH, doc.render()).expect("write benchmark JSON");
         eprintln!("wrote {BENCH_CORE_PATH}");
     }
+    wsn_bench::finish_metrics(&args);
 }

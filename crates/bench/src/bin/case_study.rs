@@ -32,6 +32,7 @@ use wsn_radio::{PhaseTag, RadioModel, StateKind};
 
 fn main() {
     let args = RunArgs::parse(60);
+    wsn_bench::init_metrics(&args);
     let reps = args.reps_or(4);
     let runner = args.runner();
 
@@ -188,4 +189,5 @@ fn main() {
         std::fs::write(BENCH_NETWORK_PATH, doc.render()).expect("write benchmark JSON");
         eprintln!("wrote {BENCH_NETWORK_PATH}");
     }
+    wsn_bench::finish_metrics(&args);
 }

@@ -104,6 +104,7 @@ fn run_sweep(runner: &Runner, superframes: u32, reps: u32) -> (Vec<SweepPoint>, 
 
 fn main() {
     let args = RunArgs::parse(20);
+    wsn_bench::init_metrics(&args);
     let reps = args.reps_or(3);
 
     // `--export-scenario`: write the sweep's max-stress point (highest
@@ -257,4 +258,5 @@ fn main() {
         std::fs::write(BENCH_FAULTS_PATH, doc.render()).expect("write benchmark JSON");
         eprintln!("wrote {BENCH_FAULTS_PATH}");
     }
+    wsn_bench::finish_metrics(&args);
 }

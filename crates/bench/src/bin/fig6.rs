@@ -77,6 +77,7 @@ fn timed_sweep(
 
 fn main() {
     let args = RunArgs::parse(60);
+    wsn_bench::init_metrics(&args);
     let runner = args.runner();
     let reps = args.reps_or(1);
 
@@ -215,4 +216,5 @@ fn main() {
         std::fs::write(path, doc.render()).expect("write benchmark JSON");
         eprintln!("wrote {path}");
     }
+    wsn_bench::finish_metrics(&args);
 }

@@ -103,6 +103,7 @@ fn crossover(points: &[SweepPoint], dl: f64) -> Option<u32> {
 
 fn main() {
     let args = RunArgs::parse(20);
+    wsn_bench::init_metrics(&args);
     let reps = args.reps_or(3);
     let runner = args.runner();
 
@@ -237,4 +238,5 @@ fn main() {
         std::fs::write(BENCH_CFP_PATH, doc.render()).expect("write benchmark JSON");
         eprintln!("wrote {BENCH_CFP_PATH}");
     }
+    wsn_bench::finish_metrics(&args);
 }

@@ -18,9 +18,13 @@ use wsn_sim::Runner;
 /// `--rounds N` (closed-loop policy rounds, where the binary runs one),
 /// `--json` (emit machine-readable benchmark output where the binary
 /// supports it), `--export-scenario <path>` (write the binary's scenario
-/// as saved JSON instead of running it, where supported) and
+/// as saved JSON instead of running it, where supported),
 /// `--save-dir <path>` (write a sweep's scenarios into a directory
-/// instead of running them, where supported).
+/// instead of running them, where supported) and `--metrics <path|->`
+/// (enable [`wsn_sim::telemetry`] and write its end-of-run snapshot as
+/// JSONL — two records, deterministic then timing; see the repository's
+/// `SCHEMA.md` § OBSERVABILITY — to the path, `-` for stdout; telemetry
+/// is deterministically inert, so all simulation output is unchanged).
 #[derive(Debug, Clone)]
 pub struct RunArgs {
     /// Superframes simulated per Monte-Carlo point.
@@ -41,6 +45,10 @@ pub struct RunArgs {
     /// `--save-dir <path>`: write a sweep's scenarios as saved JSON
     /// files into the directory and exit, where the binary supports it.
     pub save_dir: Option<String>,
+    /// `--metrics <path|->`: enable telemetry and write the end-of-run
+    /// snapshot (deterministic + timing JSONL records) there; `-` means
+    /// stdout.
+    pub metrics: Option<String>,
 }
 
 impl RunArgs {
@@ -57,6 +65,7 @@ impl RunArgs {
             json: false,
             export_scenario: None,
             save_dir: None,
+            metrics: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -100,6 +109,10 @@ impl RunArgs {
                     Some(path) if !path.is_empty() => out.save_dir = Some(path),
                     _ => usage("--save-dir requires a directory path"),
                 },
+                "--metrics" => match args.next() {
+                    Some(path) if !path.is_empty() => out.metrics = Some(path),
+                    _ => usage("--metrics requires a file path or `-` for stdout"),
+                },
                 other => match other.parse::<u32>() {
                     Ok(sf) if sf >= 2 => out.superframes = sf,
                     Ok(_) => usage("superframes must be at least 2 (the first is warm-up)"),
@@ -134,9 +147,44 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: <binary> [superframes] [--threads N] [--reps N] [--rounds N] [--json] \
-         [--export-scenario PATH] [--save-dir PATH]"
+         [--export-scenario PATH] [--save-dir PATH] [--metrics PATH|-]"
     );
     std::process::exit(2);
+}
+
+/// Enables [`wsn_sim::telemetry`] when `--metrics` was given. Call
+/// before any simulation work so the whole run is covered.
+pub fn init_metrics(args: &RunArgs) {
+    if args.metrics.is_some() {
+        wsn_sim::telemetry::set_enabled(true);
+    }
+}
+
+/// Writes the end-of-run telemetry snapshot — one deterministic and one
+/// timing JSONL record (`SCHEMA.md` § OBSERVABILITY) — to the
+/// `--metrics` path (`-` = stdout) and prints one `# heartbeat:` summary
+/// line to stderr. No-op without `--metrics`.
+pub fn finish_metrics(args: &RunArgs) {
+    let Some(path) = &args.metrics else { return };
+    let (det, timing) = wsn_sim::telemetry::snapshot_lines(true);
+    let payload = format!("{det}\n{timing}\n");
+    if path == "-" {
+        print!("{payload}");
+    } else if let Err(e) = std::fs::write(path, payload) {
+        eprintln!("error: cannot write metrics {path}: {e}");
+        std::process::exit(1);
+    }
+    let snap = wsn_sim::telemetry::snapshot();
+    let walls = wsn_sim::telemetry::timing_snapshot();
+    let rate = if walls.job.total_ms > 0.0 {
+        snap.engine.events as f64 / (walls.job.total_ms / 1e3)
+    } else {
+        0.0
+    };
+    eprintln!(
+        "# heartbeat: {}/{} done, 0 failed, eta 0.0s, {rate:.0} events/s",
+        snap.runner.jobs, snap.runner.jobs
+    );
 }
 
 /// Milliseconds elapsed since `start`, as f64.
@@ -305,6 +353,41 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Renders on a single line with no trailing newline, for
+    /// machine-parsed records embedded in stderr streams.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{key}\":"));
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {

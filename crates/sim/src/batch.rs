@@ -210,6 +210,19 @@ pub struct RunConfig {
     /// from the *environment* (allocation failure, filesystem pressure
     /// under a custom sink) rather than from the config itself.
     pub retries: u32,
+    /// Telemetry snapshot stream: after every wave (and once at the end)
+    /// append one deterministic and one timing JSONL record
+    /// ([`crate::telemetry::snapshot_lines`], `SCHEMA.md`
+    /// § OBSERVABILITY) to this path — `"-"` means stdout. Setting this
+    /// enables telemetry collection process-wide for the run; telemetry
+    /// is provably inert, so the simulation records are unaffected.
+    pub metrics: Option<PathBuf>,
+    /// Print a single-line `# heartbeat:` progress report to stderr after
+    /// each wave (rate-limited) and once at the end: `done/total, failed,
+    /// ETA, events/s` (events/s requires telemetry, i.e. `metrics`;
+    /// printed as `-` otherwise). Stderr only — the record stream stays
+    /// byte-identical.
+    pub heartbeat: bool,
 }
 
 /// How a scenario ended within a batch run.
@@ -603,6 +616,35 @@ impl BatchSet {
             None => None,
         };
 
+        // Telemetry / progress plumbing. Requesting a metrics stream
+        // enables collection process-wide; telemetry is provably inert,
+        // so the simulation record stream stays byte-identical to a
+        // metrics-off run (`telemetry_inert` pins this).
+        if config.metrics.is_some() {
+            crate::telemetry::set_enabled(true);
+        }
+        let mut metrics_out: Option<Box<dyn Write>> = match &config.metrics {
+            Some(path) if path.as_os_str() == "-" => Some(Box::new(io::stdout())),
+            Some(path) => {
+                let file = std::fs::File::create(path).map_err(|e| BatchError::Sink {
+                    error: format!("metrics stream {}: {e}", path.display()),
+                })?;
+                Some(Box::new(file))
+            }
+            None => None,
+        };
+        let telem = crate::telemetry::enabled();
+        if telem {
+            crate::telemetry::note_farm_start(self.entries.len() as u64, skipped as u64);
+        }
+        let events_at_start = telem
+            .then(|| crate::telemetry::snapshot().engine.events)
+            .unwrap_or(0);
+        let batch_span = telem.then(|| {
+            crate::telemetry::Span::enter(crate::telemetry::Phase::Batch)
+        });
+        let mut last_heartbeat = Instant::now();
+
         let mut records: Vec<ScenarioRecord> = Vec::new();
         let mut jobs_run = 0usize;
         let mut strict_aborted = false;
@@ -644,6 +686,7 @@ impl BatchSet {
                 wave
             };
 
+            let wave_t0 = Instant::now();
             let wave_records = if policy_entry {
                 vec![self.run_policy_entry(
                     runner,
@@ -656,6 +699,9 @@ impl BatchSet {
             } else {
                 self.run_wave(runner, &wave, &scenarios, &fingerprints, config, &mut jobs_run)
             };
+            if telem {
+                crate::telemetry::note_wave(wave_t0.elapsed().as_secs_f64() * 1e3);
+            }
 
             for record in wave_records {
                 let line = render_compact(&record.to_json());
@@ -673,6 +719,17 @@ impl BatchSet {
                         })
                         .map_err(|error| BatchError::Journal { error })?;
                 }
+                if telem {
+                    let outcome = match &record.status {
+                        ScenarioStatus::Ok => crate::telemetry::FarmOutcome::Ok,
+                        ScenarioStatus::Failed { .. } => crate::telemetry::FarmOutcome::Failed,
+                        ScenarioStatus::Timeout => crate::telemetry::FarmOutcome::Timeout,
+                    };
+                    crate::telemetry::note_farm_record(
+                        outcome,
+                        u64::from(record.attempts.saturating_sub(1)),
+                    );
+                }
                 let ok = record.status.is_ok();
                 records.push(record);
                 if !ok && config.strict {
@@ -680,6 +737,45 @@ impl BatchSet {
                     break 'entries;
                 }
             }
+
+            if let Some(out) = metrics_out.as_mut() {
+                write_metrics_snapshot(out.as_mut(), false)?;
+            }
+            if config.heartbeat && last_heartbeat.elapsed() >= Duration::from_millis(500) {
+                emit_heartbeat(
+                    skipped + records.len(),
+                    self.entries.len(),
+                    records.iter().filter(|r| !r.status.is_ok()).count(),
+                    t0.elapsed().as_secs_f64(),
+                    telem.then(|| crate::telemetry::snapshot().engine.events - events_at_start),
+                );
+                last_heartbeat = Instant::now();
+            }
+        }
+
+        if telem {
+            let c = sink.counters();
+            crate::telemetry::note_sink_counters(
+                c.connect_retries as u64,
+                c.reconnects as u64,
+                c.spilled_lines as u64,
+                c.drained_lines as u64,
+            );
+        }
+        // Close the batch span before the final snapshot so the timing
+        // record includes the whole-batch wall.
+        drop(batch_span);
+        if let Some(out) = metrics_out.as_mut() {
+            write_metrics_snapshot(out.as_mut(), true)?;
+        }
+        if config.heartbeat {
+            emit_heartbeat(
+                skipped + records.len(),
+                self.entries.len(),
+                records.iter().filter(|r| !r.status.is_ok()).count(),
+                t0.elapsed().as_secs_f64(),
+                telem.then(|| crate::telemetry::snapshot().engine.events - events_at_start),
+            );
         }
 
         let report = BatchReport {
@@ -1054,73 +1150,83 @@ fn decode_manifest(root: &Node) -> Result<(Option<u64>, Vec<String>), ParseError
 // Record rendering
 // ---------------------------------------------------------------------------
 
-fn jkey(name: &str) -> persist::Key {
-    persist::Key {
-        name: name.to_string(),
-        line: 0,
-        col: 0,
-    }
+use persist::json;
+
+/// Writes one deterministic + one timing snapshot record to the metrics
+/// stream ([`RunConfig::metrics`]).
+fn write_metrics_snapshot(out: &mut dyn Write, last: bool) -> Result<(), BatchError> {
+    let (det, timing) = crate::telemetry::snapshot_lines(last);
+    writeln!(out, "{det}")
+        .and_then(|_| writeln!(out, "{timing}"))
+        .and_then(|_| out.flush())
+        .map_err(|e| BatchError::Sink {
+            error: format!("metrics stream: {e}"),
+        })
 }
 
-fn jobj(pairs: Vec<(&str, Node)>) -> Node {
-    Node {
-        line: 0,
-        col: 0,
-        value: Value::Obj(pairs.into_iter().map(|(k, v)| (jkey(k), v)).collect()),
-    }
-}
-
-fn jval(value: Value) -> Node {
-    Node {
-        line: 0,
-        col: 0,
-        value,
-    }
-}
-
-fn jnum(x: f64) -> Node {
-    // Result records are data, not fixtures: map the non-finite
-    // energy-per-packet sentinel to null rather than refusing to stream.
-    if x.is_finite() {
-        jval(Value::Float(x))
+/// The single-line stderr progress report ([`RunConfig::heartbeat`]).
+/// `events` is the engine event count accumulated since the farm
+/// started, when telemetry is on.
+fn emit_heartbeat(done: usize, total: usize, failed: usize, elapsed_s: f64, events: Option<u64>) {
+    let remaining = total.saturating_sub(done);
+    let eta = if done > 0 && remaining > 0 {
+        format!("{:.1}s", elapsed_s / done as f64 * remaining as f64)
+    } else if remaining > 0 {
+        "?".to_string()
     } else {
-        jval(Value::Null)
-    }
-}
-
-fn juint(u: u64) -> Node {
-    jval(Value::UInt(u))
+        "0.0s".to_string()
+    };
+    let rate = match events {
+        Some(n) if elapsed_s > 0.0 => format!("{:.0}", n as f64 / elapsed_s),
+        _ => "-".to_string(),
+    };
+    eprintln!("# heartbeat: {done}/{total} done, {failed} failed, eta {eta}, {rate} events/s");
 }
 
 fn summary_json(s: &NetworkSummary) -> Node {
-    jobj(vec![
-        ("power_uw", jnum(s.mean_node_power.microwatts())),
-        ("power_se_uw", jnum(s.power_standard_error.microwatts())),
-        ("cap_power_uw", jnum(s.cap_power.microwatts())),
-        ("cap_power_se_uw", jnum(s.cap_power_standard_error.microwatts())),
-        ("cfp_power_uw", jnum(s.cfp_power.microwatts())),
-        ("cfp_power_se_uw", jnum(s.cfp_power_standard_error.microwatts())),
-        ("pr_fail", jnum(s.failure_ratio.value())),
-        ("pr_fail_se", jnum(s.failure_standard_error)),
-        ("delay_s", jnum(s.mean_delay.secs())),
-        ("delay_se_s", jnum(s.delay_standard_error.secs())),
-        ("attempts", jnum(s.mean_attempts)),
-        ("transactions", juint(s.transactions)),
-        ("energy_per_bit_nj", jnum(s.energy_per_bit_nj)),
-        ("energy_per_packet_uj", jnum(s.energy_per_delivered_packet_uj)),
-        ("replications", juint(s.replications as u64)),
-        ("gts_transactions", juint(s.gts_transactions)),
-        ("gts_failure_ratio", jnum(s.gts_failure_ratio.value())),
-        ("gts_denied", juint(s.gts_denied)),
-        ("downlink_polls", juint(s.downlink_polls)),
-        ("downlink_failure_ratio", jnum(s.downlink_failure_ratio.value())),
-        ("downlink_deferred", juint(s.downlink_deferred)),
-        ("deaths", juint(s.deaths)),
-        ("orphan_scans", juint(s.orphan_scans)),
-        ("join_attempts", juint(s.join_attempts)),
-        ("join_failure_ratio", jnum(s.join_failure_ratio.value())),
-        ("reassociation_delay_s", jnum(s.mean_reassociation_delay.secs())),
-        ("dormant_nodes", juint(s.dormant_nodes)),
+    json::obj(vec![
+        ("power_uw", json::num(s.mean_node_power.microwatts())),
+        ("power_se_uw", json::num(s.power_standard_error.microwatts())),
+        ("cap_power_uw", json::num(s.cap_power.microwatts())),
+        (
+            "cap_power_se_uw",
+            json::num(s.cap_power_standard_error.microwatts()),
+        ),
+        ("cfp_power_uw", json::num(s.cfp_power.microwatts())),
+        (
+            "cfp_power_se_uw",
+            json::num(s.cfp_power_standard_error.microwatts()),
+        ),
+        ("pr_fail", json::num(s.failure_ratio.value())),
+        ("pr_fail_se", json::num(s.failure_standard_error)),
+        ("delay_s", json::num(s.mean_delay.secs())),
+        ("delay_se_s", json::num(s.delay_standard_error.secs())),
+        ("attempts", json::num(s.mean_attempts)),
+        ("transactions", json::uint(s.transactions)),
+        ("energy_per_bit_nj", json::num(s.energy_per_bit_nj)),
+        (
+            "energy_per_packet_uj",
+            json::num(s.energy_per_delivered_packet_uj),
+        ),
+        ("replications", json::uint(s.replications as u64)),
+        ("gts_transactions", json::uint(s.gts_transactions)),
+        ("gts_failure_ratio", json::num(s.gts_failure_ratio.value())),
+        ("gts_denied", json::uint(s.gts_denied)),
+        ("downlink_polls", json::uint(s.downlink_polls)),
+        (
+            "downlink_failure_ratio",
+            json::num(s.downlink_failure_ratio.value()),
+        ),
+        ("downlink_deferred", json::uint(s.downlink_deferred)),
+        ("deaths", json::uint(s.deaths)),
+        ("orphan_scans", json::uint(s.orphan_scans)),
+        ("join_attempts", json::uint(s.join_attempts)),
+        ("join_failure_ratio", json::num(s.join_failure_ratio.value())),
+        (
+            "reassociation_delay_s",
+            json::num(s.mean_reassociation_delay.secs()),
+        ),
+        ("dormant_nodes", json::uint(s.dormant_nodes)),
     ])
 }
 
@@ -1131,40 +1237,38 @@ impl ScenarioRecord {
     /// arrays and (for failures) the panic text under `"panic"`.
     pub fn to_json(&self) -> Node {
         let policy = match &self.policy {
-            None => jval(Value::Null),
-            Some((choice, rounds_run)) => jobj(vec![
-                ("name", jval(Value::Str(choice.name().to_string()))),
-                ("rounds_run", juint(*rounds_run as u64)),
+            None => json::null(),
+            Some((choice, rounds_run)) => json::obj(vec![
+                ("name", json::string(choice.name())),
+                ("rounds_run", json::uint(*rounds_run as u64)),
             ]),
         };
         let panic = match &self.status {
-            ScenarioStatus::Failed { panic } => jval(Value::Str(panic.clone())),
-            _ => jval(Value::Null),
+            ScenarioStatus::Failed { panic } => json::string(panic),
+            _ => json::null(),
         };
         let (overall, per_channel, gts_denied) = match &self.outcome {
             Some(outcome) => (
                 summary_json(&outcome.overall),
-                jval(Value::Arr(
-                    outcome.per_channel.iter().map(summary_json).collect(),
-                )),
-                jval(Value::Arr(
-                    outcome.gts_denied.iter().map(|&d| juint(d as u64)).collect(),
-                )),
+                json::arr(outcome.per_channel.iter().map(summary_json).collect()),
+                json::arr(
+                    outcome
+                        .gts_denied
+                        .iter()
+                        .map(|&d| json::uint(d as u64))
+                        .collect(),
+                ),
             ),
-            None => (
-                jval(Value::Null),
-                jval(Value::Arr(Vec::new())),
-                jval(Value::Arr(Vec::new())),
-            ),
+            None => (json::null(), json::arr(Vec::new()), json::arr(Vec::new())),
         };
-        jobj(vec![
-            ("scenario", jval(Value::Str(self.name.clone()))),
-            ("seed", juint(self.seed)),
-            ("fingerprint", jval(Value::Str(self.fingerprint.clone()))),
-            ("status", jval(Value::Str(self.status.as_str().to_string()))),
-            ("attempts", juint(u64::from(self.attempts))),
-            ("channels", juint(self.channels as u64)),
-            ("job_ms", jnum(self.job_ms)),
+        json::obj(vec![
+            ("scenario", json::string(&self.name)),
+            ("seed", json::uint(self.seed)),
+            ("fingerprint", json::string(&self.fingerprint)),
+            ("status", json::string(self.status.as_str())),
+            ("attempts", json::uint(u64::from(self.attempts))),
+            ("channels", json::uint(self.channels as u64)),
+            ("job_ms", json::num(self.job_ms)),
             ("policy", policy),
             ("panic", panic),
             ("overall", overall),
@@ -1201,20 +1305,20 @@ impl BatchReport {
                 .sum::<f64>()
                 / outcomes.len() as f64
         };
-        jobj(vec![
-            ("aggregate", jval(Value::Bool(true))),
-            ("scenarios", juint(self.records.len() as u64)),
-            ("skipped", juint(self.skipped as u64)),
-            ("failed", juint(self.failed() as u64)),
-            ("timed_out", juint(self.timed_out() as u64)),
-            ("strict_aborted", jval(Value::Bool(self.strict_aborted))),
-            ("jobs", juint(self.jobs as u64)),
-            ("wall_ms", jnum(self.wall_ms)),
-            ("scenarios_per_sec", jnum(self.scenarios_per_sec())),
-            ("total_transactions", juint(total_transactions)),
-            ("pooled_failure_ratio", jnum(pooled_failure)),
-            ("total_deaths", juint(total_deaths)),
-            ("mean_scenario_power_uw", jnum(mean_power)),
+        json::obj(vec![
+            ("aggregate", json::boolean(true)),
+            ("scenarios", json::uint(self.records.len() as u64)),
+            ("skipped", json::uint(self.skipped as u64)),
+            ("failed", json::uint(self.failed() as u64)),
+            ("timed_out", json::uint(self.timed_out() as u64)),
+            ("strict_aborted", json::boolean(self.strict_aborted)),
+            ("jobs", json::uint(self.jobs as u64)),
+            ("wall_ms", json::num(self.wall_ms)),
+            ("scenarios_per_sec", json::num(self.scenarios_per_sec())),
+            ("total_transactions", json::uint(total_transactions)),
+            ("pooled_failure_ratio", json::num(pooled_failure)),
+            ("total_deaths", json::uint(total_deaths)),
+            ("mean_scenario_power_uw", json::num(mean_power)),
         ])
     }
 }

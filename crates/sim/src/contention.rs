@@ -739,6 +739,18 @@ where
         dl_offsets,
         ..
     } = ws;
+    // Telemetry shard: one local accumulator per run, folded into the
+    // global registry once at the end. Telemetry reads values the engine
+    // already computed and draws from no RNG stream, so it cannot perturb
+    // the simulation (the inertness contract — see `crate::telemetry`);
+    // when disabled, the cost is this one relaxed load plus a never-taken
+    // branch per event.
+    let mut telem: Option<Box<crate::telemetry::EngineMetrics>> = if crate::telemetry::enabled() {
+        Some(Box::default())
+    } else {
+        None
+    };
+    queue.set_stats_enabled(telem.is_some());
     queue.clear();
     // Beacons and arrivals are scheduled lazily, one superframe ahead (the
     // farthest lookahead of any push), so the ring only ever needs to span
@@ -770,6 +782,17 @@ where
             break;
         }
         events += 1;
+        if let Some(t) = telem.as_deref_mut() {
+            t.events += 1;
+            match &ev {
+                Ev::Beacon => t.ev_beacon += 1,
+                Ev::Arrival { .. } => t.ev_arrival += 1,
+                Ev::Cca { .. } => t.ev_cca += 1,
+                Ev::TxEnd { .. } => t.ev_tx_end += 1,
+                Ev::GtsTx { .. } => t.ev_gts += 1,
+                Ev::DlPoll { .. } => t.ev_dl_poll += 1,
+            }
+        }
         if let Some((start_slot, end_us)) = pending_air {
             if start_slot <= slot {
                 busy_until_us = busy_until_us.max(end_us);
@@ -1066,6 +1089,11 @@ where
                         if cohort_slot == start_slot {
                             cohort_size += 1;
                         } else {
+                            if let Some(t) = telem.as_deref_mut() {
+                                if cohort_size > 0 {
+                                    t.cohort_size.record(cohort_size as u64);
+                                }
+                            }
                             cohort_slot = start_slot;
                             cohort_size = 1;
                         }
@@ -1109,6 +1137,13 @@ where
                                         access_failure: true,
                                         superframes_waited: h.superframes_waited,
                                     });
+                                    if let Some(t) = telem.as_deref_mut() {
+                                        t.attempts_access_failure += 1;
+                                        t.ccas_per_attempt.record(machine.ccas_performed() as u64);
+                                        t.contention_slots.record(slot - h.cont_start_slot);
+                                        t.transactions += 1;
+                                        t.attempts_per_transaction.record((h.attempt - 1) as u64);
+                                    }
                                 }
                                 h.active = false;
                                 h.carry_packet = true;
@@ -1199,6 +1234,16 @@ where
 
                 if let Some(mut pending) = pending_attempts[i].take() {
                     pending.outcome = outcome;
+                    if let Some(t) = telem.as_deref_mut() {
+                        match outcome {
+                            AttemptOutcome::Delivered => t.attempts_delivered += 1,
+                            AttemptOutcome::Collided => t.attempts_collided += 1,
+                            AttemptOutcome::Corrupted => t.attempts_corrupted += 1,
+                            AttemptOutcome::AccessFailure => t.attempts_access_failure += 1,
+                        }
+                        t.ccas_per_attempt.record(pending.ccas as u64);
+                        t.contention_slots.record(pending.contention_slots as u64);
+                    }
                     sink.on_attempt(&pending);
                 }
 
@@ -1214,6 +1259,11 @@ where
                             access_failure: false,
                             superframes_waited: h.superframes_waited,
                         });
+                        if let Some(t) = telem.as_deref_mut() {
+                            t.transactions += 1;
+                            t.transactions_delivered += 1;
+                            t.attempts_per_transaction.record(h.attempt as u64);
+                        }
                     }
                     h.active = false;
                     h.carry_packet = false;
@@ -1244,6 +1294,10 @@ where
                             access_failure: false,
                             superframes_waited: h.superframes_waited,
                         });
+                        if let Some(t) = telem.as_deref_mut() {
+                            t.transactions += 1;
+                            t.attempts_per_transaction.record(h.attempt as u64);
+                        }
                     }
                     h.active = false;
                     h.carry_packet = true;
@@ -1321,6 +1375,20 @@ where
                 queue.push(slot + periods as u64, PRIO_CCA, Ev::Cca { node });
             }
         }
+    }
+    if let Some(mut t) = telem {
+        t.runs = 1;
+        if cohort_size > 0 {
+            t.cohort_size.record(cohort_size as u64);
+        }
+        let mut window_growths = 0;
+        if let Some(qs) = queue.stats() {
+            t.queue_pushes = qs.pushes;
+            t.queue_pops = qs.pops;
+            window_growths = qs.window_growths;
+            t.queue_skip_slots.merge(&qs.skip_slots);
+        }
+        crate::telemetry::merge_engine(&t, window_growths);
     }
     events
 }

@@ -99,6 +99,23 @@ impl core::fmt::Display for WindowError {
 
 impl std::error::Error for WindowError {}
 
+/// Optional queue operation counters, collected only while telemetry is
+/// enabled (see [`EventQueue::set_stats_enabled`]). Collection reads
+/// values the queue already computes — it can never change push/pop
+/// behavior or ordering.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events pushed.
+    pub pushes: u64,
+    /// Events popped.
+    pub pops: u64,
+    /// Ring window growths (reallocation + bucket relink).
+    pub window_growths: u64,
+    /// Cursor skip distances in ring slots: one sample per pop that found
+    /// the cursor's slot empty and hopped via the occupancy bitmap.
+    pub skip_slots: crate::telemetry::Hist,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Bucket {
     head: u32,
@@ -159,6 +176,9 @@ pub struct EventQueue<E> {
     cursor: u64,
     /// Largest pending time (meaningful only while `len > 0`).
     max_pending: u64,
+    /// Operation counters; `None` (the default) costs one never-taken
+    /// branch per operation.
+    stats: Option<Box<QueueStats>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -197,7 +217,26 @@ impl<E> EventQueue<E> {
             mask: ring - 1,
             cursor: 0,
             max_pending: 0,
+            stats: None,
         }
+    }
+
+    /// Turns operation counting on (installing fresh zeroed counters) or
+    /// off. Counting is inert: it never changes queue behavior, only the
+    /// [`stats`](Self::stats) readout.
+    pub fn set_stats_enabled(&mut self, on: bool) {
+        self.stats = if on {
+            Some(Box::default())
+        } else {
+            None
+        };
+    }
+
+    /// The operation counters accumulated since
+    /// [`set_stats_enabled`](Self::set_stats_enabled)`(true)`, if
+    /// counting is on.
+    pub fn stats(&self) -> Option<&QueueStats> {
+        self.stats.as_deref()
     }
 
     /// Grows the ring so pushes spanning up to `window` slots need not
@@ -311,6 +350,9 @@ impl<E> EventQueue<E> {
             return Ok(());
         }
         WindowError::check(needed)?;
+        if let Some(stats) = self.stats.as_deref_mut() {
+            stats.window_growths += 1;
+        }
         let new_ring = needed.next_power_of_two();
         let new_mask = new_ring - 1;
         let words = Self::bitmap_words(new_ring);
@@ -403,6 +445,9 @@ impl<E> EventQueue<E> {
         bucket.tail = idx;
         self.set_occupied((time & self.mask) as usize);
         self.len += 1;
+        if let Some(stats) = self.stats.as_deref_mut() {
+            stats.pushes += 1;
+        }
     }
 
     /// Removes and returns the earliest event (ties: lowest priority
@@ -422,6 +467,9 @@ impl<E> EventQueue<E> {
                 self.cursor + dist <= self.max_pending,
                 "pending events must lie within [cursor, max_pending]"
             );
+            if let Some(stats) = self.stats.as_deref_mut() {
+                stats.skip_slots.record(dist);
+            }
             self.cursor += dist;
             slot = next;
         }
@@ -450,6 +498,9 @@ impl<E> EventQueue<E> {
                 }
             }
             self.len -= 1;
+            if let Some(stats) = self.stats.as_deref_mut() {
+                stats.pops += 1;
+            }
             return Some((self.cursor, event));
         }
         unreachable!("occupied ring slot holds no events — bitmap invariant broken")

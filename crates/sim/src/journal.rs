@@ -57,27 +57,14 @@ impl JournalRecord {
     }
 
     fn to_json(&self) -> Node {
-        let node = |value| Node {
-            line: 0,
-            col: 0,
-            value,
-        };
-        let key = |name: &str| persist::Key {
-            name: name.to_string(),
-            line: 0,
-            col: 0,
-        };
-        node(Value::Obj(vec![
-            (key("journal"), node(Value::UInt(JOURNAL_VERSION))),
-            (key("scenario"), node(Value::Str(self.scenario.clone()))),
-            (
-                key("fingerprint"),
-                node(Value::Str(self.fingerprint.clone())),
-            ),
-            (key("status"), node(Value::Str(self.status.clone()))),
-            (key("attempts"), node(Value::UInt(self.attempts))),
-            (key("elapsed_ms"), node(Value::Float(self.elapsed_ms))),
-        ]))
+        persist::json::obj(vec![
+            ("journal", persist::json::uint(JOURNAL_VERSION)),
+            ("scenario", persist::json::string(&self.scenario)),
+            ("fingerprint", persist::json::string(&self.fingerprint)),
+            ("status", persist::json::string(&self.status)),
+            ("attempts", persist::json::uint(self.attempts)),
+            ("elapsed_ms", persist::json::num(self.elapsed_ms)),
+        ])
     }
 
     fn from_json(root: &Node) -> Result<Self, ParseError> {

@@ -90,6 +90,17 @@
 //! record schemas — including the `status` field and the sink/backoff
 //! knobs — are documented in `SCHEMA.md` alongside the scenario format.
 //!
+//! The whole stack is observable through [`telemetry`]: a process-wide,
+//! dependency-free metrics registry (counters, gauges, log₂ histograms,
+//! wall-clock spans) that the engine, runner, policy loop and farm feed
+//! behind a single enable flag. Telemetry is **deterministically inert**:
+//! it draws from no RNG stream, a metrics-enabled run is bit-identical on
+//! every simulation output to a metrics-disabled one, and the
+//! deterministic metric section itself is bit-identical across thread
+//! counts (merges are commutative integer folds). Wall-clock data lives
+//! in a separate timing section; the snapshot JSONL format is specified
+//! in `SCHEMA.md` § OBSERVABILITY.
+//!
 //! Everything is reproducible: equal seeds give bit-identical traces, and
 //! every parallel reduction — contention sweeps, network replications,
 //! whole scenarios, closed policy loops — is bit-identical to the serial
@@ -124,6 +135,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sink;
 pub mod stats;
+pub mod telemetry;
 
 pub use batch::{
     scenario_master_seed, BatchEntry, BatchError, BatchReport, BatchSet, RunConfig,

@@ -185,6 +185,76 @@ impl Node {
     }
 }
 
+/// Builders for synthesized (position-less) [`Node`] trees — the shared
+/// JSON-line construction util behind the batch result records
+/// ([`crate::batch`]), the progress journal ([`crate::journal`]) and the
+/// telemetry snapshot stream ([`crate::telemetry`]). Keys and nodes carry
+/// line/column 0 (they come from no source file), and one escaping /
+/// encoding path — [`render_compact`] — serves every emitter.
+pub mod json {
+    use super::{Key, Node, Value};
+
+    /// A synthesized object key.
+    pub fn key(name: &str) -> Key {
+        Key {
+            name: name.to_string(),
+            line: 0,
+            col: 0,
+        }
+    }
+
+    /// A synthesized node wrapping `value`.
+    pub fn node(value: Value) -> Node {
+        Node {
+            line: 0,
+            col: 0,
+            value,
+        }
+    }
+
+    /// An object node from ordered `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Node)>) -> Node {
+        node(Value::Obj(
+            pairs.into_iter().map(|(k, v)| (key(k), v)).collect(),
+        ))
+    }
+
+    /// An array node.
+    pub fn arr(items: Vec<Node>) -> Node {
+        node(Value::Arr(items))
+    }
+
+    /// A string node.
+    pub fn string(s: &str) -> Node {
+        node(Value::Str(s.to_string()))
+    }
+
+    /// An unsigned-integer node (exact — never routed through `f64`).
+    pub fn uint(v: u64) -> Node {
+        node(Value::UInt(v))
+    }
+
+    /// A number node; non-finite values become `null` (records are data
+    /// streams — refuse nothing at emit time).
+    pub fn num(x: f64) -> Node {
+        if x.is_finite() {
+            node(Value::Float(x))
+        } else {
+            node(Value::Null)
+        }
+    }
+
+    /// A boolean node.
+    pub fn boolean(b: bool) -> Node {
+        node(Value::Bool(b))
+    }
+
+    /// A `null` node.
+    pub fn null() -> Node {
+        node(Value::Null)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Parser
 // ---------------------------------------------------------------------------

@@ -747,6 +747,23 @@ impl PolicyEngine {
                 channel_wall_ms: timed.channel_wall_ms,
                 wall_ms: timed.wall_ms,
             });
+            if crate::telemetry::enabled() {
+                // Convergence signal: |Δ worst-channel failure| between
+                // consecutive rounds, in permille. Derived from already-
+                // deterministic outcomes, so it stays in the deterministic
+                // section; only the round wall is timing data.
+                let n = rounds.len();
+                let delta_permille = (n >= 2).then(|| {
+                    let delta =
+                        (rounds[n - 1].worst_failure() - rounds[n - 2].worst_failure()).abs();
+                    (delta * 1000.0).round() as u64
+                });
+                crate::telemetry::note_policy_round(
+                    moved as u64,
+                    delta_permille,
+                    rounds[n - 1].wall_ms,
+                );
+            }
             if round + 1 >= self.rounds {
                 break;
             }

@@ -54,6 +54,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+use std::time::Instant;
 
 use wsn_phy::ber::BerModel;
 
@@ -179,22 +180,60 @@ impl Runner {
         F: Fn(usize, &T) -> R + Sync,
     {
         let workers = self.threads.min(jobs.len());
+        // Telemetry: the map/job counts are properties of the work list
+        // (deterministic section); per-job walls accumulate in a
+        // worker-local shard and fold in once per worker, so an enabled
+        // run costs one registry lock per worker, not one per job.
+        let telem = crate::telemetry::enabled() && !jobs.is_empty();
+        if telem {
+            crate::telemetry::note_map(jobs.len() as u64, workers.max(1) as u64);
+        }
         if workers <= 1 {
-            return jobs.iter().enumerate().map(|(i, job)| f(i, job)).collect();
+            if !telem {
+                return jobs.iter().enumerate().map(|(i, job)| f(i, job)).collect();
+            }
+            let map_span = crate::telemetry::Span::enter(crate::telemetry::Phase::Map);
+            let mut job_walls = crate::telemetry::TimingStat::NEW;
+            let out = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    let t0 = Instant::now();
+                    let r = f(i, job);
+                    job_walls.record(t0.elapsed().as_secs_f64() * 1e3);
+                    r
+                })
+                .collect();
+            crate::telemetry::merge_job_timing(&job_walls);
+            drop(map_span);
+            return out;
         }
 
+        let map_span = telem.then(|| crate::telemetry::Span::enter(crate::telemetry::Phase::Map));
         let next = AtomicUsize::new(0);
         let gathered: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs.len()));
         thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut job_walls = telem.then_some(crate::telemetry::TimingStat::NEW);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= jobs.len() {
                             break;
                         }
-                        local.push((i, f(i, &jobs[i])));
+                        match job_walls.as_mut() {
+                            None => local.push((i, f(i, &jobs[i]))),
+                            Some(walls) => {
+                                let t0 = Instant::now();
+                                let r = f(i, &jobs[i]);
+                                walls.record(t0.elapsed().as_secs_f64() * 1e3);
+                                local.push((i, r));
+                            }
+                        }
+                    }
+                    if let Some(walls) = job_walls {
+                        crate::telemetry::merge_job_timing(&walls);
                     }
                     gathered
                         .lock()
@@ -203,6 +242,7 @@ impl Runner {
                 });
             }
         });
+        drop(map_span);
 
         let mut pairs = gathered
             .into_inner()

@@ -9,6 +9,7 @@ use wsn_radio::ledger::{EnergyLedger, PhaseTag};
 use wsn_radio::{RadioModel, RadioState};
 use wsn_sim::network::{NetworkConfig, TxPowerPolicy};
 use wsn_sim::policy::{PolicyEngine, PolicyTrace, PolicyTraceAccumulator, StaticAllocation};
+use wsn_sim::telemetry::{Hist, MetricSet};
 use wsn_sim::scenario::{DeploymentSpec, Scenario};
 use wsn_sim::{
     Accumulator, ChannelSimConfig, ContentionAccumulator, Counter, Extrema, NetworkAccumulator,
@@ -666,4 +667,140 @@ fn contention_accumulator_split_merge_matches_reduce() {
             "case {case}"
         );
     }
+}
+
+// --- telemetry merge algebra -------------------------------------------
+
+/// A pseudo-random telemetry shard: every counter, gauge and histogram
+/// field gets data, so a merge bug in any single field fails the
+/// properties below.
+fn random_metric_shard(rng: &mut Xoshiro256StarStar) -> MetricSet {
+    let mut m = MetricSet::NEW;
+    for _ in 0..(1 + rng.index(30)) {
+        m.engine.runs += 1;
+        m.engine.events += rng.next_u64() % 1_000;
+        m.engine.ev_beacon += rng.next_u64() % 16;
+        m.engine.ev_arrival += rng.next_u64() % 256;
+        m.engine.ev_cca += rng.next_u64() % 256;
+        m.engine.ev_tx_end += rng.next_u64() % 256;
+        m.engine.ev_gts += rng.next_u64() % 16;
+        m.engine.ev_dl_poll += rng.next_u64() % 16;
+        m.engine.attempts_delivered += rng.next_u64() % 64;
+        m.engine.attempts_collided += rng.next_u64() % 64;
+        m.engine.attempts_corrupted += rng.next_u64() % 8;
+        m.engine.attempts_access_failure += rng.next_u64() % 8;
+        m.engine.transactions += rng.next_u64() % 64;
+        m.engine.transactions_delivered += rng.next_u64() % 64;
+        m.engine.queue_pushes += rng.next_u64() % 2_048;
+        m.engine.queue_pops += rng.next_u64() % 2_048;
+        // Histogram samples across the whole bucket range, including 0.
+        m.engine.queue_skip_slots.record(rng.next_u64() >> rng.index(64));
+        m.engine.cohort_size.record(rng.next_u64() % 128);
+        m.engine.ccas_per_attempt.record(rng.next_u64() % 8);
+        m.engine.contention_slots.record(rng.next_u64() % 4_096);
+        m.engine.attempts_per_transaction.record(rng.next_u64() % 6);
+        m.runner.jobs += rng.next_u64() % 64;
+        m.policy.rounds += 1;
+        m.policy.moves += rng.next_u64() % 32;
+        m.policy.moves_per_round.record(rng.next_u64() % 32);
+        m.policy.convergence_delta_permille.record(rng.next_u64() % 1_000);
+        m.farm.total_scenarios = m.farm.total_scenarios.max(rng.next_u64() % 512);
+        m.farm.ok += rng.next_u64() % 16;
+        m.farm.failed += rng.next_u64() % 4;
+        m.farm.timeout += rng.next_u64() % 2;
+        m.farm.skipped += rng.next_u64() % 4;
+        m.farm.retries += rng.next_u64() % 4;
+    }
+    m
+}
+
+/// Worker scheduling must never show up in the deterministic metric
+/// section: merging the same shards in any order (and any grouping)
+/// yields the identical `MetricSet`.
+#[test]
+fn telemetry_shard_merge_is_order_invariant_and_associative() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x7E1E);
+    for case in 0..100 {
+        let shards: Vec<MetricSet> = (0..2 + rng.index(5))
+            .map(|_| random_metric_shard(&mut rng))
+            .collect();
+
+        let mut forward = MetricSet::NEW;
+        for s in &shards {
+            forward.merge(s);
+        }
+        let mut reverse = MetricSet::NEW;
+        for s in shards.iter().rev() {
+            reverse.merge(s);
+        }
+        assert_eq!(forward, reverse, "case {case}: merge order leaked");
+
+        // Arbitrary grouping: fold a random prefix into one sub-total,
+        // the rest into another, then combine — associativity.
+        let cut = rng.index(shards.len() + 1);
+        let (mut left, mut right) = (MetricSet::NEW, MetricSet::NEW);
+        for s in &shards[..cut] {
+            left.merge(s);
+        }
+        for s in &shards[cut..] {
+            right.merge(s);
+        }
+        left.merge(&right);
+        assert_eq!(forward, left, "case {case}: grouping leaked");
+    }
+}
+
+/// `Hist` split-merge equals the single-pass histogram for arbitrary
+/// samples and arbitrary shard boundaries (the same property the stats
+/// accumulators guarantee).
+#[test]
+fn telemetry_hist_merge_of_random_splits_matches_single_pass() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xB0C4);
+    for case in 0..200 {
+        let n = 1 + rng.index(500);
+        // Spread samples over the full bucket range, zeros included
+        // (a 64-bit shift yields the zero sample; checked_shr keeps the
+        // debug build from tripping the shift-overflow panic).
+        let xs: Vec<u64> = (0..n)
+            .map(|_| {
+                let sample = rng.next_u64();
+                sample.checked_shr(rng.index(65) as u32).unwrap_or(0)
+            })
+            .collect();
+
+        let mut whole = Hist::NEW;
+        for &x in &xs {
+            whole.record(x);
+        }
+
+        let n_cuts = rng.index(6);
+        let mut cuts: Vec<usize> = (0..n_cuts).map(|_| rng.index(n + 1)).collect();
+        cuts.sort_unstable();
+
+        let mut merged = Hist::NEW;
+        let mut start = 0;
+        for &cut in cuts.iter().chain(std::iter::once(&n)) {
+            let mut shard = Hist::NEW;
+            for &x in &xs[start..cut] {
+                shard.record(x);
+            }
+            merged.merge(&shard);
+            start = cut;
+        }
+        assert_eq!(merged, whole, "case {case}");
+    }
+}
+
+/// The merge identity: folding in an empty shard changes nothing, so
+/// workers that never ran a job cannot perturb the totals.
+#[test]
+fn telemetry_empty_shard_is_the_merge_identity() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x1DE4);
+    let shard = random_metric_shard(&mut rng);
+    let mut merged = shard.clone();
+    merged.merge(&MetricSet::NEW);
+    assert_eq!(merged, shard);
+    let mut from_empty = MetricSet::NEW;
+    from_empty.merge(&shard);
+    assert_eq!(from_empty, shard);
 }
